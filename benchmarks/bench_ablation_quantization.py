@@ -1,0 +1,74 @@
+"""Ablation bench — quantized uploads (the Hier-Local-QSGD-style extension).
+
+Sweeps the QSGD quantization level on HierMinimax's uplinks (client→edge and
+edge→cloud deltas) plus a top-k sparsifier point, at a fixed slot budget, and
+reports uplink traffic against final accuracy: the compression/accuracy frontier
+that motivates quantized hierarchical FL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import make_algorithm
+from repro.compression import QSGDQuantizer, TopKSparsifier
+from repro.data.registry import make_federated_dataset
+from repro.nn.models import make_model_factory
+
+
+def test_quantized_uploads(benchmark, repro_scale, save_report):
+    slots = 480 if repro_scale == "tiny" else 4000
+    scale = "tiny" if repro_scale == "tiny" else "small"
+    dataset = make_federated_dataset("emnist_digits", seed=0, scale=scale)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    eta_w = 0.05 if scale == "tiny" else 0.03
+    variants = [
+        ("full precision", None),
+        ("qsgd s=64", QSGDQuantizer(levels=64)),
+        ("qsgd s=8", QSGDQuantizer(levels=8)),
+        ("qsgd s=1", QSGDQuantizer(levels=1)),
+        ("topk 10% + EF", TopKSparsifier(0.10, error_feedback=True)),
+    ]
+
+    def run():
+        rows = []
+        for label, compressor in variants:
+            finals, uplink = [], None
+            for seed in (0, 1):
+                algo = make_algorithm(
+                    "hierminimax", dataset, factory, batch_size=8, eta_w=eta_w,
+                    eta_p=2e-3, tau1=2, tau2=2, m_edges=5, seed=seed,
+                    compressor=compressor)
+                result = algo.run(rounds=slots // 4, eval_every=slots // 4)
+                finals.append(result.history.final().record)
+                snap = result.comm
+                uplink = (snap.floats["client_edge:up"]
+                          + snap.floats["edge_cloud:up"]) * 8
+            rows.append({
+                "variant": label,
+                "uplink_bytes": uplink,
+                "average_accuracy": float(np.mean([f.average_accuracy
+                                                   for f in finals])),
+                "worst_accuracy": float(np.mean([f.worst_accuracy
+                                                 for f in finals])),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = [f"quantized-uplink sweep at {slots} slots (2-seed means):",
+             f"{'variant':>16s} {'uplink bytes':>13s} {'avg acc':>8s} "
+             f"{'worst acc':>10s}"]
+    for r in rows:
+        lines.append(f"{r['variant']:>16s} {r['uplink_bytes']:13.3g} "
+                     f"{r['average_accuracy']:8.3f} {r['worst_accuracy']:10.3f}")
+    save_report(f"ablation_quantization_{repro_scale}", rows, "\n".join(lines))
+
+    full = rows[0]
+    # Quantization shrinks uplink traffic monotonically with coarser levels…
+    qsgd_bytes = [r["uplink_bytes"] for r in rows[1:4]]
+    assert qsgd_bytes == sorted(qsgd_bytes, reverse=True)
+    assert qsgd_bytes[0] < 0.25 * full["uplink_bytes"]
+    # …while moderate quantization keeps accuracy close to full precision.
+    assert rows[1]["average_accuracy"] > full["average_accuracy"] - 0.05

@@ -1,0 +1,71 @@
+"""Ablation bench — the (τ1, τ2) communication/convergence tradeoff of §5.
+
+DESIGN.md calls out the update/aggregation periods as the paper's central design
+knob: larger ``τ1·τ2`` cuts edge-cloud communication (Θ(T^{1-α})) at the cost of
+convergence (Theorem 1's aggregation terms grow with τ1²τ2²).  This bench runs
+HierMinimax at a fixed slot budget across a grid of (τ1, τ2) and reports, for
+each point, the edge-cloud cycles actually spent and the final worst/average
+accuracy — the empirical tradeoff curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import make_algorithm
+from repro.data.registry import make_federated_dataset
+from repro.nn.models import make_model_factory
+
+
+def test_tau_tradeoff(benchmark, repro_scale, save_report):
+    slots = 480 if repro_scale == "tiny" else 2400
+    grid = ((1, 1), (2, 1), (2, 2), (4, 2), (4, 4))
+    dataset = make_federated_dataset("emnist_digits", seed=0, scale="tiny")
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+
+    def run():
+        rows = []
+        for tau1, tau2 in grid:
+            per_round = tau1 * tau2
+            finals = []
+            cycles = None
+            for seed in (0, 1):
+                algo = make_algorithm(
+                    "hierminimax", dataset, factory, batch_size=8, eta_w=0.05,
+                    eta_p=2e-3, tau1=tau1, tau2=tau2, m_edges=5, seed=seed)
+                result = algo.run(rounds=max(1, slots // per_round),
+                                  eval_every=max(1, slots // per_round))
+                finals.append(result.history.final().record)
+                cycles = result.comm.edge_cloud_cycles
+            rows.append({
+                "tau1": tau1, "tau2": tau2,
+                "edge_cloud_cycles": cycles,
+                "client_edge_cycles": result.comm.cycles["client_edge"],
+                "average_accuracy": float(np.mean([f.average_accuracy
+                                                   for f in finals])),
+                "worst_accuracy": float(np.mean([f.worst_accuracy
+                                                 for f in finals])),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = [f"(tau1, tau2) tradeoff at a fixed budget of {slots} slots:",
+             f"{'tau1':>5s} {'tau2':>5s} {'ec_cycles':>10s} {'ce_cycles':>10s} "
+             f"{'avg acc':>8s} {'worst acc':>10s}"]
+    for r in rows:
+        lines.append(f"{r['tau1']:5d} {r['tau2']:5d} {r['edge_cloud_cycles']:10d} "
+                     f"{r['client_edge_cycles']:10d} {r['average_accuracy']:8.3f} "
+                     f"{r['worst_accuracy']:10.3f}")
+    save_report(f"ablation_tau_{repro_scale}", rows, "\n".join(lines))
+
+    # Edge-cloud communication must fall monotonically as tau1*tau2 grows…
+    cycles = [r["edge_cloud_cycles"] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    # …with exact counts 2*K = 2*slots/(tau1*tau2).
+    for r in rows:
+        expected = 2 * max(1, slots // (r["tau1"] * r["tau2"]))
+        assert r["edge_cloud_cycles"] == expected
+    # And every configuration still learns.
+    assert all(r["average_accuracy"] > 0.3 for r in rows)

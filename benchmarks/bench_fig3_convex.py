@@ -1,0 +1,62 @@
+"""Figure 3 reproduction bench — convex loss (EMNIST-Digits-like).
+
+Regenerates both panels of Fig. 3: average and worst test accuracy versus
+communication rounds for FedAvg, Stochastic-AFL, DRFA, HierFAVG, and HierMinimax,
+plus the §6.1 headline — communication rounds needed to reach the worst-accuracy
+target and HierMinimax's percentage reductions against each alternative
+(paper, at 80% worst accuracy: −51% vs Stochastic-AFL, −30% vs DRFA,
+−55% vs HierFAVG; FedAvg never reaches the target).
+
+The workload follows the §6.1 preset at the selected scale: multinomial logistic
+regression, N_E = 10 edge areas × N0 = 3 clients, one class per edge area,
+m_E = 5, τ1 = τ2 = 2 (see :func:`repro.experiments.presets.fig3_preset`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import build_figure, format_figure_report
+from repro.experiments.presets import fig3_preset
+
+
+def test_fig3_convex(benchmark, repro_scale, repro_seeds, save_report):
+    preset = fig3_preset(repro_scale)
+
+    def run():
+        return build_figure(preset, seeds=repro_seeds)
+
+    fig = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    report_lines = [format_figure_report(fig), "", "series (worst accuracy):"]
+    payload = {"preset": preset.name, "scale": repro_scale,
+               "seeds": list(repro_seeds), "series": {}}
+    for name, s in fig.series.items():
+        payload["series"][name] = {
+            "comm_rounds": s.comm_rounds,
+            "average_accuracy": s.average_accuracy,
+            "worst_accuracy": s.worst_accuracy,
+            "rounds_to_target": s.rounds_to_target,
+        }
+        pts = "  ".join(f"({int(x)},{y:.3f})"
+                        for x, y in list(zip(s.comm_rounds, s.worst_accuracy))[::5])
+        report_lines.append(f"  {name:15s} {pts}")
+    save_report(f"fig3_{repro_scale}", payload, "\n".join(report_lines))
+
+    # Shape assertions (the paper's qualitative claims).
+    series = fig.series
+    minimax_worst = [series[n].final_worst
+                     for n in ("stochastic_afl", "drfa", "hierminimax")]
+    minimization_worst = [series[n].final_worst for n in ("fedavg", "hierfavg")]
+    # Minimax methods improve the worst case over at least one minimization method,
+    # and the best minimax beats the best minimization.
+    assert max(minimax_worst) > max(minimization_worst) - 0.02
+    assert np.mean(minimax_worst) > np.mean(minimization_worst)
+    # HierMinimax reaches the target and is the cheapest minimax method to do so.
+    ours = series["hierminimax"].rounds_to_target
+    assert ours is not None, "HierMinimax failed to reach the worst-accuracy target"
+    for other in ("stochastic_afl", "drfa"):
+        theirs = series[other].rounds_to_target
+        if theirs is not None:
+            assert ours <= theirs * 1.05, (
+                f"hierminimax ({ours}) not cheaper than {other} ({theirs})")

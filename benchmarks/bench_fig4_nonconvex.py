@@ -1,0 +1,68 @@
+"""Figure 4 reproduction bench — non-convex loss (Fashion-MNIST-like MLP).
+
+Regenerates Fig. 4: average and worst test accuracy versus communication rounds
+for the five algorithms on the s = 50%-similarity partition with a fully-connected
+ReLU network, plus the §6.2 headline (paper, at 50% worst accuracy: −52% vs
+Stochastic-AFL, −23% vs DRFA, −41% vs HierFAVG; FedAvg never reaches it).
+
+Reproduction note (see EXPERIMENTS.md): on the synthetic Fashion substitute the
+*worst-accuracy* gap between minimax and minimization methods is attenuated —
+the overparameterized MLP reaches a per-class capacity plateau where loss
+reweighting no longer moves accuracy, unlike the convex settings (Fig. 3,
+Table 2) where the paper's fairness gaps reproduce fully.  The robustly
+reproduced Fig. 4 claims are (a) the hierarchical methods' communication savings
+and (b) HierMinimax's minimax-loss advantage, which this bench also reports via
+the worst-edge *test loss* (the quantity problem (3) optimizes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import build_figure, format_figure_report
+from repro.experiments.presets import fig4_preset
+
+
+def test_fig4_nonconvex(benchmark, repro_scale, repro_seeds, save_report):
+    preset = fig4_preset(repro_scale)
+
+    def run():
+        return build_figure(preset, seeds=repro_seeds)
+
+    fig = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    report_lines = [format_figure_report(fig)]
+    payload = {"preset": preset.name, "scale": repro_scale,
+               "seeds": list(repro_seeds), "series": {}}
+    for name, s in fig.series.items():
+        payload["series"][name] = {
+            "comm_rounds": s.comm_rounds,
+            "average_accuracy": s.average_accuracy,
+            "worst_accuracy": s.worst_accuracy,
+            "rounds_to_target": s.rounds_to_target,
+        }
+
+    # Auxiliary minimax-objective evidence: worst-edge test LOSS at the end.
+    worst_losses = {}
+    for name, result in fig.output.results.items():
+        worst_losses[name] = float(result.history.final().record.per_edge_loss.max())
+    payload["final_worst_edge_loss"] = worst_losses
+    report_lines.append("final worst-edge test loss (lower is better):")
+    for name, value in worst_losses.items():
+        report_lines.append(f"  {name:15s} {value:.4f}")
+    save_report(f"fig4_{repro_scale}", payload, "\n".join(report_lines))
+
+    series = fig.series
+    # All five methods must have actually learned (well above 10% random chance).
+    for s in series.values():
+        assert s.final_average > 0.3
+    # Communication-cost ordering: HierMinimax must beat the single-step two-layer
+    # minimax method (Stochastic-AFL pays a cloud cycle per slot; HierMinimax pays
+    # one per 2·τ1·τ2 slots).  The DRFA comparison is reported but not asserted:
+    # at reduced scale the two methods' worst-accuracy plateaus are statistically
+    # tied, making their crossing-time ratio noise (see EXPERIMENTS.md).
+    ours = series["hierminimax"].rounds_to_target
+    theirs = series["stochastic_afl"].rounds_to_target
+    if ours is not None and theirs is not None:
+        assert ours <= theirs * 1.05
+    # The minimax objective itself: HierMinimax's worst-edge loss beats the
+    # minimization methods'.
+    assert worst_losses["hierminimax"] <= worst_losses["fedavg"] * 1.10

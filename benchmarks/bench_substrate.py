@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the hot substrate kernels.
+
+These are classic pytest-benchmark timings (many iterations) of the operations
+the simulation spends its time in — the targets any optimization work should be
+measured against, per the profile-first workflow of the HPC guides:
+
+* fused forward+backward of the two paper models,
+* the simplex projection behind every weight update,
+* client-edge aggregation (weighted averaging of model vectors),
+* one full HierMinimax training round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import make_algorithm
+from repro.data.registry import make_federated_dataset
+from repro.nn.models import logistic_regression, make_model_factory, mlp
+from repro.ops.numerics import weighted_average
+from repro.ops.projections import project_capped_simplex, project_simplex
+
+
+@pytest.fixture(scope="module")
+def batch():
+    gen = np.random.default_rng(0)
+    X = gen.normal(size=(8, 784))
+    y = gen.integers(0, 10, size=8)
+    return X, y
+
+
+def test_logistic_loss_and_gradient(benchmark, batch):
+    """Paper model #1: 7850-parameter multinomial logistic regression."""
+    X, y = batch
+    model = logistic_regression(784, 10, rng=0)
+    benchmark(model.loss_and_gradient, X, y)
+
+
+def test_mlp_loss_and_gradient(benchmark, batch):
+    """Paper model #2: 266,610-parameter MLP(300, 100)."""
+    X, y = batch
+    model = mlp(784, (300, 100), 10, rng=0)
+    benchmark(model.loss_and_gradient, X, y)
+
+
+def test_simplex_projection(benchmark):
+    """Eq. (7)'s Π_P on a 100-edge weight vector (the Synthetic row's size)."""
+    gen = np.random.default_rng(0)
+    v = gen.normal(size=100)
+    out = benchmark(project_simplex, v)
+    assert abs(out.sum() - 1.0) < 1e-9
+
+
+def test_capped_simplex_projection(benchmark):
+    """The general-constraint variant of Π_P (bisection solve)."""
+    gen = np.random.default_rng(0)
+    v = gen.normal(size=100)
+    out = benchmark(project_capped_simplex, v, 0.001, 0.5)
+    assert abs(out.sum() - 1.0) < 1e-6
+
+
+def test_model_aggregation(benchmark):
+    """Client-edge aggregation of 10 MLP-sized parameter vectors."""
+    gen = np.random.default_rng(0)
+    models = gen.normal(size=(10, 266_610))
+    weights = gen.random(10) + 0.1
+    benchmark(weighted_average, models, weights)
+
+
+def test_hierminimax_round(benchmark):
+    """One full Algorithm 1 training round on the tiny EMNIST layout."""
+    dataset = make_federated_dataset("emnist_digits", seed=0, scale="tiny")
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    algo = make_algorithm("hierminimax", dataset, factory, batch_size=8,
+                          eta_w=0.05, eta_p=2e-3, tau1=2, tau2=2, m_edges=5,
+                          seed=0)
+    counter = iter(range(10**9))
+
+    def one_round():
+        algo.run_round(next(counter))
+
+    benchmark(one_round)

@@ -1,0 +1,95 @@
+"""Theory-bound bench — Theorem 1 evaluated against a measured duality gap.
+
+On a small convex instance where everything is computable, this bench
+
+1. estimates the Assumption-1–5 constants empirically,
+2. evaluates the Theorem 1 duality-gap bound term by term for the actual
+   HierMinimax configuration, and
+3. runs HierMinimax and *measures* the duality gap of its averaged solution,
+
+then checks measured ≤ bound (the bound must be valid) and that both shrink as
+``T`` grows.  It also reports the Lemma 1 step-size condition and the Theorem 2
+bound for reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import make_algorithm
+from repro.data.registry import make_federated_dataset
+from repro.nn.models import make_model_factory
+from repro.theory.bounds import (
+    HierMinimaxBoundInputs,
+    lemma1_step_condition,
+    theorem1_bound,
+    theorem2_bound,
+)
+from repro.theory.constants import estimate_problem_constants
+from repro.theory.duality import duality_gap
+from repro.theory.moreau import moreau_envelope
+
+
+def test_theorem1_bound_vs_measured_gap(benchmark, repro_scale, save_report):
+    horizons = (128, 512) if repro_scale == "tiny" else (256, 1024)
+    dataset = make_federated_dataset("emnist_digits", seed=0, scale="tiny",
+                                     num_edges=5, clients_per_edge=2)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    eta_w, eta_p, tau1, tau2, m_edges = 0.02, 1e-3, 2, 2, 3
+
+    def run():
+        engine = factory(0)
+        constants = estimate_problem_constants(
+            dataset, engine, num_probes=4, probe_radius=0.5,
+            rng=np.random.default_rng(0))
+        out = []
+        for T in horizons:
+            cfg = HierMinimaxBoundInputs(
+                eta_w=eta_w, eta_p=eta_p, tau1=tau1, tau2=tau2,
+                m_edges=m_edges, n0=2, n_edges=5, T=T)
+            bound = theorem1_bound(cfg, constants)
+            algo = make_algorithm("hierminimax", dataset, factory, batch_size=8,
+                                  eta_w=eta_w, eta_p=eta_p, tau1=tau1, tau2=tau2,
+                                  m_edges=m_edges, seed=0)
+            result = algo.run(rounds=cfg.rounds, eval_every=cfg.rounds)
+            measured = duality_gap(algo.engine, result.final_params,
+                                   result.final_weights, dataset, max_iters=400)
+            phi0, _ = moreau_envelope(algo.engine, factory(0).get_params(),
+                                      dataset, lam=1.0 / (2 * constants.L),
+                                      max_iters=60)
+            t2 = theorem2_bound(cfg, constants, phi0=phi0)
+            out.append({
+                "T": T, "measured_gap": measured, "theorem1_bound": bound.total,
+                "bound_terms": {
+                    "maximization_gap": bound.maximization_gap,
+                    "minimization_gap": bound.minimization_gap,
+                    "client_edge_aggregation": bound.client_edge_aggregation,
+                    "edge_cloud_aggregation": bound.edge_cloud_aggregation,
+                },
+                "lemma1_step_ok": lemma1_step_condition(cfg, constants),
+                "theorem2_bound": t2.total,
+            })
+        return {"constants": constants.as_dict(), "per_horizon": out}
+
+    data = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Theorem 1 duality-gap bound vs measured gap (convex instance):",
+             f"constants: " + " ".join(f"{k}={v:.3g}"
+                                       for k, v in data["constants"].items()),
+             f"{'T':>6s} {'measured':>10s} {'Thm1 bound':>12s} "
+             f"{'Thm2 bound':>12s} {'Lem1 step ok':>13s}"]
+    for row in data["per_horizon"]:
+        lines.append(f"{row['T']:6d} {row['measured_gap']:10.4f} "
+                     f"{row['theorem1_bound']:12.4f} {row['theorem2_bound']:12.4f} "
+                     f"{str(row['lemma1_step_ok']):>13s}")
+    save_report(f"theory_bounds_{repro_scale}", data, "\n".join(lines))
+
+    for row in data["per_horizon"]:
+        assert row["measured_gap"] <= row["theorem1_bound"], (
+            f"T={row['T']}: measured gap {row['measured_gap']:.4f} exceeds the "
+            f"Theorem 1 bound {row['theorem1_bound']:.4f}")
+        assert row["measured_gap"] > -1e-6
+    # The measured gap must shrink with the horizon.
+    gaps = [row["measured_gap"] for row in data["per_horizon"]]
+    assert gaps[-1] < gaps[0] + 0.05

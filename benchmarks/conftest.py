@@ -1,0 +1,66 @@
+"""Shared configuration of the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md §4)
+and prints the reproduced rows/series; raw results are also archived as JSON under
+``benchmarks/results/``.
+
+Options
+-------
+``--repro-scale {tiny,small,paper}``
+    Size tier of the experiment benches (default ``small``; ``tiny`` for smoke
+    runs, ``paper`` for the full §6 hyperparameters — hours of compute).
+``--repro-seeds N``
+    Number of seed replicates averaged in the figure benches (default 3).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-scale", action="store", default="small",
+                     choices=("tiny", "small", "paper"),
+                     help="experiment size tier for the reproduction benches")
+    parser.addoption("--repro-seeds", action="store", type=int, default=3,
+                     help="seed replicates averaged in figure benches")
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> str:
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def repro_seeds(request) -> tuple[int, ...]:
+    n = max(1, int(request.config.getoption("--repro-seeds")))
+    return tuple(range(n))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Callable fixture: archive a payload as JSON, print the text report, and
+    append it to the consolidated ``results/reports.txt`` (readable even when
+    pytest captures stdout)."""
+    from repro.utils.serialization import save_json
+
+    reports_file = results_dir / "reports.txt"
+
+    def _save(name: str, payload, report: str) -> None:
+        save_json(results_dir / f"{name}.json", payload)
+        with reports_file.open("a") as fh:
+            fh.write(f"\n===== {name} =====\n{report}\n")
+        print()
+        print(report)
+
+    return _save

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Group fairness on census-like data (the Table 2 Adult scenario).
+
+Two edge areas hold the two education groups of the Adult-like dataset —
+Doctorate (a small minority in training) and non-Doctorate.  Data-size-weighted
+minimization underserves the minority group; HierMinimax's worst-case
+reweighting recovers it.  This is the paper's motivating train/test mismatch:
+"the data ratios of clients in training do not match that of the unseen data in
+reality" (§1).
+
+Run:
+    python examples/census_fairness.py [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HierFAVG, HierMinimax, make_federated_dataset, make_model_factory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rounds = 500 if args.scale == "tiny" else 1000
+    eta_w = 0.08 if args.scale == "tiny" else 0.05
+
+    data = make_federated_dataset("adult", seed=args.seed, scale=args.scale)
+    sizes = [edge.train_size for edge in data.edges]
+    print(f"dataset: {data}")
+    print(f"training samples per group (Doctorate, non-Doctorate): {sizes}\n")
+
+    model = make_model_factory("logistic", data.input_dim, data.num_classes)
+    common = dict(tau1=2, tau2=2, batch_size=8, eta_w=eta_w, seed=args.seed)
+
+    groups = ("Doctorate", "non-Doctorate")
+    print(f"{'method':26s} {'avg':>7s} " +
+          " ".join(f"{g:>14s}" for g in groups))
+    for name, algo in (
+        ("HierFAVG (data-weighted)", HierFAVG(data, model, **common)),
+        ("HierMinimax", HierMinimax(data, model, eta_p=2e-3, **common)),
+    ):
+        result = algo.run(rounds=rounds, eval_every=rounds)
+        rec = result.history.final().record
+        accs = " ".join(f"{a:14.3f}" for a in rec.per_edge_accuracy)
+        print(f"{name:26s} {rec.average_accuracy:7.3f} {accs}")
+        if result.final_weights is not None:
+            print(f"{'':26s} learned group weights p = "
+                  f"{np.round(result.final_weights, 3)}")
+
+    print("\nHierMinimax reweights toward the group with the worse training "
+          "loss, evening out the two groups' test accuracies (higher worst, "
+          "lower variance) at a small cost to the average — Table 2's Adult row.")
+
+
+if __name__ == "__main__":
+    main()

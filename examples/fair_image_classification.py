@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Minimax fairness on heterogeneous image classification (the Fig. 3 scenario).
+
+Compares HierFAVG (hierarchical minimization) against HierMinimax (hierarchical
+*minimax*) on the one-class-per-edge EMNIST-Digits layout, then demonstrates the
+paper's general convex constraint set ``P``: a capped simplex that guarantees
+every edge area keeps at least a floor weight (footnote 1 of §3).
+
+Run:
+    python examples/fair_image_classification.py [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import HierFAVG, HierMinimax, make_federated_dataset, make_model_factory
+from repro.ops.projections import project_capped_simplex
+
+
+def run_one(algo, rounds):
+    result = algo.run(rounds=rounds, eval_every=rounds)
+    return result.history.final().record, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rounds = 300 if args.scale == "tiny" else 1500
+    eta_w = 0.05 if args.scale == "tiny" else 0.03
+
+    data = make_federated_dataset("emnist_digits", seed=args.seed,
+                                  scale=args.scale)
+    model = make_model_factory("logistic", data.input_dim, data.num_classes)
+    common = dict(tau1=2, tau2=2, m_edges=5, batch_size=8, eta_w=eta_w,
+                  seed=args.seed)
+
+    print(f"dataset: {data}\n")
+    print(f"{'method':28s} {'avg':>7s} {'worst':>7s} {'var x1e4':>9s}")
+
+    # Hierarchical minimization: solves problem (1), no weight vector.
+    favg, _ = run_one(HierFAVG(data, model, **common), rounds)
+    print(f"{'HierFAVG (minimization)':28s} {favg.average_accuracy:7.3f} "
+          f"{favg.worst_accuracy:7.3f} {favg.variance_x1e4:9.2f}")
+
+    # Hierarchical minimax: solves problem (3) on the full simplex.
+    hm_algo = HierMinimax(data, model, eta_p=2e-3, **common)
+    hm, hm_result = run_one(hm_algo, rounds)
+    print(f"{'HierMinimax (full simplex)':28s} {hm.average_accuracy:7.3f} "
+          f"{hm.worst_accuracy:7.3f} {hm.variance_x1e4:9.2f}")
+
+    # Constrained variant: P = {p : 0.05 <= p_e <= 0.3} — prior knowledge that no
+    # edge area should be ignored nor dominate (the paper's general convex P).
+    capped = HierMinimax(
+        data, model, eta_p=2e-3,
+        projection_p=lambda v: project_capped_simplex(v, 0.05, 0.3), **common)
+    hc, hc_result = run_one(capped, rounds)
+    print(f"{'HierMinimax (capped P)':28s} {hc.average_accuracy:7.3f} "
+          f"{hc.worst_accuracy:7.3f} {hc.variance_x1e4:9.2f}")
+
+    print("\nlearned edge weights:")
+    print(f"  full simplex: {np.round(hm_result.final_weights, 3)}")
+    print(f"  capped      : {np.round(hc_result.final_weights, 3)}")
+    print("\nper-edge accuracies (edge areas hold classes 0..9; higher class "
+          "index = intrinsically harder):")
+    print(f"  HierFAVG    : {np.round(favg.per_edge_accuracy, 3)}")
+    print(f"  HierMinimax : {np.round(hm.per_edge_accuracy, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — HierMinimax: distributed minimax fair optimization over hierarchical networks.
+
+A from-scratch reproduction of Xu, Wang, Liang, Boudreau & Sokun, *Distributed
+Minimax Fair Optimization over Hierarchical Networks* (ICPP '24): the HierMinimax
+algorithm, the four baselines it is evaluated against, the simulation and ML
+substrates they run on, and the harness regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import HierMinimax, make_federated_dataset, make_model_factory
+>>> data = make_federated_dataset("emnist_digits", scale="tiny", seed=0)
+>>> model = make_model_factory("logistic", data.input_dim, data.num_classes)
+>>> algo = HierMinimax(data, model, tau1=2, tau2=2, m_edges=5, seed=0)
+>>> result = algo.run(rounds=20, eval_every=5)
+>>> 0.0 <= result.history.final().record.worst_accuracy <= 1.0
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+record of every experiment.
+"""
+
+from repro.baselines import ALGORITHMS, DRFA, FedAvg, HierFAVG, StochasticAFL, make_algorithm
+from repro.core import (
+    FederatedAlgorithm,
+    HierMinimax,
+    RunResult,
+    TradeoffSchedule,
+    tradeoff_schedule,
+)
+from repro.data import (
+    DATASET_NAMES,
+    Dataset,
+    FederatedDataset,
+    make_federated_dataset,
+)
+from repro.compression import IdentityCompressor, QSGDQuantizer, TopKSparsifier
+from repro.metrics import EvaluationRecord, TrainingHistory, evaluate_record
+from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
+from repro.nn import NeuralNetwork, logistic_regression, make_model_factory, mlp
+from repro.topology import CommunicationTracker, HierarchicalTopology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "DRFA",
+    "FedAvg",
+    "HierFAVG",
+    "StochasticAFL",
+    "make_algorithm",
+    "FederatedAlgorithm",
+    "HierMinimax",
+    "RunResult",
+    "TradeoffSchedule",
+    "tradeoff_schedule",
+    "DATASET_NAMES",
+    "Dataset",
+    "FederatedDataset",
+    "make_federated_dataset",
+    "IdentityCompressor",
+    "QSGDQuantizer",
+    "TopKSparsifier",
+    "EvaluationRecord",
+    "TrainingHistory",
+    "evaluate_record",
+    "HierarchyTree",
+    "MultiLevelHierMinimax",
+    "NeuralNetwork",
+    "logistic_regression",
+    "make_model_factory",
+    "mlp",
+    "CommunicationTracker",
+    "HierarchicalTopology",
+    "__version__",
+]

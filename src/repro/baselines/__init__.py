@@ -1,0 +1,16 @@
+"""Baseline algorithms: FedAvg, Stochastic-AFL, DRFA, and HierFAVG."""
+
+from repro.baselines.drfa import DRFA
+from repro.baselines.fedavg import FedAvg
+from repro.baselines.hierfavg import HierFAVG
+from repro.baselines.registry import ALGORITHMS, make_algorithm
+from repro.baselines.stochastic_afl import StochasticAFL
+
+__all__ = [
+    "DRFA",
+    "FedAvg",
+    "HierFAVG",
+    "ALGORITHMS",
+    "make_algorithm",
+    "StochasticAFL",
+]

@@ -1,0 +1,110 @@
+"""DRFA (Deng, Kamani & Mahdavi, NeurIPS '20) — distributionally robust FedAvg.
+
+The strongest two-layer minimax baseline: like Stochastic-AFL it optimizes
+per-client weights ``q``, but clients run ``τ`` local SGD steps per round, and the
+weight ascent uses a loss estimate at a *random checkpoint* — the average of the
+clients' models snapshotted at a uniformly drawn step ``t' ∈ [τ]`` — with the step
+scaled by ``τ``, keeping the ascent direction unbiased for the round's iterates.
+
+HierMinimax with ``τ2 = 1`` reduces to this update pattern (remarks after
+Theorems 1–2), which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FederatedAlgorithm
+from repro.data.dataset import FederatedDataset
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection, project_simplex
+from repro.sim.builder import build_flat_clients
+from repro.sim.cloud import CloudServer
+from repro.topology.sampling import sample_by_weight, sample_uniform_subset
+from repro.utils.validation import check_fraction, check_positive_float, check_positive_int
+
+__all__ = ["DRFA"]
+
+
+class DRFA(FederatedAlgorithm):
+    """Distributionally Robust Federated Averaging over a flat topology.
+
+    Parameters
+    ----------
+    eta_q:
+        Weight (ascent) learning rate.
+    tau1:
+        Local SGD steps per round (the paper's comparison uses 2).
+    m_clients:
+        Clients sampled per phase; defaults to full participation.
+    projection_q:
+        Projection onto the weight constraint set (default: probability simplex).
+    """
+
+    name = "drfa"
+    is_minimax = True
+    uses_hierarchy = False
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 eta_q: float = 1e-3, tau1: int = 2, m_clients: int | None = None,
+                 projection_q: Projection | None = None,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
+                         seed=seed, projection_w=projection_w, logger=logger)
+        self.eta_q = check_positive_float(eta_q, "eta_q")
+        self.tau1 = check_positive_int(tau1, "tau1")
+        n = dataset.num_clients
+        self.m_clients = n if m_clients is None else check_positive_int(
+            m_clients, "m_clients")
+        check_fraction(self.m_clients, n, "m_clients")
+        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
+                                          rng_factory=self.rng_factory)
+        self.cloud = CloudServer(
+            n, weight_projection=projection_q if projection_q is not None
+            else project_simplex)
+        self.q: np.ndarray = self.cloud.initial_weights()
+
+    @property
+    def slots_per_round(self) -> int:
+        """``τ1`` local steps per round."""
+        return self.tau1
+
+    def current_weights(self) -> np.ndarray:
+        """The per-client mixing weights ``q^(k)``."""
+        return self.q
+
+    def run_round(self, round_index: int) -> None:
+        """One DRFA round: τ1 local steps with a random checkpoint, then q ascent."""
+        d = self.w.size
+        sampled = sample_by_weight(self.q, self.m_clients, self.rng)
+        # Checkpoint step t' uniform in {1, ..., tau1}.
+        t_prime = int(self.rng.integers(1, self.tau1 + 1))
+        self.tracker.record("client_cloud", "down", count=len(np.unique(sampled)),
+                            floats=d + 1)
+        acc = np.zeros(d)
+        acc_ckpt = np.zeros(d)
+        for i in sampled:
+            w_end, w_ckpt = self.clients[int(i)].local_sgd(
+                self.engine, self.w, steps=self.tau1, lr=self.eta_w,
+                projection=self.projection_w, checkpoint_after=t_prime)
+            acc += w_end
+            acc_ckpt += w_ckpt
+            self.tracker.record("client_cloud", "up", count=1, floats=2 * d)
+        self.tracker.sync_cycle("client_cloud")
+        self.w = acc / self.m_clients
+        w_checkpoint = acc_ckpt / self.m_clients
+
+        # Weight ascent phase at the checkpoint model, scaled by tau1.
+        probed = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
+        self.tracker.record("client_cloud", "down", count=len(probed), floats=d)
+        losses: dict[int, float] = {}
+        for i in probed:
+            losses[int(i)] = self.clients[int(i)].estimate_loss(
+                self.engine, w_checkpoint)
+            self.tracker.record("client_cloud", "up", count=1, floats=1)
+        self.tracker.sync_cycle("client_cloud")
+        v = self.cloud.build_loss_vector(losses)
+        self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q,
+                                           tau1=self.tau1)

@@ -1,0 +1,80 @@
+"""FedAvg (McMahan et al., AISTATS '17) — the standard two-layer FL baseline.
+
+Solves the minimization problem (1) with ``q_n`` proportional to client data sizes:
+each round the cloud samples ``m`` clients uniformly, broadcasts the global model,
+each sampled client runs ``τ1`` local SGD steps, and the cloud averages the returns
+weighted by local dataset size.  No edge servers, no mixing-weight updates — the
+fairness-blind control of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FederatedAlgorithm
+from repro.data.dataset import FederatedDataset
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection
+from repro.sim.builder import build_flat_clients
+from repro.topology.sampling import sample_uniform_subset
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(FederatedAlgorithm):
+    """Federated Averaging over a flat client-cloud topology.
+
+    Parameters
+    ----------
+    tau1:
+        Local SGD steps per round (the paper's comparison uses 2).
+    m_clients:
+        Clients sampled per round; defaults to full participation.
+    weight_by_data:
+        Aggregate proportionally to client dataset sizes (the q_n of Eq. (1));
+        ``False`` uses a plain mean.
+    """
+
+    name = "fedavg"
+    is_minimax = False
+    uses_hierarchy = False
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 tau1: int = 2, m_clients: int | None = None,
+                 weight_by_data: bool = True,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
+                         seed=seed, projection_w=projection_w, logger=logger)
+        self.tau1 = check_positive_int(tau1, "tau1")
+        n = dataset.num_clients
+        self.m_clients = n if m_clients is None else check_positive_int(
+            m_clients, "m_clients")
+        check_fraction(self.m_clients, n, "m_clients")
+        self.weight_by_data = bool(weight_by_data)
+        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
+                                          rng_factory=self.rng_factory)
+
+    @property
+    def slots_per_round(self) -> int:
+        return self.tau1
+
+    def run_round(self, round_index: int) -> None:
+        """One FedAvg round: uniform sample, τ1 local steps, weighted average."""
+        d = self.w.size
+        sampled = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
+        self.tracker.record("client_cloud", "down", count=len(sampled), floats=d)
+        acc = np.zeros(d)
+        total_weight = 0.0
+        for i in sampled:
+            client = self.clients[int(i)]
+            w_end, _ = client.local_sgd(self.engine, self.w, steps=self.tau1,
+                                        lr=self.eta_w, projection=self.projection_w)
+            weight = float(client.num_samples) if self.weight_by_data else 1.0
+            acc += weight * w_end
+            total_weight += weight
+            self.tracker.record("client_cloud", "up", count=1, floats=d)
+        self.tracker.sync_cycle("client_cloud")
+        self.w = acc / total_weight

@@ -1,0 +1,87 @@
+"""Algorithm registry: build any of the five methods by name.
+
+The experiment harness and benches refer to algorithms by the names used in the
+paper's figures; :func:`make_algorithm` instantiates them with a uniform keyword
+interface, forwarding only the parameters each algorithm accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.baselines.drfa import DRFA
+from repro.baselines.fedavg import FedAvg
+from repro.baselines.hierfavg import HierFAVG
+from repro.baselines.stochastic_afl import StochasticAFL
+from repro.core.base import FederatedAlgorithm
+from repro.core.hierminimax import HierMinimax
+
+__all__ = ["ALGORITHMS", "make_algorithm"]
+
+ALGORITHMS: dict[str, Type[FederatedAlgorithm]] = {
+    "fedavg": FedAvg,
+    "stochastic_afl": StochasticAFL,
+    "drfa": DRFA,
+    "hierfavg": HierFAVG,
+    "hierminimax": HierMinimax,
+}
+
+# Which construction keywords each algorithm understands beyond the common set.
+_EXTRA_KEYS: dict[str, frozenset[str]] = {
+    "fedavg": frozenset({"tau1", "m_clients", "weight_by_data"}),
+    "stochastic_afl": frozenset({"eta_q", "m_clients", "projection_q"}),
+    "drfa": frozenset({"eta_q", "tau1", "m_clients", "projection_q"}),
+    "hierfavg": frozenset({"tau1", "tau2", "m_edges", "weight_by_data"}),
+    "hierminimax": frozenset({"eta_p", "tau1", "tau2", "m_edges", "projection_p",
+                              "use_checkpoint", "compressor"}),
+}
+_COMMON_KEYS = frozenset(
+    {"batch_size", "eta_w", "seed", "projection_w", "logger"})
+
+# Minimax weight learning rate aliases: the paper's η_p maps onto the two-layer
+# baselines' η_q so one experiment config drives all methods.
+_ETA_ALIASES: dict[str, str] = {
+    "stochastic_afl": "eta_q",
+    "drfa": "eta_q",
+    "hierminimax": "eta_p",
+}
+
+
+def make_algorithm(name: str, dataset, model_factory, **kwargs: Any,
+                   ) -> FederatedAlgorithm:
+    """Instantiate algorithm ``name`` with only the keywords it understands.
+
+    ``eta_p`` is transparently renamed to ``eta_q`` for the two-layer minimax
+    baselines.  ``m_edges`` supplied to a two-layer method is converted to the
+    equivalent client count (``m_edges × N0``) so the participation *fraction*
+    matches across architectures, as in the paper's comparisons.
+    """
+    if name not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {name!r}; options: {sorted(ALGORITHMS)}")
+    cls = ALGORITHMS[name]
+    kwargs = dict(kwargs)
+
+    # eta alias: accept eta_p for every minimax method.
+    if "eta_p" in kwargs and _ETA_ALIASES.get(name) == "eta_q":
+        kwargs["eta_q"] = kwargs.pop("eta_p")
+
+    # participation alias: m_edges -> m_clients for flat methods.
+    if "m_edges" in kwargs and name in ("fedavg", "stochastic_afl", "drfa"):
+        m_edges = kwargs.pop("m_edges")
+        if m_edges is not None and "m_clients" not in kwargs:
+            counts = dataset.clients_per_edge()
+            n0 = counts[0] if len(set(counts)) == 1 else max(
+                1, dataset.num_clients // dataset.num_edges)
+            kwargs["m_clients"] = min(dataset.num_clients, int(m_edges) * int(n0))
+
+    allowed = _COMMON_KEYS | _EXTRA_KEYS[name]
+    filtered = {k: v for k, v in kwargs.items() if k in allowed}
+    # Cross-algorithm experiment configs legitimately carry parameters some
+    # methods do not use (eta_p for minimization methods, tau1/tau2 for
+    # single-step or two-layer ones); drop those silently, raise on typos.
+    ignorable = {"eta_p", "eta_q", "tau1", "tau2", "m_edges", "m_clients",
+                 "projection_p", "projection_q", "weight_by_data"}
+    unknown = set(kwargs) - allowed - ignorable
+    if unknown:
+        raise TypeError(f"{name} does not accept parameters {sorted(unknown)}")
+    return cls(dataset, model_factory, **filtered)

@@ -1,0 +1,100 @@
+"""Stochastic-AFL (Mohri et al., ICML '19) — two-layer agnostic federated learning.
+
+Solves the minimax problem (2) over per-client weights ``q`` with *single-step*
+local updates: each round the cloud samples ``m`` clients by ``q``, each takes one
+SGD step from the global model, and the cloud averages; it then samples a fresh
+uniform subset, collects loss estimates at the new model, and takes a projected
+ascent step on ``q``.  It is the ``τ1 = τ2 = 1`` communication-heavy extreme that
+HierMinimax generalizes (see the remark after Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FederatedAlgorithm
+from repro.data.dataset import FederatedDataset
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection, project_simplex
+from repro.sim.builder import build_flat_clients
+from repro.sim.cloud import CloudServer
+from repro.topology.sampling import sample_by_weight, sample_uniform_subset
+from repro.utils.validation import check_fraction, check_positive_float, check_positive_int
+
+__all__ = ["StochasticAFL"]
+
+
+class StochasticAFL(FederatedAlgorithm):
+    """Stochastic Agnostic Federated Learning over a flat client-cloud topology.
+
+    Parameters
+    ----------
+    eta_q:
+        Weight (ascent) learning rate.
+    m_clients:
+        Clients sampled per phase; defaults to full participation.
+    projection_q:
+        Projection onto the weight constraint set (default: probability simplex).
+    """
+
+    name = "stochastic_afl"
+    is_minimax = True
+    uses_hierarchy = False
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 eta_q: float = 1e-3, m_clients: int | None = None,
+                 projection_q: Projection | None = None,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
+                         seed=seed, projection_w=projection_w, logger=logger)
+        self.eta_q = check_positive_float(eta_q, "eta_q")
+        n = dataset.num_clients
+        self.m_clients = n if m_clients is None else check_positive_int(
+            m_clients, "m_clients")
+        check_fraction(self.m_clients, n, "m_clients")
+        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
+                                          rng_factory=self.rng_factory)
+        # The "cloud" here aggregates over clients; reuse CloudServer with N slots.
+        self.cloud = CloudServer(
+            n, weight_projection=projection_q if projection_q is not None
+            else project_simplex)
+        self.q: np.ndarray = self.cloud.initial_weights()
+
+    @property
+    def slots_per_round(self) -> int:
+        """Single-step local updates: one slot per round."""
+        return 1
+
+    def current_weights(self) -> np.ndarray:
+        """The per-client mixing weights ``q^(k)``."""
+        return self.q
+
+    def run_round(self, round_index: int) -> None:
+        """One AFL round: q-sampled single-step model update, then q ascent."""
+        d = self.w.size
+        # Model update phase.
+        sampled = sample_by_weight(self.q, self.m_clients, self.rng)
+        self.tracker.record("client_cloud", "down", count=len(np.unique(sampled)),
+                            floats=d)
+        acc = np.zeros(d)
+        for i in sampled:
+            w_end, _ = self.clients[int(i)].local_sgd(
+                self.engine, self.w, steps=1, lr=self.eta_w,
+                projection=self.projection_w)
+            acc += w_end
+            self.tracker.record("client_cloud", "up", count=1, floats=d)
+        self.tracker.sync_cycle("client_cloud")
+        self.w = acc / self.m_clients
+
+        # Weight update phase: loss estimation at the fresh global model.
+        probed = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
+        self.tracker.record("client_cloud", "down", count=len(probed), floats=d)
+        losses: dict[int, float] = {}
+        for i in probed:
+            losses[int(i)] = self.clients[int(i)].estimate_loss(self.engine, self.w)
+            self.tracker.record("client_cloud", "up", count=1, floats=1)
+        self.tracker.sync_cycle("client_cloud")
+        v = self.cloud.build_loss_vector(losses)
+        self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q)

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro fig3 --scale small --seeds 3 --plot
+    python -m repro fig4 --scale tiny
+    python -m repro table1 --horizon 100000 --alpha 0.25
+    python -m repro table2 --scale small --datasets adult synthetic
+    python -m repro tradeoff --horizon 512
+    python -m repro info
+
+Every subcommand prints the same reports the benchmark harness archives; ``--out``
+additionally saves the raw results as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HierMinimax (ICPP '24) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, *, seeds: bool = True):
+        p.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "paper"))
+        p.add_argument("--out", default=None, help="save raw results JSON here")
+        if seeds:
+            p.add_argument("--seeds", type=int, default=1,
+                           help="seed replicates to average")
+
+    p_fig3 = sub.add_parser("fig3", help="Figure 3: convex-loss comparison")
+    add_common(p_fig3)
+    p_fig3.add_argument("--plot", action="store_true",
+                        help="render ASCII accuracy curves")
+
+    p_fig4 = sub.add_parser("fig4", help="Figure 4: non-convex comparison")
+    add_common(p_fig4)
+    p_fig4.add_argument("--plot", action="store_true")
+
+    p_t1 = sub.add_parser("table1", help="Table 1: complexity/rate orders")
+    p_t1.add_argument("--horizon", type=int, default=100_000)
+    p_t1.add_argument("--alpha", type=float, default=0.25)
+
+    p_t2 = sub.add_parser("table2", help="Table 2: fairness comparison")
+    add_common(p_t2, seeds=False)
+    p_t2.add_argument("--datasets", nargs="+", default=None,
+                      help="subset of the five Table 2 datasets")
+
+    p_tr = sub.add_parser("tradeoff", help="empirical §5 alpha sweep")
+    p_tr.add_argument("--horizon", type=int, default=512)
+    p_tr.add_argument("--alphas", type=float, nargs="+",
+                      default=(0.0, 0.2, 0.4, 0.6))
+
+    sub.add_parser("info", help="version and system inventory")
+    return parser
+
+
+def _cmd_figure(args, which: str) -> int:
+    from repro.experiments import fig3, fig4, format_figure_report
+    from repro.utils.serialization import save_json
+
+    builder = fig3 if which == "fig3" else fig4
+    seeds = tuple(range(max(1, args.seeds)))
+    fig = builder(scale=args.scale, seeds=seeds)
+    print(format_figure_report(fig))
+    if getattr(args, "plot", False):
+        from repro.plotting import plot_figure_series
+
+        print()
+        print(plot_figure_series(fig, field="worst_accuracy"))
+    if args.out:
+        payload = {name: {"comm_rounds": s.comm_rounds,
+                          "average_accuracy": s.average_accuracy,
+                          "worst_accuracy": s.worst_accuracy,
+                          "rounds_to_target": s.rounds_to_target}
+                   for name, s in fig.series.items()}
+        save_json(args.out, payload)
+        print(f"\nsaved raw series to {args.out}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.theory.table1 import format_table1
+
+    print(format_table1(alpha=args.alpha, T=args.horizon))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments import TABLE2_DATASETS, format_table2, table2
+    from repro.utils.serialization import save_json
+
+    datasets = tuple(args.datasets) if args.datasets else TABLE2_DATASETS
+    unknown = set(datasets) - set(TABLE2_DATASETS)
+    if unknown:
+        print(f"unknown datasets: {sorted(unknown)}; "
+              f"options: {TABLE2_DATASETS}", file=sys.stderr)
+        return 2
+    rows = table2(scale=args.scale, datasets=datasets)
+    print(format_table2(rows))
+    if args.out:
+        save_json(args.out, [r.as_tuple() for r in rows])
+        print(f"\nsaved rows to {args.out}")
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.baselines.registry import make_algorithm
+    from repro.core.schedules import tradeoff_schedule
+    from repro.data.registry import make_federated_dataset
+    from repro.nn.models import make_model_factory
+    from repro.theory.duality import duality_gap
+
+    dataset = make_federated_dataset("emnist_digits", seed=0, scale="tiny",
+                                     num_edges=5, clients_per_edge=2)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    print(f"{'alpha':>6s} {'tau1':>5s} {'tau2':>5s} {'ec cycles':>10s} "
+          f"{'duality gap':>12s}")
+    for alpha in args.alphas:
+        sched = tradeoff_schedule(args.horizon, alpha, convex=True,
+                                  c_w=30.0, c_p=3.0)
+        algo = make_algorithm("hierminimax", dataset, factory, batch_size=8,
+                              eta_w=sched.eta_w, eta_p=sched.eta_p,
+                              tau1=sched.tau1, tau2=sched.tau2, m_edges=3,
+                              seed=0)
+        result = algo.run(rounds=sched.rounds, eval_every=sched.rounds)
+        gap = duality_gap(algo.engine, result.final_params, result.final_weights,
+                          dataset, max_iters=300)
+        print(f"{alpha:6.2f} {sched.tau1:5d} {sched.tau2:5d} "
+              f"{result.comm.edge_cloud_cycles:10d} {gap:12.4f}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — HierMinimax (ICPP '24) reproduction")
+    print(f"algorithms : {sorted(repro.ALGORITHMS)}")
+    print(f"datasets   : {list(repro.DATASET_NAMES)}")
+    print("docs       : README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig3", "fig4"):
+        return _cmd_figure(args, args.command)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "table2":
+        return _cmd_table2(args)
+    if args.command == "tradeoff":
+        return _cmd_tradeoff(args)
+    return _cmd_info()

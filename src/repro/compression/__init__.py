@@ -1,0 +1,7 @@
+"""Upload compression: QSGD quantization and top-k sparsification extensions."""
+
+from repro.compression.base import Compressor, IdentityCompressor
+from repro.compression.quantization import QSGDQuantizer
+from repro.compression.sparsification import TopKSparsifier
+
+__all__ = ["Compressor", "IdentityCompressor", "QSGDQuantizer", "TopKSparsifier"]

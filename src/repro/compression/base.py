@@ -1,0 +1,49 @@
+"""Upload-compression interface for communication-efficient variants.
+
+The paper's related work extends HierFAVG with model quantization
+(Hier-Local-QSGD, ref. [22]); this package provides the same capability for
+HierMinimax as an optional extension.  A :class:`Compressor` maps a model
+*update* (the difference between an uploaded model and the reference model the
+receiver already holds) to a compressed-then-decompressed surrogate, and reports
+the payload size of the encoded form in float64-equivalents so the
+communication tracker stays meaningful.
+
+Compression is applied to deltas, not raw parameters: deltas shrink as training
+converges, which is what makes aggressive quantization viable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Compressor", "IdentityCompressor"]
+
+
+@runtime_checkable
+class Compressor(Protocol):
+    """Protocol implemented by all upload compressors."""
+
+    def compress(self, delta: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the receiver-side reconstruction of ``delta``."""
+        ...
+
+    def payload_floats(self, dim: int) -> float:
+        """Encoded payload size for a ``dim``-vector, in float64 equivalents."""
+        ...
+
+
+class IdentityCompressor:
+    """No-op compressor (full-precision uploads)."""
+
+    def compress(self, delta: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return ``delta`` unchanged."""
+        return delta
+
+    def payload_floats(self, dim: int) -> float:
+        """A full float64 per coordinate."""
+        return float(dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "IdentityCompressor()"

@@ -1,0 +1,57 @@
+"""QSGD-style stochastic quantization (Alistarh et al.; Hier-Local-QSGD's choice).
+
+``QSGDQuantizer(levels=s)`` maps a vector ``v`` to
+
+    q(v)_i = ||v||₂ · sign(v_i) · ζ_i / s,
+
+where ``ζ_i ∈ {⌊s·|v_i|/||v||⌋, ⌈s·|v_i|/||v||⌉}`` is randomized so that
+``E[q(v)] = v`` (unbiasedness — the property the convergence analyses of
+quantized FL rest on).  The encoded form is one float norm plus
+``log2(2s+1)`` bits per coordinate; :meth:`payload_floats` reports that size in
+float64 equivalents.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["QSGDQuantizer"]
+
+
+class QSGDQuantizer:
+    """Unbiased stochastic quantizer with ``levels`` quantization levels.
+
+    Parameters
+    ----------
+    levels:
+        Number of positive quantization levels ``s`` (>= 1).  ``s = 1`` is
+        ternary sign quantization; larger ``s`` is finer.
+    """
+
+    def __init__(self, levels: int = 16) -> None:
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = int(levels)
+
+    def compress(self, delta: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Quantize-dequantize ``delta`` (unbiased; preserves the zero vector)."""
+        delta = np.asarray(delta, dtype=np.float64)
+        norm = float(np.linalg.norm(delta))
+        if norm == 0.0:
+            return np.zeros_like(delta)
+        s = self.levels
+        scaled = np.abs(delta) * (s / norm)          # in [0, s]
+        floor = np.floor(scaled)
+        prob_up = scaled - floor                      # P(round up)
+        zeta = floor + (rng.random(delta.shape) < prob_up)
+        return np.sign(delta) * zeta * (norm / s)
+
+    def payload_floats(self, dim: int) -> float:
+        """One norm float + ``ceil(log2(2s+1))`` bits per coordinate, in floats."""
+        bits_per_coord = math.ceil(math.log2(2 * self.levels + 1))
+        return 1.0 + dim * bits_per_coord / 64.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QSGDQuantizer(levels={self.levels})"

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the HierMinimax algorithm and its schedules."""
+
+from repro.core.base import FederatedAlgorithm, RunResult
+from repro.core.hierminimax import HierMinimax
+from repro.core.schedules import (
+    TradeoffSchedule,
+    communication_complexity_order,
+    convergence_rate_order,
+    split_tau_product,
+    tradeoff_schedule,
+)
+
+__all__ = [
+    "FederatedAlgorithm",
+    "RunResult",
+    "HierMinimax",
+    "TradeoffSchedule",
+    "communication_complexity_order",
+    "convergence_rate_order",
+    "split_tau_product",
+    "tradeoff_schedule",
+]

@@ -1,0 +1,175 @@
+"""Shared interface of all federated optimization algorithms in this library.
+
+Every algorithm — HierMinimax and the four baselines — subclasses
+:class:`FederatedAlgorithm`, which owns the common machinery: the actor graph, the
+shared compute engine, communication tracking, periodic evaluation, and history
+recording.  Subclasses implement :meth:`run_round` (one cloud training round) and
+declare their per-round slot cost via :attr:`slots_per_round`.
+
+The identical wiring guarantees comparisons are *paired*: for a fixed
+(dataset, seed), all algorithms see the same initial model and the same per-client
+minibatch streams.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+from repro.metrics.evaluation import evaluate_record
+from repro.metrics.history import HistoryPoint, TrainingHistory
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection
+from repro.topology.comm import CommSnapshot, CommunicationTracker
+from repro.utils.logging import NullLogger
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = ["FederatedAlgorithm", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one training run.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm name.
+    history:
+        Evaluation time series (see :class:`~repro.metrics.history.TrainingHistory`).
+    final_params:
+        The final global model ``w``.
+    final_weights:
+        The final mixing weights (``p`` over edges, or ``q`` over clients for the
+        two-layer minimax baselines; ``None`` for minimization methods).
+    comm:
+        Total communication performed.
+    rounds_run / slots_run:
+        Cloud rounds completed and cumulative training time slots ``T``.
+    """
+
+    algorithm: str
+    history: TrainingHistory
+    final_params: np.ndarray
+    final_weights: np.ndarray | None
+    comm: CommSnapshot
+    rounds_run: int
+    slots_run: int
+
+
+class FederatedAlgorithm(ABC):
+    """Base class wiring datasets, actors, evaluation, and accounting together.
+
+    Parameters
+    ----------
+    dataset:
+        The federated data layout.
+    model_factory:
+        Builds the model architecture; called once for the shared engine.
+    batch_size:
+        Client minibatch size.
+    eta_w:
+        Model learning rate ``η_w``.
+    seed:
+        Root seed; expands into init/sampling/client streams (see
+        :class:`~repro.utils.rng.RngFactory`).
+    projection_w:
+        Projection onto the model domain ``W`` (identity = unconstrained, as in the
+        paper's experiments).
+    logger:
+        Optional structured-event callback (:class:`~repro.utils.logging.RunLogger`).
+    """
+
+    #: Human-readable algorithm name (subclasses override).
+    name: str = "base"
+    #: Whether the algorithm optimizes mixing weights (solves problem (2)/(3)).
+    is_minimax: bool = False
+    #: Whether the algorithm uses the client-edge-cloud hierarchy.
+    uses_hierarchy: bool = False
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        self.dataset = dataset
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.eta_w = check_positive_float(eta_w, "eta_w")
+        self.projection_w = projection_w
+        self.rng_factory = RngFactory(seed)
+        self.rng = self.rng_factory.stream("cloud")
+        self.engine = model_factory(self.rng_factory.stream("init"))
+        self.tracker = CommunicationTracker()
+        self.logger = logger if logger is not None else NullLogger()
+        self.w: np.ndarray = self.engine.get_params()
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------ hooks
+    @property
+    @abstractmethod
+    def slots_per_round(self) -> int:
+        """Training time slots consumed by one cloud round (``τ1·τ2`` or ``τ1``)."""
+
+    @abstractmethod
+    def run_round(self, round_index: int) -> None:
+        """Execute one cloud training round, updating ``self.w`` (and weights)."""
+
+    def current_weights(self) -> np.ndarray | None:
+        """The current mixing-weight vector, if the algorithm has one."""
+        return None
+
+    # ------------------------------------------------------------------ driver
+    def run(self, rounds: int, *, eval_every: int = 1,
+            eval_at_start: bool = True) -> RunResult:
+        """Train for ``rounds`` cloud rounds with periodic evaluation.
+
+        Parameters
+        ----------
+        eval_every:
+            Evaluate after every ``eval_every``-th round (the final round is always
+            evaluated).
+        eval_at_start:
+            Also record the untrained model as round ``-1``.
+        """
+        rounds = check_positive_int(rounds, "rounds")
+        eval_every = check_positive_int(eval_every, "eval_every")
+        history = TrainingHistory(self.name)
+        if eval_at_start:
+            history.append(self._evaluation_point(-1))
+        for k in range(self.rounds_completed, self.rounds_completed + rounds):
+            self.run_round(k)
+            if (k + 1) % eval_every == 0 or k == self.rounds_completed + rounds - 1:
+                point = self._evaluation_point(k)
+                history.append(point)
+                self.logger({
+                    "event": "round", "algorithm": self.name, "round": k,
+                    "avg_acc": point.record.average_accuracy,
+                    "worst_acc": point.record.worst_accuracy,
+                    "comm": point.comm.edge_cloud_cycles,
+                })
+        self.rounds_completed += rounds
+        weights = self.current_weights()
+        return RunResult(
+            algorithm=self.name,
+            history=history,
+            final_params=self.w.copy(),
+            final_weights=None if weights is None else weights.copy(),
+            comm=self.tracker.snapshot(),
+            rounds_run=self.rounds_completed,
+            slots_run=self.rounds_completed * self.slots_per_round,
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _evaluation_point(self, round_index: int) -> HistoryPoint:
+        record = evaluate_record(self.engine, self.w, self.dataset)
+        weights = self.current_weights()
+        return HistoryPoint(
+            round_index=round_index,
+            slots=(round_index + 1) * self.slots_per_round,
+            comm=self.tracker.snapshot(),
+            record=record,
+            weights=None if weights is None else weights.copy(),
+        )

@@ -1,0 +1,179 @@
+"""HierMinimax — Algorithm 1 of the paper.
+
+Hierarchical distributed minimax optimization over the client-edge-cloud network:
+
+* **Phase 1 (model update).**  The cloud samples ``m_E`` edge servers i.i.d. from
+  the current edge weights ``p^(k)`` and a checkpoint index ``(c1, c2)`` uniformly
+  from ``[τ1]×[τ2]``, then broadcasts ``w^(k)`` and ``(c1, c2)``.  Each sampled edge
+  runs ModelUpdate — ``τ2`` client-edge aggregation blocks of ``τ1`` local SGD steps
+  (Eq. (4)) — and simultaneously aggregates the block-``c2``/step-``c1`` checkpoint
+  snapshot.  The cloud averages the returned models (Eq. (5)) and checkpoint models
+  (Eq. (6)).
+* **Phase 2 (weight update).**  The cloud samples a fresh uniform subset of ``m_E``
+  edges, broadcasts the checkpoint model, collects each sampled edge's minibatch
+  loss estimate, builds the unbiased gradient estimate ``v`` (``v_e = N_E/m_E ·
+  f_e`` on sampled coordinates), and takes the projected ascent step
+  ``p^(k+1) = Π_P(p^(k) + η_p τ1 τ2 v)`` (Eq. (7)).
+
+The checkpoint mechanism is what lets the weight vector be updated once per
+``τ1·τ2`` model-update slots while keeping the ascent direction unbiased for the
+*average* iterate of the round (Appendix A) — the asymmetric-synchronization device
+that the convergence analysis of §5 hinges on.
+
+Setting ``τ1 = τ2 = 1`` with full participation recovers Stochastic-AFL's update
+pattern; ``τ2 = 1`` recovers DRFA's (Remarks after Theorems 1–2); both reductions
+are verified by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FederatedAlgorithm
+from repro.data.dataset import FederatedDataset
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection, project_simplex
+from repro.sim.builder import build_edge_servers
+from repro.sim.cloud import CloudServer
+from repro.topology.sampling import (
+    sample_by_weight,
+    sample_checkpoint_slot,
+    sample_uniform_subset,
+)
+from repro.utils.validation import check_fraction, check_positive_float, check_positive_int
+
+__all__ = ["HierMinimax"]
+
+
+class HierMinimax(FederatedAlgorithm):
+    """The paper's algorithm: hierarchical distributed minimax optimization.
+
+    Parameters
+    ----------
+    dataset, model_factory, batch_size, eta_w, seed, projection_w, logger:
+        See :class:`~repro.core.base.FederatedAlgorithm`.
+    eta_p:
+        Weight learning rate ``η_p`` of Eq. (7).
+    tau1:
+        Local SGD steps per client-edge aggregation block.
+    tau2:
+        Client-edge aggregation blocks per cloud round.
+    m_edges:
+        Edge servers sampled per phase (``m_E``); defaults to full participation.
+    projection_p:
+        Projection onto the weight constraint set ``P``; defaults to the
+        probability simplex ``Δ_{N_E-1}``.  Pass e.g. a
+        :func:`~repro.ops.projections.project_capped_simplex` closure for the
+        paper's general convex-constraint variant.
+    use_checkpoint:
+        Ablation switch.  ``True`` (the paper's algorithm) estimates Phase-2
+        losses at the uniformly-sampled checkpoint model of Eq. (6) — the device
+        that keeps the ascent direction unbiased for the round's iterates.
+        ``False`` estimates them at the round-final global model ``w^(k+1)``
+        instead (a biased but cheaper variant), exercised by
+        ``benchmarks/bench_ablation_checkpoint.py``.
+    compressor:
+        Optional :class:`~repro.compression.Compressor` applied to all model
+        uploads (client→edge and edge→cloud) as deltas against the receiver's
+        reference model — the quantized extension in the spirit of
+        Hier-Local-QSGD [22].  ``None`` (default) is the paper's full-precision
+        algorithm.
+    """
+
+    name = "hierminimax"
+    is_minimax = True
+    uses_hierarchy = True
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 eta_p: float = 1e-3, tau1: int = 2, tau2: int = 2,
+                 m_edges: int | None = None,
+                 projection_p: Projection | None = None,
+                 use_checkpoint: bool = True,
+                 compressor=None,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
+                         seed=seed, projection_w=projection_w, logger=logger)
+        self.eta_p = check_positive_float(eta_p, "eta_p")
+        self.tau1 = check_positive_int(tau1, "tau1")
+        self.tau2 = check_positive_int(tau2, "tau2")
+        n_e = dataset.num_edges
+        self.m_edges = n_e if m_edges is None else check_positive_int(m_edges, "m_edges")
+        check_fraction(self.m_edges, n_e, "m_edges")
+        self.edges = build_edge_servers(dataset, batch_size=self.batch_size,
+                                        rng_factory=self.rng_factory)
+        self.cloud = CloudServer(
+            n_e, weight_projection=projection_p if projection_p is not None
+            else project_simplex)
+        self.p: np.ndarray = self.cloud.initial_weights()
+        self.use_checkpoint = bool(use_checkpoint)
+        self.compressor = compressor
+        self._comp_rng = self.rng_factory.stream("compression")
+        self._dim = self.w.size
+
+    @property
+    def slots_per_round(self) -> int:
+        """``τ1·τ2`` local steps per cloud round."""
+        return self.tau1 * self.tau2
+
+    def current_weights(self) -> np.ndarray:
+        """The current edge weight vector ``p^(k)``."""
+        return self.p
+
+    # ------------------------------------------------------------------ round
+    def run_round(self, round_index: int) -> None:
+        """One training round: Phase 1 (model + checkpoint) then Phase 2 (weights)."""
+        d = self._dim
+        # ---- Phase 1: sample edges by p, sample the checkpoint slot.
+        sampled = sample_by_weight(self.p, self.m_edges, self.rng)
+        c1, c2 = sample_checkpoint_slot(self.tau1, self.tau2, self.rng)
+        checkpoint = (c1, c2) if self.use_checkpoint else None
+        # Cloud broadcasts w^(k) and (c1, c2) to the sampled edges.
+        self.tracker.record("edge_cloud", "down", count=len(np.unique(sampled)),
+                            floats=d + 2)
+        acc_w = np.zeros(d)
+        acc_ckpt = np.zeros(d) if self.use_checkpoint else None
+        unit_floats = (float(d) if self.compressor is None
+                       else self.compressor.payload_floats(d))
+        upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
+        for e in sampled:
+            w_e, w_e_ckpt = self.edges[int(e)].model_update(
+                self.engine, self.w, tau1=self.tau1, tau2=self.tau2, lr=self.eta_w,
+                projection=self.projection_w, checkpoint=checkpoint,
+                tracker=self.tracker, compressor=self.compressor,
+                comp_rng=self._comp_rng)
+            if self.compressor is not None:
+                # Edge transmits compressed deltas against the broadcast w^(k).
+                w_e = self.w + self.compressor.compress(w_e - self.w,
+                                                        self._comp_rng)
+                if w_e_ckpt is not None:
+                    w_e_ckpt = self.w + self.compressor.compress(
+                        w_e_ckpt - self.w, self._comp_rng)
+            acc_w += w_e
+            if acc_ckpt is not None:
+                acc_ckpt += w_e_ckpt
+            # Edge uploads its round-final model (and its checkpoint model).
+            self.tracker.record("edge_cloud", "up", count=1, floats=upload_floats)
+        self.tracker.sync_cycle("edge_cloud")
+        acc_w /= self.m_edges         # Eq. (5): global model
+        self.w = acc_w
+        if acc_ckpt is not None:
+            acc_ckpt /= self.m_edges  # Eq. (6): checkpoint model
+            w_checkpoint = acc_ckpt
+        else:
+            # Ablation variant: probe losses at the round-final global model.
+            w_checkpoint = self.w
+
+        # ---- Phase 2: uniform re-sample, loss estimation at the checkpoint model.
+        probed = sample_uniform_subset(self.dataset.num_edges, self.m_edges, self.rng)
+        self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
+        losses: dict[int, float] = {}
+        for e in probed:
+            losses[int(e)] = self.edges[int(e)].estimate_loss(
+                self.engine, w_checkpoint, tracker=self.tracker)
+            self.tracker.record("edge_cloud", "up", count=1, floats=1)
+        self.tracker.sync_cycle("edge_cloud")
+        v = self.cloud.build_loss_vector(losses)
+        self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                           tau1=self.tau1, tau2=self.tau2)

@@ -1,0 +1,140 @@
+"""The communication-convergence tradeoff schedules of §5.
+
+Theorems 1 and 2 show that choosing ``τ1·τ2 ∈ Θ(T^α)`` for a tunable ``α ∈ [0, 1)``
+yields ``Θ(T^{1-α})`` edge-cloud communication complexity with convergence rates
+
+* convex:     ``O(1 / T^{(1-α)/2})`` with ``η_p = Θ(1/T^{(1+α)/2})`` and
+  ``η_w = Θ(1/T^{1-2α})`` for ``α ∈ (0, ¼)``, else ``η_w = Θ(1/T^{1/2})``;
+* non-convex: ``O(1 / T^{(1-α)/4})`` with ``η_p = Θ(1/T^{(1+3α)/4})`` and
+  ``η_w = Θ(1/T^{(3+α)/4})``.
+
+:func:`tradeoff_schedule` materializes a concrete configuration
+(``τ1``, ``τ2``, ``η_w``, ``η_p``, rounds ``K``) from ``(T, α)``, and the
+``*_rate``/``*_complexity`` helpers expose the asymptotic orders used by the
+Table 1 generator in :mod:`repro.theory.table1`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "TradeoffSchedule",
+    "tradeoff_schedule",
+    "communication_complexity_order",
+    "convergence_rate_order",
+    "split_tau_product",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffSchedule:
+    """A concrete operating point on the §5 tradeoff curve.
+
+    Attributes
+    ----------
+    alpha:
+        The tradeoff exponent in [0, 1).
+    T:
+        Total training slots.
+    tau1, tau2:
+        The local/aggregation period split with ``τ1·τ2 ≈ T^α``.
+    rounds:
+        Cloud rounds ``K = T / (τ1·τ2)`` (rounded up, >= 1).
+    eta_w, eta_p:
+        Learning rates from the theorem remarks (up to the constants ``c_w``,
+        ``c_p`` supplied at construction).
+    convex:
+        Which regime the rates follow.
+    """
+
+    alpha: float
+    T: int
+    tau1: int
+    tau2: int
+    rounds: int
+    eta_w: float
+    eta_p: float
+    convex: bool
+
+    @property
+    def edge_cloud_rounds(self) -> int:
+        """Order-``T^{1-α}`` edge-cloud communications (2 cycles per cloud round)."""
+        return 2 * self.rounds
+
+    @property
+    def predicted_rate(self) -> float:
+        """The theoretical convergence-rate order evaluated at ``T``."""
+        return convergence_rate_order(self.T, self.alpha, convex=self.convex)
+
+
+def split_tau_product(product: int) -> tuple[int, int]:
+    """Split ``τ1·τ2 = product`` into near-balanced factors ``(τ1, τ2)``.
+
+    Uses the divisor of ``product`` closest to its square root as ``τ2``; exact
+    factorization keeps ``K·τ1·τ2 = T`` bookkeeping clean.
+    """
+    if product < 1:
+        raise ValueError(f"tau product must be >= 1, got {product}")
+    best = 1
+    for cand in range(1, int(math.isqrt(product)) + 1):
+        if product % cand == 0:
+            best = cand
+    return product // best, best
+
+
+def tradeoff_schedule(T: int, alpha: float, *, convex: bool = True,
+                      c_w: float = 1.0, c_p: float = 1.0) -> TradeoffSchedule:
+    """Build the §5 operating point for horizon ``T`` and exponent ``α``.
+
+    Parameters
+    ----------
+    T:
+        Total training slots (must be >= 1).
+    alpha:
+        Tradeoff exponent in [0, 1).
+    convex:
+        Select the Theorem 1 (convex) or Theorem 2 (non-convex) rates.
+    c_w, c_p:
+        Learning-rate constants in front of the theoretical orders.
+    """
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+    if c_w <= 0 or c_p <= 0:
+        raise ValueError("learning-rate constants must be positive")
+    product = max(1, int(round(T ** alpha)))
+    tau1, tau2 = split_tau_product(product)
+    rounds = max(1, math.ceil(T / (tau1 * tau2)))
+    if convex:
+        eta_p = c_p / T ** ((1.0 + alpha) / 2.0)
+        if 0.0 < alpha < 0.25:
+            eta_w = c_w / T ** (1.0 - 2.0 * alpha)
+        else:
+            eta_w = c_w / T ** 0.5
+    else:
+        eta_p = c_p / T ** ((1.0 + 3.0 * alpha) / 4.0)
+        eta_w = c_w / T ** ((3.0 + alpha) / 4.0)
+    return TradeoffSchedule(alpha=alpha, T=T, tau1=tau1, tau2=tau2, rounds=rounds,
+                            eta_w=eta_w, eta_p=eta_p, convex=convex)
+
+
+def communication_complexity_order(T: int, alpha: float) -> float:
+    """The ``Θ(T^{1-α})`` edge-cloud communication complexity, evaluated at ``T``."""
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+    return T ** (1.0 - alpha)
+
+
+def convergence_rate_order(T: int, alpha: float, *, convex: bool) -> float:
+    """The Theorem 1/2 convergence-rate order ``O(1/T^{(1-α)/2 or /4})`` at ``T``."""
+    if T < 1:
+        raise ValueError(f"T must be >= 1, got {T}")
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+    exponent = (1.0 - alpha) / (2.0 if convex else 4.0)
+    return 1.0 / T ** exponent

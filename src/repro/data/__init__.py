@@ -1,0 +1,54 @@
+"""Federated datasets: containers, synthetic generators, and partitioners."""
+
+from repro.data.adult import AdultLikeGenerator, AdultLikeSpec, make_adult_groups
+from repro.data.batching import MinibatchSampler
+from repro.data.dataset import Dataset, EdgeAreaData, FederatedDataset, concat_datasets
+from repro.data.partition import (
+    federated_from_group_pools,
+    partition_dirichlet,
+    partition_iid,
+    partition_one_class_per_edge,
+    partition_similarity,
+    split_evenly,
+    stratified_test_subset,
+)
+from repro.data.registry import DATASET_NAMES, SCALES, ScaleSpec, make_federated_dataset
+from repro.data.synthetic_fl import SyntheticFLSpec, generate_synthetic_fl
+from repro.data.synthetic_images import (
+    EMNIST_DIGITS_LIKE,
+    FASHION_MNIST_LIKE,
+    MNIST_LIKE,
+    ImageGeneratorSpec,
+    SyntheticImageGenerator,
+    make_image_dataset,
+)
+
+__all__ = [
+    "AdultLikeGenerator",
+    "AdultLikeSpec",
+    "make_adult_groups",
+    "MinibatchSampler",
+    "Dataset",
+    "EdgeAreaData",
+    "FederatedDataset",
+    "concat_datasets",
+    "federated_from_group_pools",
+    "partition_dirichlet",
+    "partition_iid",
+    "partition_one_class_per_edge",
+    "partition_similarity",
+    "split_evenly",
+    "stratified_test_subset",
+    "DATASET_NAMES",
+    "SCALES",
+    "ScaleSpec",
+    "make_federated_dataset",
+    "SyntheticFLSpec",
+    "generate_synthetic_fl",
+    "EMNIST_DIGITS_LIKE",
+    "FASHION_MNIST_LIKE",
+    "MNIST_LIKE",
+    "ImageGeneratorSpec",
+    "SyntheticImageGenerator",
+    "make_image_dataset",
+]

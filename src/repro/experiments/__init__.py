@@ -1,0 +1,50 @@
+"""Experiment harness: presets, paired runner, and figure/table builders."""
+
+from repro.experiments.figures import (
+    FigureData,
+    FigureSeries,
+    build_figure,
+    fig3,
+    fig4,
+    format_figure_report,
+)
+from repro.experiments.presets import (
+    FIGURE_ALGORITHMS,
+    TABLE2_DATASETS,
+    ExperimentPreset,
+    fig3_preset,
+    fig4_preset,
+    table2_preset,
+)
+from repro.experiments.runner import (
+    ExperimentOutput,
+    build_preset_dataset,
+    build_preset_model,
+    monotone_envelope,
+    run_experiment,
+)
+from repro.experiments.tables import Table2Row, format_table2, table2, table2_row
+
+__all__ = [
+    "FigureData",
+    "FigureSeries",
+    "build_figure",
+    "fig3",
+    "fig4",
+    "format_figure_report",
+    "FIGURE_ALGORITHMS",
+    "TABLE2_DATASETS",
+    "ExperimentPreset",
+    "fig3_preset",
+    "fig4_preset",
+    "table2_preset",
+    "ExperimentOutput",
+    "build_preset_dataset",
+    "build_preset_model",
+    "monotone_envelope",
+    "run_experiment",
+    "Table2Row",
+    "format_table2",
+    "table2",
+    "table2_row",
+]

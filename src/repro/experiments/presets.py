@@ -1,0 +1,205 @@
+"""Experiment presets mirroring §6 of the paper, at three size scales.
+
+The ``paper`` scale keeps the published hyperparameters (topology 10×3, τ1 = τ2 = 2,
+η_w = 10⁻³, batch sizes 1/8, tens of thousands of rounds).  The ``small`` and
+``tiny`` scales shrink images, pools, and round counts — and retune learning rates
+accordingly — so every figure and table regenerates on a laptop in seconds to
+minutes while preserving the experiments' structure (same topology ratios, same
+heterogeneity, same algorithm roster).
+
+Every preset fixes a *slot budget*: all five algorithms receive the same number of
+training time slots (local SGD steps per participating client), so communication
+costs are compared at equal optimization work, exactly as in Figs. 3–4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "ExperimentPreset",
+    "fig3_preset",
+    "fig4_preset",
+    "table2_preset",
+    "TABLE2_DATASETS",
+    "FIGURE_ALGORITHMS",
+]
+
+#: Algorithm roster of Figs. 3–4, in the paper's legend order.
+FIGURE_ALGORITHMS = ("fedavg", "stochastic_afl", "drfa", "hierfavg", "hierminimax")
+
+#: Table 2 datasets, in row order.
+TABLE2_DATASETS = ("emnist_digits", "fashion_mnist", "mnist", "adult", "synthetic")
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Complete configuration of one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (``fig3``, ``fig4``, ``table2:<dataset>``).
+    dataset / scale / partition / similarity / num_edges / clients_per_edge:
+        Federated-data layout (see :func:`repro.data.make_federated_dataset`).
+    model / hidden:
+        ``"logistic"`` or ``"mlp"`` and the MLP hidden widths.
+    m_edges, tau1, tau2:
+        Participation and period parameters of the hierarchical methods; two-layer
+        methods receive the equivalent client participation via the registry.
+    batch_size, eta_w, eta_p:
+        SGD hyperparameters (η_p doubles as the baselines' η_q).
+    slots:
+        Training-slot budget shared by every algorithm.
+    eval_points:
+        Number of evaluation instants along each run.
+    worst_target:
+        The "reach X% worst accuracy" level for the rounds-to-target headline.
+    """
+
+    name: str
+    dataset: str
+    scale: str
+    partition: str | None
+    similarity: float
+    num_edges: int | None
+    clients_per_edge: int | None
+    model: str
+    hidden: tuple[int, ...]
+    m_edges: int
+    tau1: int
+    tau2: int
+    batch_size: int
+    eta_w: float
+    eta_p: float
+    slots: int
+    eval_points: int
+    worst_target: float
+    algorithms: tuple[str, ...] = field(default=FIGURE_ALGORITHMS)
+
+    def rounds_for(self, slots_per_round: int) -> int:
+        """Cloud rounds giving each algorithm the same ``slots`` budget."""
+        if slots_per_round < 1:
+            raise ValueError(f"slots_per_round must be >= 1, got {slots_per_round}")
+        return max(1, self.slots // slots_per_round)
+
+    def eval_every_for(self, slots_per_round: int) -> int:
+        """Evaluation period (in rounds) yielding ~``eval_points`` instants."""
+        rounds = self.rounds_for(slots_per_round)
+        return max(1, rounds // self.eval_points)
+
+    def with_overrides(self, **kwargs) -> "ExperimentPreset":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+_SCALES = ("paper", "small", "tiny")
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; options: {_SCALES}")
+
+
+def fig3_preset(scale: str = "small") -> ExperimentPreset:
+    """Fig. 3: convex logistic regression on EMNIST-Digits, one class per edge.
+
+    Paper parameters: N_E = 10, N0 = 3, m_E = 5, τ1 = τ2 = 2, η_w = η_p = 10⁻³,
+    batch 1, ~20000 communication rounds.  The reduced scales raise η_w and the
+    batch size to compress the horizon.
+    """
+    _check_scale(scale)
+    base = ExperimentPreset(
+        name="fig3", dataset="emnist_digits", scale=scale, partition="one_class",
+        similarity=0.5, num_edges=10, clients_per_edge=3, model="logistic",
+        hidden=(), m_edges=5, tau1=2, tau2=2,
+        batch_size=1, eta_w=1e-3, eta_p=1e-3, slots=40000, eval_points=40,
+        worst_target=0.80)
+    if scale == "paper":
+        return base
+    if scale == "small":
+        return base.with_overrides(batch_size=8, eta_w=0.03, eta_p=2e-3,
+                                   slots=8000, eval_points=40, worst_target=0.62)
+    return base.with_overrides(batch_size=8, eta_w=0.08, eta_p=4e-3,
+                               slots=1200, eval_points=12, worst_target=0.55)
+
+
+def fig4_preset(scale: str = "small") -> ExperimentPreset:
+    """Fig. 4: non-convex MLP(300, 100) on Fashion-MNIST, 50% similarity.
+
+    Paper parameters: N_E = 10, N0 = 3, m_E = 2, τ1 = τ2 = 2, η_w = 10⁻³,
+    η_p = 10⁻⁴, batch 8.  Reduced scales shrink the hidden widths with the input.
+    """
+    _check_scale(scale)
+    base = ExperimentPreset(
+        name="fig4", dataset="fashion_mnist", scale=scale, partition="similarity",
+        similarity=0.5, num_edges=10, clients_per_edge=3, model="mlp",
+        hidden=(300, 100), m_edges=2, tau1=2, tau2=2,
+        batch_size=8, eta_w=1e-3, eta_p=1e-4, slots=100000, eval_points=40,
+        worst_target=0.50)
+    if scale == "paper":
+        return base
+    if scale == "small":
+        return base.with_overrides(hidden=(64, 32), eta_w=0.03, eta_p=2e-3,
+                                   slots=16000, eval_points=40, worst_target=0.51)
+    return base.with_overrides(hidden=(32,), eta_w=0.08, eta_p=4e-3,
+                               slots=1200, eval_points=12, worst_target=0.45)
+
+
+def table2_preset(dataset: str, scale: str = "small") -> ExperimentPreset:
+    """Table 2 rows: HierFAVG vs HierMinimax, logistic regression, per dataset.
+
+    Image rows use the Fig. 3 topology (10×3, one class per edge, m_E = 5);
+    Adult uses 2 edge areas (Doctorate / non-Doctorate) with η_p = 10⁻⁴;
+    Synthetic uses 100 edge areas (20 at ``small``, 8 at ``tiny``) with
+    η_w = η_p = 10⁻⁴ in the paper and retuned reduced-scale rates.
+    """
+    _check_scale(scale)
+    if dataset not in TABLE2_DATASETS:
+        raise ValueError(f"unknown Table 2 dataset {dataset!r}; "
+                         f"options: {TABLE2_DATASETS}")
+    algorithms = ("hierfavg", "hierminimax")
+    if dataset in ("emnist_digits", "fashion_mnist", "mnist"):
+        preset = ExperimentPreset(
+            name=f"table2:{dataset}", dataset=dataset, scale=scale,
+            partition="one_class", similarity=0.5, num_edges=10,
+            clients_per_edge=3, model="logistic", hidden=(), m_edges=5,
+            tau1=2, tau2=2, batch_size=1, eta_w=1e-3, eta_p=1e-3,
+            slots=40000, eval_points=20, worst_target=0.0, algorithms=algorithms)
+        if scale == "small":
+            preset = preset.with_overrides(batch_size=8, eta_w=0.05, eta_p=2e-3,
+                                           slots=6000, eval_points=15)
+        elif scale == "tiny":
+            preset = preset.with_overrides(batch_size=8, eta_w=0.08, eta_p=4e-3,
+                                           slots=1200, eval_points=8)
+        return preset
+    if dataset == "adult":
+        preset = ExperimentPreset(
+            name="table2:adult", dataset="adult", scale=scale, partition=None,
+            similarity=0.5, num_edges=None, clients_per_edge=3, model="logistic",
+            hidden=(), m_edges=2, tau1=2, tau2=2, batch_size=8, eta_w=1e-3,
+            eta_p=1e-4, slots=20000, eval_points=15, worst_target=0.0,
+            algorithms=algorithms)
+        if scale == "small":
+            preset = preset.with_overrides(eta_w=0.05, eta_p=2e-3, slots=4000,
+                                           eval_points=10)
+        elif scale == "tiny":
+            preset = preset.with_overrides(eta_w=0.08, eta_p=4e-3, slots=800,
+                                           eval_points=6)
+        return preset
+    # synthetic
+    num_edges = {"paper": 100, "small": 20, "tiny": 8}[scale]
+    m_edges = {"paper": 20, "small": 5, "tiny": 3}[scale]
+    preset = ExperimentPreset(
+        name="table2:synthetic", dataset="synthetic", scale=scale, partition=None,
+        similarity=0.5, num_edges=num_edges, clients_per_edge=1, model="logistic",
+        hidden=(), m_edges=m_edges, tau1=2, tau2=2, batch_size=8, eta_w=1e-4,
+        eta_p=1e-4, slots=40000, eval_points=15, worst_target=0.0,
+        algorithms=algorithms)
+    if scale == "small":
+        preset = preset.with_overrides(eta_w=0.02, eta_p=1e-3, slots=6000,
+                                       eval_points=10)
+    elif scale == "tiny":
+        preset = preset.with_overrides(eta_w=0.04, eta_p=2e-3, slots=1200,
+                                       eval_points=6)
+    return preset

@@ -1,0 +1,95 @@
+"""Experiment runner: preset → datasets → algorithms → paired results.
+
+:func:`run_experiment` executes every algorithm of a preset on the *same*
+federated dataset with the same slot budget and returns their
+:class:`~repro.core.base.RunResult` objects keyed by algorithm name.  The runner is
+the single choke point used by figures, tables, ablations, examples, and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.baselines.registry import make_algorithm
+from repro.core.base import RunResult
+from repro.data.dataset import FederatedDataset
+from repro.data.registry import make_federated_dataset
+from repro.experiments.presets import ExperimentPreset
+from repro.nn.models import ModelFactory, make_model_factory
+from repro.utils.timers import TimerBank
+
+__all__ = ["ExperimentOutput", "build_preset_dataset", "build_preset_model", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """All results of one preset execution."""
+
+    preset: ExperimentPreset
+    results: Mapping[str, RunResult]
+    timings: Mapping[str, float]
+
+    def histories(self) -> dict[str, "object"]:
+        """Algorithm → :class:`~repro.metrics.history.TrainingHistory`."""
+        return {name: res.history for name, res in self.results.items()}
+
+
+def build_preset_dataset(preset: ExperimentPreset, *, seed: int = 0,
+                         ) -> FederatedDataset:
+    """Materialize the preset's federated dataset."""
+    return make_federated_dataset(
+        preset.dataset, seed=seed, scale=preset.scale,
+        num_edges=preset.num_edges, clients_per_edge=preset.clients_per_edge,
+        partition=preset.partition, similarity=preset.similarity)
+
+
+def build_preset_model(preset: ExperimentPreset,
+                       dataset: FederatedDataset) -> ModelFactory:
+    """Model factory matching the preset (logistic or MLP)."""
+    return make_model_factory(preset.model, dataset.input_dim, dataset.num_classes,
+                              hidden=preset.hidden)
+
+
+def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
+                   algorithms: tuple[str, ...] | None = None,
+                   logger=None) -> ExperimentOutput:
+    """Run every algorithm of ``preset`` on a shared dataset; return paired results.
+
+    Parameters
+    ----------
+    seed:
+        Root seed used for the dataset *and* every algorithm (paired comparison).
+    algorithms:
+        Optional roster override (default: ``preset.algorithms``).
+    logger:
+        Optional structured-event callback forwarded to each algorithm.
+    """
+    dataset = build_preset_dataset(preset, seed=seed)
+    model_factory = build_preset_model(preset, dataset)
+    roster = algorithms if algorithms is not None else preset.algorithms
+    timers = TimerBank()
+    results: dict[str, RunResult] = {}
+    for name in roster:
+        algo = make_algorithm(
+            name, dataset, model_factory,
+            batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
+            tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
+            seed=seed, logger=logger)
+        rounds = preset.rounds_for(algo.slots_per_round)
+        eval_every = preset.eval_every_for(algo.slots_per_round)
+        with timers(name):
+            results[name] = algo.run(rounds=rounds, eval_every=eval_every)
+    return ExperimentOutput(preset=preset, results=results,
+                            timings=timers.summary())
+
+
+def monotone_envelope(y: np.ndarray) -> np.ndarray:
+    """Running maximum of a series — the standard smoothing for noisy
+    accuracy-vs-rounds curves when extracting crossing times."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"need a 1-D series, got shape {y.shape}")
+    return np.maximum.accumulate(y)

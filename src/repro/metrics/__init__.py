@@ -1,0 +1,28 @@
+"""Evaluation and fairness metrics, and training-history recording."""
+
+from repro.metrics.evaluation import EvaluationRecord, evaluate_per_edge, evaluate_record
+from repro.metrics.fairness import (
+    accuracy_range,
+    accuracy_variance_x1e4,
+    average_accuracy,
+    entropy_of_weights,
+    jain_fairness_index,
+    worst_accuracy,
+    worst_fraction_mean,
+)
+from repro.metrics.history import HistoryPoint, TrainingHistory
+
+__all__ = [
+    "EvaluationRecord",
+    "evaluate_per_edge",
+    "evaluate_record",
+    "accuracy_range",
+    "accuracy_variance_x1e4",
+    "average_accuracy",
+    "entropy_of_weights",
+    "jain_fairness_index",
+    "worst_accuracy",
+    "worst_fraction_mean",
+    "HistoryPoint",
+    "TrainingHistory",
+]

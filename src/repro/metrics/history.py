@@ -1,0 +1,136 @@
+"""Training history: the time series behind every figure.
+
+A :class:`TrainingHistory` accumulates one :class:`HistoryPoint` per evaluation
+instant — (round, SGD slots, communication totals, evaluation record, weight
+vector) — and answers the queries the paper's evaluation makes of it, most notably
+"communication rounds needed to reach X% worst accuracy" (the headline numbers of
+§6.1–§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.evaluation import EvaluationRecord
+from repro.topology.comm import CommSnapshot
+
+__all__ = ["HistoryPoint", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class HistoryPoint:
+    """One evaluation instant.
+
+    Attributes
+    ----------
+    round_index:
+        Cloud training round ``k`` (0-based; -1 for the pre-training evaluation).
+    slots:
+        Cumulative training time slots ``t`` (local SGD steps per client).
+    comm:
+        Communication totals at this instant.
+    record:
+        The per-edge evaluation at this instant.
+    weights:
+        Copy of the edge weight vector ``p`` (``None`` for minimization methods).
+    """
+
+    round_index: int
+    slots: int
+    comm: CommSnapshot
+    record: EvaluationRecord
+    weights: np.ndarray | None = None
+
+
+class TrainingHistory:
+    """Ordered sequence of evaluation points for one algorithm run."""
+
+    def __init__(self, algorithm: str = "") -> None:
+        self.algorithm = algorithm
+        self.points: list[HistoryPoint] = []
+
+    def append(self, point: HistoryPoint) -> None:
+        """Add an evaluation point (rounds must be non-decreasing)."""
+        if self.points and point.round_index < self.points[-1].round_index:
+            raise ValueError("history rounds must be non-decreasing")
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # ------------------------------------------------------------- extraction
+    def series(self, field: str, *, comm_measure: str = "edge_cloud_cycles",
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y) arrays: communication rounds vs an evaluation field.
+
+        Parameters
+        ----------
+        field:
+            Attribute of :class:`EvaluationRecord`, e.g. ``"worst_accuracy"``.
+        comm_measure:
+            ``"edge_cloud_cycles"`` (default; the paper's communication-round
+            convention — cycles on the cloud-facing link),
+            ``"total_cycles"``, ``"total_bytes"``, or ``"slots"``.
+        """
+        if not self.points:
+            raise ValueError("history is empty")
+        y = np.array([getattr(pt.record, field) for pt in self.points], dtype=np.float64)
+        x = np.array([self._comm_value(pt, comm_measure) for pt in self.points],
+                     dtype=np.float64)
+        return x, y
+
+    @staticmethod
+    def _comm_value(pt: HistoryPoint, measure: str) -> float:
+        if measure == "slots":
+            return float(pt.slots)
+        if measure in ("edge_cloud_cycles", "total_cycles", "total_bytes"):
+            return float(getattr(pt.comm, measure))
+        raise ValueError(f"unknown comm measure {measure!r}")
+
+    def rounds_to_target(self, field: str, target: float, *,
+                         comm_measure: str = "edge_cloud_cycles") -> float | None:
+        """Least communication cost at which ``field`` first reaches ``target``.
+
+        Returns ``None`` when the run never reaches the target — the paper's
+        "does not reach X% even after N rounds" case.
+        """
+        x, y = self.series(field, comm_measure=comm_measure)
+        hits = np.nonzero(y >= target)[0]
+        if hits.size == 0:
+            return None
+        return float(x[hits[0]])
+
+    def final(self) -> HistoryPoint:
+        """The last evaluation point."""
+        if not self.points:
+            raise ValueError("history is empty")
+        return self.points[-1]
+
+    def best(self, field: str = "worst_accuracy") -> HistoryPoint:
+        """The evaluation point maximizing ``field``."""
+        if not self.points:
+            raise ValueError("history is empty")
+        values = [getattr(pt.record, field) for pt in self.points]
+        return self.points[int(np.argmax(values))]
+
+    def as_dict(self) -> dict:
+        """Serializable summary (used by the benchmark harness)."""
+        return {
+            "algorithm": self.algorithm,
+            "points": [
+                {
+                    "round": pt.round_index,
+                    "slots": pt.slots,
+                    "edge_cloud_cycles": pt.comm.edge_cloud_cycles,
+                    "total_cycles": pt.comm.total_cycles,
+                    "total_bytes": pt.comm.total_bytes,
+                    "average_accuracy": pt.record.average_accuracy,
+                    "worst_accuracy": pt.record.worst_accuracy,
+                    "worst10_accuracy": pt.record.worst10_accuracy,
+                    "variance_x1e4": pt.record.variance_x1e4,
+                }
+                for pt in self.points
+            ],
+        }

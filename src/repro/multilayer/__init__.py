@@ -1,0 +1,7 @@
+"""Multi-layer generalization: arbitrary-depth aggregation trees (§3's general
+hub-and-spoke topology) and HierMinimax over them."""
+
+from repro.multilayer.algorithm import MultiLevelHierMinimax
+from repro.multilayer.tree import HierarchyTree
+
+__all__ = ["HierarchyTree", "MultiLevelHierMinimax"]

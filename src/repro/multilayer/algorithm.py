@@ -1,0 +1,224 @@
+"""HierMinimax generalized to arbitrary-depth hierarchies.
+
+The paper formulates the algorithm for the three-layer client-edge-cloud network
+and observes that both the system model ("multi-layer hub-and-spoke-type network
+topology", §3) and the method generalize.  :class:`MultiLevelHierMinimax` is that
+generalization:
+
+* the network is a :class:`~repro.multilayer.tree.HierarchyTree` of any depth
+  ``L``; level 0 is the cloud, level ``L`` the clients;
+* each level ``l ∈ {1, …, L}`` has its own period ``τ_l`` — a node at level
+  ``l-1`` performs ``τ_l`` aggregations of its children per invocation, and the
+  leaves run ``τ_L`` local SGD steps per invocation, so one cloud round spans
+  ``Π_l τ_l`` training slots (for ``L = 2`` this is the paper's ``τ1·τ2``);
+* the checkpoint index generalizes from ``(c1, c2) ∈ [τ1]×[τ2]`` to a
+  mixed-radix digit vector ``(c_1, …, c_L) ∈ [τ_1]×…×[τ_L]`` sampled uniformly,
+  each subtree snapshotting during its parent's ``c``-th iteration — preserving
+  the uniform-over-slots property behind the unbiased weight gradient;
+* minimax weights ``p`` live on the level-1 subtrees (the generalization of edge
+  areas), sampled/updated exactly as in Algorithm 1.
+
+With ``depth = 2`` this class executes the same schedule as
+:class:`~repro.core.hierminimax.HierMinimax` (verified by the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.base import FederatedAlgorithm
+from repro.data.dataset import FederatedDataset
+from repro.multilayer.tree import HierarchyTree
+from repro.nn.models import ModelFactory
+from repro.ops.projections import Projection, identity_projection, project_simplex
+from repro.sim.builder import build_flat_clients
+from repro.sim.cloud import CloudServer
+from repro.topology.comm import CommunicationTracker
+from repro.topology.sampling import sample_by_weight, sample_uniform_subset
+from repro.utils.validation import check_fraction, check_positive_float, check_positive_int
+
+__all__ = ["MultiLevelHierMinimax"]
+
+
+class MultiLevelHierMinimax(FederatedAlgorithm):
+    """Minimax-fair optimization over an L-level aggregation tree.
+
+    Parameters
+    ----------
+    dataset:
+        Federated data; its edge areas must match the tree's level-1 subtrees
+        (``tree.validate_dataset``).
+    tree:
+        The aggregation hierarchy; default: the paper's 3-layer tree inferred
+        from the dataset layout (``regular([N_E, N0])``).
+    taus:
+        Per-level periods, top first: ``taus[l-1]`` is the number of iterations a
+        node at level ``l`` performs per invocation — aggregation blocks for
+        interior servers, local SGD steps for the leaf clients.  For the paper's
+        three-layer system this is ``(τ2, τ1)``.  Default: all 2 (the paper's
+        experimental setting).
+    eta_p, m_top, projection_p:
+        Weight-ascent rate, sampled level-1 subtrees per phase, and the
+        projection onto ``P`` — as in :class:`~repro.core.HierMinimax`.
+    """
+
+    name = "multilevel_hierminimax"
+    is_minimax = True
+    uses_hierarchy = True
+
+    def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
+                 tree: HierarchyTree | None = None,
+                 taus: tuple[int, ...] | None = None,
+                 eta_p: float = 1e-3, m_top: int | None = None,
+                 projection_p: Projection | None = None,
+                 batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
+                 projection_w: Projection = identity_projection,
+                 logger=None) -> None:
+        super().__init__(dataset, model_factory, batch_size=batch_size,
+                         eta_w=eta_w, seed=seed, projection_w=projection_w,
+                         logger=logger)
+        if tree is None:
+            counts = dataset.clients_per_edge()
+            if len(set(counts)) != 1:
+                raise ValueError("default tree requires a uniform dataset layout; "
+                                 "pass an explicit HierarchyTree otherwise")
+            tree = HierarchyTree.regular([dataset.num_edges, counts[0]])
+        tree.validate_dataset(dataset)
+        self.tree = tree
+        depth = tree.depth
+        if taus is None:
+            taus = tuple([2] * depth)
+        if len(taus) != depth:
+            raise ValueError(f"need one tau per level: {depth} levels, "
+                             f"got {len(taus)} taus")
+        self.taus = tuple(check_positive_int(t, f"taus[{i}]")
+                          for i, t in enumerate(taus))
+        self.eta_p = check_positive_float(eta_p, "eta_p")
+        n_top = tree.num_top_areas
+        self.m_top = n_top if m_top is None else check_positive_int(m_top, "m_top")
+        check_fraction(self.m_top, n_top, "m_top")
+        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
+                                          rng_factory=self.rng_factory)
+        self.cloud = CloudServer(
+            n_top, weight_projection=projection_p if projection_p is not None
+            else project_simplex)
+        self.p: np.ndarray = self.cloud.initial_weights()
+        # Replace the base tracker with one that knows the per-level links.
+        self.tracker = CommunicationTracker(extra_links=tuple(tree.link_names()))
+        self._top_nodes = tree.children_of(0, 0)
+
+    @property
+    def slots_per_round(self) -> int:
+        """``Π_l τ_l`` local steps per cloud round."""
+        return math.prod(self.taus)
+
+    def current_weights(self) -> np.ndarray:
+        """The level-1 subtree weights ``p^(k)``."""
+        return self.p
+
+    # -------------------------------------------------------------- recursion
+    def _decode_checkpoint(self, slot: int) -> tuple[int, ...]:
+        """Mixed-radix digits ``(c_1, …, c_L)`` of a flat slot, leaf fastest."""
+        digits = [0] * len(self.taus)
+        for level in range(len(self.taus) - 1, -1, -1):
+            digits[level] = slot % self.taus[level]
+            slot //= self.taus[level]
+        return tuple(digits)
+
+    def _subtree_update(self, level: int, node: int, w_start: np.ndarray,
+                        ckpt_digits: tuple[int, ...] | None,
+                        ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Recursive ModelUpdate of the subtree rooted at (level, node).
+
+        Returns the subtree's final model and its checkpoint aggregate (``None``
+        when this invocation is outside the checkpoint path).
+        """
+        depth = self.tree.depth
+        if level == depth:
+            # Leaf: taus[-1] local SGD steps; snapshot after (leaf digit + 1).
+            c_leaf = None if ckpt_digits is None else ckpt_digits[depth - 1] + 1
+            return self.clients[node].local_sgd(
+                self.engine, w_start, steps=self.taus[depth - 1], lr=self.eta_w,
+                projection=self.projection_w, checkpoint_after=c_leaf)
+        kids = self.tree.children_of(level, node)
+        link = f"level_{level + 1}"
+        d = w_start.size
+        tau_here = self.taus[level - 1]  # iterations a level-`level` node performs
+        c_here = None if ckpt_digits is None else ckpt_digits[level - 1]
+        w = np.array(w_start, dtype=np.float64, copy=True)
+        w_ckpt: np.ndarray | None = None
+        for t in range(tau_here):
+            on_ckpt_path = c_here is not None and t == c_here
+            self.tracker.record(link, "down", count=len(kids), floats=d)
+            acc = np.zeros(d)
+            ckpt_acc = np.zeros(d) if on_ckpt_path else None
+            for k in kids:
+                w_k, w_kc = self._subtree_update(
+                    level + 1, k, w, ckpt_digits if on_ckpt_path else None)
+                acc += w_k
+                if ckpt_acc is not None:
+                    ckpt_acc += w_kc
+                self.tracker.record(link, "up", count=1,
+                                    floats=d * (2 if on_ckpt_path else 1))
+            self.tracker.sync_cycle(link)
+            w = acc / len(kids)
+            if ckpt_acc is not None:
+                w_ckpt = ckpt_acc / len(kids)
+        return w, w_ckpt
+
+    def _subtree_loss(self, level: int, node: int, w: np.ndarray) -> float:
+        """Recursive LossEstimation: mean of minibatch losses over leaf clients."""
+        depth = self.tree.depth
+        if level == depth:
+            return self.clients[node].estimate_loss(self.engine, w)
+        kids = self.tree.children_of(level, node)
+        link = f"level_{level + 1}"
+        d = w.size
+        self.tracker.record(link, "down", count=len(kids), floats=d)
+        total = 0.0
+        for k in kids:
+            total += self._subtree_loss(level + 1, k, w)
+            self.tracker.record(link, "up", count=1, floats=1)
+        self.tracker.sync_cycle(link)
+        return total / len(kids)
+
+    # ------------------------------------------------------------------ round
+    def run_round(self, round_index: int) -> None:
+        """One generalized Algorithm-1 round over the tree."""
+        d = self.w.size
+        # Phase 1: sample level-1 subtrees by p; sample the checkpoint digits.
+        sampled = sample_by_weight(self.p, self.m_top, self.rng)
+        slot = int(self.rng.integers(0, self.slots_per_round))
+        ckpt_digits = self._decode_checkpoint(slot)
+        self.tracker.record("level_1", "down", count=len(np.unique(sampled)),
+                            floats=d + len(self.taus))
+        acc_w = np.zeros(d)
+        acc_ckpt = np.zeros(d)
+        for a in sampled:
+            top = self._top_nodes[int(a)]
+            # The cloud itself performs exactly one "iteration" per round, so the
+            # level-1 digit is consumed by sampling: the subtree is always on the
+            # checkpoint path at the top.
+            w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits)
+            acc_w += w_a
+            acc_ckpt += w_ac
+            self.tracker.record("level_1", "up", count=1, floats=2 * d)
+        self.tracker.sync_cycle("level_1")
+        self.w = acc_w / self.m_top
+        w_checkpoint = acc_ckpt / self.m_top
+
+        # Phase 2: uniform re-sample; recursive loss estimation; ascent on p.
+        probed = sample_uniform_subset(len(self._top_nodes), self.m_top, self.rng)
+        self.tracker.record("level_1", "down", count=len(probed), floats=d)
+        losses: dict[int, float] = {}
+        for a in probed:
+            losses[int(a)] = self._subtree_loss(1, self._top_nodes[int(a)],
+                                                w_checkpoint)
+            self.tracker.record("level_1", "up", count=1, floats=1)
+        self.tracker.sync_cycle("level_1")
+        v = self.cloud.build_loss_vector(losses)
+        # Ascent step scaled by the Π_l τ_l slots each update stands in for.
+        self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                           tau1=self.slots_per_round, tau2=1)

@@ -1,0 +1,160 @@
+"""General multi-layer hub-and-spoke trees.
+
+The paper presents the three-layer client-edge-cloud system as "a representative
+example" of multi-layer hub-and-spoke topologies (§3) and notes the approach
+generalizes.  :class:`HierarchyTree` is that generalization: a rooted tree whose
+root is the cloud, whose leaves are clients, and whose interior levels are
+aggregation servers.  Levels are numbered from 0 (cloud) to ``depth`` (clients).
+
+Trees are typically built from per-level branching factors
+(:meth:`HierarchyTree.regular`); arbitrary shapes can be assembled from explicit
+children lists.  The tree knows how to map its leaves onto the flat client
+ordering of a :class:`~repro.data.FederatedDataset` whose "edge areas" are the
+level-1 subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["HierarchyTree"]
+
+
+class HierarchyTree:
+    """A rooted aggregation tree: cloud (level 0) → servers → clients (leaves).
+
+    Parameters
+    ----------
+    children:
+        ``children[level][i]`` lists the child indices (at ``level + 1``) of node
+        ``i`` at ``level``.  ``children`` has one entry per non-leaf level; nodes
+        at each level are indexed ``0..n_level-1`` and every node at level
+        ``l + 1`` must have exactly one parent at level ``l``.
+    """
+
+    def __init__(self, children: Sequence[Sequence[Sequence[int]]]) -> None:
+        if not children:
+            raise ValueError("a hierarchy needs at least one aggregation level")
+        self._children: list[list[list[int]]] = [
+            [list(c) for c in level] for level in children]
+        # Validate: level sizes chain correctly and every child has one parent.
+        if len(self._children[0]) != 1:
+            raise ValueError("level 0 must contain exactly the cloud node")
+        for level, nodes in enumerate(self._children):
+            seen: set[int] = set()
+            for node, kids in enumerate(nodes):
+                if not kids:
+                    raise ValueError(
+                        f"node {node} at level {level} has no children")
+                for k in kids:
+                    if k in seen:
+                        raise ValueError(
+                            f"node {k} at level {level + 1} has two parents")
+                    seen.add(k)
+            next_size = (len(self._children[level + 1])
+                         if level + 1 < len(self._children)
+                         else self.num_leaves_at(level + 1))
+            if seen != set(range(next_size)):
+                raise ValueError(
+                    f"children of level {level} must cover 0..{next_size - 1} "
+                    f"exactly; got {sorted(seen)}")
+
+    # ------------------------------------------------------------------ shape
+    @classmethod
+    def regular(cls, branching: Sequence[int]) -> "HierarchyTree":
+        """A regular tree from per-level branching factors.
+
+        ``branching = [b1, …, bL]`` gives the cloud ``b1`` children, each of
+        those ``b2`` children, and so on; leaves (clients) number
+        ``b1·b2·…·bL``.  ``branching = [N_E, N0]`` reproduces the paper's
+        three-layer layout.
+        """
+        branching = [int(b) for b in branching]
+        if not branching or any(b < 1 for b in branching):
+            raise ValueError(f"branching factors must be >= 1, got {branching}")
+        children: list[list[list[int]]] = []
+        width = 1
+        for b in branching:
+            level = [list(range(i * b, (i + 1) * b)) for i in range(width)]
+            children.append(level)
+            width *= b
+        return cls(children)
+
+    def num_leaves_at(self, level: int) -> int:
+        """Number of nodes at ``level`` (the leaf count when ``level == depth``)."""
+        if level == 0:
+            return 1
+        count = 0
+        for kids in self._children[level - 1]:
+            count += len(kids)
+        return count
+
+    @property
+    def depth(self) -> int:
+        """Number of links on a root-to-leaf path (2 for client-edge-cloud)."""
+        return len(self._children)
+
+    @property
+    def num_clients(self) -> int:
+        """Leaf count."""
+        return self.num_leaves_at(self.depth)
+
+    @property
+    def num_top_areas(self) -> int:
+        """Level-1 subtree count — the ``N_E`` of the minimax weight vector."""
+        return len(self._children[0][0])
+
+    def children_of(self, level: int, node: int) -> list[int]:
+        """Child indices (at ``level + 1``) of ``node`` at ``level``."""
+        if not 0 <= level < self.depth:
+            raise IndexError(f"level {level} out of range [0, {self.depth})")
+        nodes = self._children[level]
+        if not 0 <= node < len(nodes):
+            raise IndexError(
+                f"node {node} out of range [0, {len(nodes)}) at level {level}")
+        return list(nodes[node])
+
+    def leaves_under(self, level: int, node: int) -> np.ndarray:
+        """Global leaf (client) indices in the subtree rooted at (level, node)."""
+        if level == self.depth:
+            return np.array([node], dtype=np.intp)
+        out: list[np.ndarray] = []
+        for child in self.children_of(level, node):
+            out.append(self.leaves_under(level + 1, child))
+        return np.concatenate(out)
+
+    def level_sizes(self) -> list[int]:
+        """Node counts per level, root to leaves."""
+        return [self.num_leaves_at(level) for level in range(self.depth + 1)]
+
+    def link_names(self) -> list[str]:
+        """Tracker link names, top to bottom: ``level_1`` … ``level_depth``."""
+        return [f"level_{i}" for i in range(1, self.depth + 1)]
+
+    def validate_dataset(self, dataset) -> None:
+        """Check that a federated dataset's clients map cleanly onto the leaves.
+
+        Clients are assigned to leaves in flat (edge-major) order, so (a) the
+        leaf count must equal the client count, and (b) every level-1 subtree
+        boundary must coincide with a dataset edge-area boundary — no data
+        distribution may straddle two top-level areas, or the minimax weights
+        would mix distributions.  Deeper trees may group several dataset areas
+        under one top-level subtree (e.g. regions holding multiple edge areas).
+        """
+        if self.num_clients != dataset.num_clients:
+            raise ValueError(
+                f"tree has {self.num_clients} leaves but the dataset has "
+                f"{dataset.num_clients} clients")
+        area_bounds = set(np.cumsum(dataset.clients_per_edge()).tolist())
+        offset = 0
+        for top in self.children_of(0, 0):
+            offset += self.leaves_under(1, top).size
+            if offset not in area_bounds:
+                raise ValueError(
+                    f"level-1 subtree boundary at client {offset} splits a "
+                    f"dataset edge area (area boundaries: {sorted(area_bounds)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HierarchyTree(levels={self.level_sizes()})"

@@ -1,0 +1,40 @@
+"""NumPy neural-network substrate with hand-derived backprop.
+
+Replaces the paper's PyTorch dependency (see DESIGN.md §1): flat-buffer models,
+layers, losses, SGD with projection, and finite-difference gradient checking.
+"""
+
+from repro.nn.gradcheck import gradient_check, max_relative_error, numerical_gradient
+from repro.nn.init import fan_in_out, kaiming_uniform_, normal_, xavier_uniform_, zeros_
+from repro.nn.layers import Identity, Layer, Linear, ParamSpec, ReLU, Tanh
+from repro.nn.losses import Loss, MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.models import ModelFactory, logistic_regression, make_model_factory, mlp
+from repro.nn.network import NeuralNetwork
+from repro.nn.optim import SGD, sgd_step
+
+__all__ = [
+    "gradient_check",
+    "max_relative_error",
+    "numerical_gradient",
+    "fan_in_out",
+    "kaiming_uniform_",
+    "normal_",
+    "xavier_uniform_",
+    "zeros_",
+    "Identity",
+    "Layer",
+    "Linear",
+    "ParamSpec",
+    "ReLU",
+    "Tanh",
+    "Loss",
+    "MeanSquaredError",
+    "SoftmaxCrossEntropy",
+    "ModelFactory",
+    "logistic_regression",
+    "make_model_factory",
+    "mlp",
+    "NeuralNetwork",
+    "SGD",
+    "sgd_step",
+]

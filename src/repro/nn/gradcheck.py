@@ -1,0 +1,80 @@
+"""Finite-difference gradient verification.
+
+The NN substrate's backward passes are hand-derived; :func:`gradient_check` compares
+them against central finite differences so the test suite can certify every layer
+and loss combination.  Used only in tests/benchmarks, never in training loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import NeuralNetwork
+
+__all__ = ["numerical_gradient", "gradient_check", "max_relative_error"]
+
+
+def numerical_gradient(model: NeuralNetwork, X: np.ndarray, y: np.ndarray,
+                       *, eps: float = 1e-6,
+                       indices: np.ndarray | None = None) -> np.ndarray:
+    """Central-difference gradient of the model loss w.r.t. its flat parameters.
+
+    Parameters
+    ----------
+    indices:
+        Optional subset of parameter indices to probe (all by default).  Probing a
+        random subset keeps checks fast on large models.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense gradient vector; entries outside ``indices`` are zero.
+    """
+    w0 = model.get_params()
+    grad = np.zeros_like(w0)
+    probe = np.arange(w0.size) if indices is None else np.asarray(indices, dtype=np.intp)
+    for i in probe:
+        w = w0.copy()
+        w[i] = w0[i] + eps
+        model.set_params(w)
+        loss_plus = model.loss(X, y)
+        w[i] = w0[i] - eps
+        model.set_params(w)
+        loss_minus = model.loss(X, y)
+        grad[i] = (loss_plus - loss_minus) / (2.0 * eps)
+    model.set_params(w0)
+    return grad
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray, *, floor: float = 1e-8) -> float:
+    """``max |a-b| / max(|a|, |b|, floor)`` — scale-free gradient discrepancy."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    denom = np.maximum(np.maximum(np.abs(a), np.abs(b)), floor)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def gradient_check(model: NeuralNetwork, X: np.ndarray, y: np.ndarray, *,
+                   eps: float = 1e-6, tol: float = 1e-5,
+                   num_probes: int | None = None,
+                   rng: np.random.Generator | None = None) -> float:
+    """Assert analytic and numerical gradients agree; return the max relative error.
+
+    Raises ``AssertionError`` when the discrepancy exceeds ``tol``.
+    """
+    _, analytic = model.loss_and_gradient(np.asarray(X, dtype=np.float64), y)
+    if num_probes is not None and num_probes < model.num_parameters:
+        gen = rng if rng is not None else np.random.default_rng(0)
+        indices = gen.choice(model.num_parameters, size=num_probes, replace=False)
+    else:
+        indices = None
+    numeric = numerical_gradient(model, X, y, eps=eps, indices=indices)
+    if indices is not None:
+        analytic_masked = np.zeros_like(analytic)
+        analytic_masked[indices] = analytic[indices]
+        analytic = analytic_masked
+    err = max_relative_error(analytic, numeric)
+    if err > tol:
+        raise AssertionError(
+            f"gradient check failed: max relative error {err:.3e} > tol {tol:.3e}")
+    return err

@@ -1,0 +1,64 @@
+"""Parameter initializers.
+
+Each initializer fills a preallocated array in place from an explicit
+:class:`numpy.random.Generator`, so that model initialization participates in the
+library-wide deterministic seeding scheme (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["zeros_", "normal_", "xavier_uniform_", "kaiming_uniform_", "fan_in_out"]
+
+
+def fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight tensor shape.
+
+    For a 2-D weight of shape (in_features, out_features) these are the two axes;
+    shapes of other ranks use the product of trailing dims as receptive-field size.
+    """
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a 0-d shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = 1
+    for s in shape[2:]:
+        receptive *= s
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def zeros_(array: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Fill ``array`` with zeros (bias default)."""
+    array[...] = 0.0
+    return array
+
+
+def normal_(array: np.ndarray, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Fill ``array`` i.i.d. from N(0, std^2)."""
+    if std < 0:
+        raise ValueError(f"std must be nonnegative, got {std}")
+    array[...] = rng.normal(0.0, std, size=array.shape)
+    return array
+
+
+def xavier_uniform_(array: np.ndarray, rng: np.random.Generator, gain: float = 1.0,
+                    ) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out)).
+
+    Suited to the logistic-regression output layer and tanh networks.
+    """
+    fan_in, fan_out = fan_in_out(array.shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    array[...] = rng.uniform(-bound, bound, size=array.shape)
+    return array
+
+
+def kaiming_uniform_(array: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init for ReLU networks: U(-a, a), a = sqrt(6 / fan_in)."""
+    fan_in, _ = fan_in_out(array.shape)
+    bound = math.sqrt(6.0 / fan_in)
+    array[...] = rng.uniform(-bound, bound, size=array.shape)
+    return array

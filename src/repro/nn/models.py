@@ -1,0 +1,102 @@
+"""Model factories matching the paper's experimental setups.
+
+* :func:`logistic_regression` — multinomial logistic regression (the convex model of
+  §6.1 and Table 2; for 784 features and 10 classes it has the paper's 7850
+  parameters).
+* :func:`mlp` — fully-connected ReLU network; ``mlp(784, (300, 100), 10)`` is the
+  §6.2 non-convex model with the paper's 266,610 parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import Loss
+from repro.nn.network import NeuralNetwork
+
+__all__ = ["logistic_regression", "mlp", "ModelFactory", "make_model_factory"]
+
+
+def logistic_regression(input_dim: int, num_classes: int, *,
+                        rng: np.random.Generator | int | None = 0,
+                        l2: float = 0.0,
+                        loss: Loss | None = None) -> NeuralNetwork:
+    """Multinomial logistic regression: one linear layer + softmax cross-entropy.
+
+    With cross-entropy this model's loss is convex in the parameters, which is the
+    regime of Theorem 1.
+    """
+    return NeuralNetwork(
+        [Linear(input_dim, num_classes, weight_init="xavier")],
+        input_dim=input_dim, rng=rng, l2=l2, loss=loss)
+
+
+def mlp(input_dim: int, hidden: Sequence[int], num_classes: int, *,
+        rng: np.random.Generator | int | None = 0,
+        l2: float = 0.0,
+        loss: Loss | None = None) -> NeuralNetwork:
+    """Fully-connected ReLU network (non-convex regime of Theorem 2).
+
+    ``hidden`` lists the hidden-layer widths, e.g. ``(300, 100)`` per §6.2.
+    """
+    hidden = tuple(int(h) for h in hidden)
+    if any(h < 1 for h in hidden):
+        raise ValueError(f"hidden widths must be >= 1, got {hidden}")
+    layers: list = []
+    prev = input_dim
+    for width in hidden:
+        layers.append(Linear(prev, width, weight_init="kaiming"))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Linear(prev, num_classes, weight_init="xavier"))
+    return NeuralNetwork(layers, input_dim=input_dim, rng=rng, l2=l2, loss=loss)
+
+
+class ModelFactory:
+    """Callable that builds a fresh model with a given RNG.
+
+    Algorithms receive a factory rather than a model so each run (and each baseline
+    in a comparison) starts from an identically-distributed initialization.
+    """
+
+    def __init__(self, builder, describe: str) -> None:
+        self._builder = builder
+        self.describe = describe
+
+    def __call__(self, rng: np.random.Generator | int | None = 0) -> NeuralNetwork:
+        """Build a model initialized from ``rng``."""
+        return self._builder(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelFactory({self.describe})"
+
+
+def make_model_factory(kind: str, input_dim: int, num_classes: int, *,
+                       hidden: Sequence[int] = (300, 100),
+                       l2: float = 0.0) -> ModelFactory:
+    """Create a :class:`ModelFactory` by name.
+
+    Parameters
+    ----------
+    kind:
+        ``"logistic"`` or ``"mlp"``.
+    input_dim, num_classes:
+        Data dimensions.
+    hidden:
+        Hidden widths for ``"mlp"`` (ignored otherwise).
+    l2:
+        L2 regularization coefficient.
+    """
+    if kind == "logistic":
+        return ModelFactory(
+            lambda rng: logistic_regression(input_dim, num_classes, rng=rng, l2=l2),
+            f"logistic({input_dim}->{num_classes}, l2={l2})")
+    if kind == "mlp":
+        hidden = tuple(hidden)
+        return ModelFactory(
+            lambda rng: mlp(input_dim, hidden, num_classes, rng=rng, l2=l2),
+            f"mlp({input_dim}->{hidden}->{num_classes}, l2={l2})")
+    raise ValueError(f"unknown model kind {kind!r}; expected 'logistic' or 'mlp'")

@@ -1,0 +1,194 @@
+"""The :class:`NeuralNetwork` container: flat-buffer models for federated training.
+
+A ``NeuralNetwork`` stitches a list of layers and a loss into a trainable model whose
+entire parameter state is one contiguous ``float64`` vector.  That vector *is* the
+``w`` of the paper: clients run SGD on it, edge servers average it, the cloud
+broadcasts it.  The flat representation makes those operations single BLAS-level
+calls with no Python-per-layer overhead.
+
+Key operations
+--------------
+``get_params() / set_params(w)``
+    Copy-out / copy-in of the flat parameter vector.
+``loss_and_gradient(X, y)``
+    One fused forward+backward over a minibatch; returns (scalar loss, flat grad).
+``loss(X, y) / accuracy(X, y) / predict(X)``
+    Evaluation-mode passes (no caching).
+``clone()``
+    Structurally identical model with its own buffers (same parameter values).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer, ParamSpec
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+from repro.utils.rng import as_generator
+
+__all__ = ["NeuralNetwork"]
+
+
+class NeuralNetwork:
+    """A feed-forward model over a single flat parameter buffer.
+
+    Parameters
+    ----------
+    layers:
+        Ordered layer list (each used exactly once; layers own forward caches).
+    loss:
+        Loss object; defaults to :class:`SoftmaxCrossEntropy`.
+    input_dim:
+        Feature dimension of inputs; used for shape validation.
+    rng:
+        Generator (or seed) for parameter initialization.
+    l2:
+        Optional L2 regularization coefficient added to loss and gradient
+        (``l2/2 * ||w||^2``); 0 disables.
+    """
+
+    def __init__(self, layers: Sequence[Layer], *, input_dim: int,
+                 loss: Loss | None = None,
+                 rng: np.random.Generator | int | None = 0,
+                 l2: float = 0.0) -> None:
+        if not layers:
+            raise ValueError("NeuralNetwork needs at least one layer")
+        if input_dim < 1:
+            raise ValueError(f"input_dim must be >= 1, got {input_dim}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be nonnegative, got {l2}")
+        self.layers: list[Layer] = list(layers)
+        self.loss_fn: Loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.input_dim = int(input_dim)
+        self.l2 = float(l2)
+
+        # Validate the shape pipeline and compute output dim.
+        dim = self.input_dim
+        for layer in self.layers:
+            dim = layer.output_dim(dim)
+        self.output_dim = dim
+
+        # Allocate the flat parameter and gradient buffers and bind views.
+        self._specs: list[tuple[Layer, ParamSpec, slice]] = []
+        offset = 0
+        for layer in self.layers:
+            for spec in layer.param_specs():
+                self._specs.append((layer, spec, slice(offset, offset + spec.size)))
+                offset += spec.size
+        self._params = np.zeros(offset, dtype=np.float64)
+        self._grads = np.zeros(offset, dtype=np.float64)
+        for layer in self.layers:
+            views: dict[str, np.ndarray] = {}
+            gviews: dict[str, np.ndarray] = {}
+            for owner, spec, sl in self._specs:
+                if owner is layer:
+                    views[spec.name] = self._params[sl].reshape(spec.shape)
+                    gviews[spec.name] = self._grads[sl].reshape(spec.shape)
+            layer.bind(views, gviews)
+        self.initialize(rng)
+
+    # ------------------------------------------------------------------ params
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper's ``d``)."""
+        return self._params.size
+
+    def initialize(self, rng: np.random.Generator | int | None = 0) -> None:
+        """(Re)initialize every parameter tensor from its layer's initializer."""
+        gen = as_generator(rng)
+        for layer, spec, sl in self._specs:
+            spec.init(self._params[sl].reshape(spec.shape), gen)
+
+    def get_params(self) -> np.ndarray:
+        """Return a *copy* of the flat parameter vector (safe to mutate/ship)."""
+        return self._params.copy()
+
+    def set_params(self, w: np.ndarray) -> None:
+        """Load a flat parameter vector into the model (copied in place)."""
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != self._params.shape:
+            raise ValueError(
+                f"parameter vector has shape {w.shape}, model expects {self._params.shape}")
+        self._params[:] = w
+
+    def params_view(self) -> np.ndarray:
+        """The live flat parameter buffer (mutations take effect immediately).
+
+        Exposed for in-place optimizers; most callers want :meth:`get_params`.
+        """
+        return self._params
+
+    def grads_view(self) -> np.ndarray:
+        """The live flat gradient buffer (filled by :meth:`loss_and_gradient`)."""
+        return self._grads
+
+    def zero_grad(self) -> None:
+        """Reset the flat gradient buffer to zero (in place)."""
+        self._grads.fill(0.0)
+
+    # ------------------------------------------------------------------ passes
+    def forward(self, X: np.ndarray, *, train: bool = False) -> np.ndarray:
+        """Run the layer pipeline on a (batch, input_dim) matrix; return logits."""
+        X = self._check_input(X)
+        out = X
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of the current parameters on (X, y), evaluation mode."""
+        value = self.loss_fn.forward(self.forward(X, train=False), y)
+        if self.l2:
+            value += 0.5 * self.l2 * float(self._params @ self._params)
+        return value
+
+    def loss_and_gradient(self, X: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        """Fused forward+backward; returns (loss, flat gradient copy).
+
+        The gradient of the mean minibatch loss — the stochastic gradient
+        ``∇f_n(w; ξ)`` of Eq. (4) — plus the L2 term when configured.
+        """
+        logits = self.forward(X, train=True)
+        value = self.loss_fn.forward(logits, y)
+        self.zero_grad()
+        grad = self.loss_fn.backward(logits, y)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        flat = self._grads.copy()
+        if self.l2:
+            value += 0.5 * self.l2 * float(self._params @ self._params)
+            flat += self.l2 * self._params
+        return value, flat
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Argmax class prediction for each row of ``X``."""
+        return np.argmax(self.forward(X, train=False), axis=1)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of rows classified correctly."""
+        y = np.asarray(y)
+        if y.shape[0] == 0:
+            raise ValueError("cannot compute accuracy on an empty batch")
+        return float(np.mean(self.predict(X) == y))
+
+    # ------------------------------------------------------------------ misc
+    def clone(self) -> "NeuralNetwork":
+        """Deep copy: identical architecture + parameter values, fresh buffers."""
+        import copy
+
+        twin = copy.deepcopy(self)
+        return twin
+
+    def _check_input(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.input_dim:
+            raise ValueError(
+                f"input must be (batch, {self.input_dim}), got shape {X.shape}")
+        return X
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = "->".join(type(layer).__name__ for layer in self.layers)
+        return (f"NeuralNetwork({names}, input_dim={self.input_dim}, "
+                f"params={self.num_parameters})")

@@ -1,0 +1,91 @@
+"""Stochastic gradient descent with optional domain projection.
+
+Implements the client update rule of Eq. (4):
+
+    w <- Π_W( w - η ∇f(w; ξ) )
+
+as an in-place operation on the model's flat parameter buffer.  The projection
+defaults to the identity (``W = R^d``, as in the paper's experiments) but any
+:data:`repro.ops.Projection` — e.g. an L2 ball for the bounded-domain theory — can
+be supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import NeuralNetwork
+from repro.ops.projections import Projection, identity_projection
+
+__all__ = ["SGD", "sgd_step"]
+
+
+def sgd_step(model: NeuralNetwork, X: np.ndarray, y: np.ndarray, lr: float,
+             projection: Projection = identity_projection) -> float:
+    """One projected-SGD step of Eq. (4) on ``model``; returns the minibatch loss."""
+    if lr <= 0:
+        raise ValueError(f"learning rate must be positive, got {lr}")
+    loss, grad = model.loss_and_gradient(X, y)
+    params = model.params_view()
+    params -= lr * grad
+    if projection is not identity_projection:
+        params[:] = projection(params)
+    return loss
+
+
+class SGD:
+    """Stateful SGD optimizer bound to one model.
+
+    Supports optional momentum and per-step learning-rate schedules; HierMinimax and
+    the baselines use the plain ``momentum=0`` configuration from §6 but the
+    extensions are exercised by the ablation benches.
+
+    Parameters
+    ----------
+    model:
+        The model whose flat buffer is updated in place.
+    lr:
+        Base learning rate ``η_w``.
+    projection:
+        Euclidean projection ``Π_W`` applied after every step.
+    momentum:
+        Classical momentum coefficient in [0, 1); 0 (default) recovers Eq. (4).
+    """
+
+    def __init__(self, model: NeuralNetwork, lr: float, *,
+                 projection: Projection = identity_projection,
+                 momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.model = model
+        self.lr = float(lr)
+        self.projection = projection
+        self.momentum = float(momentum)
+        self._velocity: np.ndarray | None = (
+            np.zeros(model.num_parameters) if momentum > 0 else None)
+        self.steps_taken = 0
+
+    def step(self, X: np.ndarray, y: np.ndarray, *, lr: float | None = None) -> float:
+        """Take one (projected, optionally momentum) SGD step; return the loss."""
+        eta = self.lr if lr is None else float(lr)
+        if eta <= 0:
+            raise ValueError(f"learning rate must be positive, got {eta}")
+        loss, grad = self.model.loss_and_gradient(X, y)
+        params = self.model.params_view()
+        if self._velocity is not None:
+            self._velocity *= self.momentum
+            self._velocity -= eta * grad
+            params += self._velocity
+        else:
+            params -= eta * grad
+        if self.projection is not identity_projection:
+            params[:] = self.projection(params)
+        self.steps_taken += 1
+        return loss
+
+    def reset_state(self) -> None:
+        """Clear momentum state (used when a client reloads a broadcast model)."""
+        if self._velocity is not None:
+            self._velocity.fill(0.0)

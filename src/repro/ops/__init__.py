@@ -1,0 +1,35 @@
+"""Numerical kernels: projections onto constraint sets and stable primitives."""
+
+from repro.ops.numerics import (
+    clip_by_norm,
+    flat_norm,
+    log_softmax,
+    logsumexp,
+    one_hot,
+    softmax,
+    weighted_average,
+)
+from repro.ops.projections import (
+    Projection,
+    identity_projection,
+    project_box,
+    project_capped_simplex,
+    project_l2_ball,
+    project_simplex,
+)
+
+__all__ = [
+    "clip_by_norm",
+    "flat_norm",
+    "log_softmax",
+    "logsumexp",
+    "one_hot",
+    "softmax",
+    "weighted_average",
+    "Projection",
+    "identity_projection",
+    "project_box",
+    "project_capped_simplex",
+    "project_l2_ball",
+    "project_simplex",
+]

@@ -1,0 +1,160 @@
+"""Euclidean projections onto the constraint sets used by HierMinimax.
+
+The paper allows the model domain ``W`` and the weight domain ``P`` to be arbitrary
+compact convex sets (Assumption 1).  In practice the experiments use
+
+* ``W = R^d`` (no projection) or an L2 ball of radius ``R_W`` for the theory benches,
+* ``P = Δ_{N_E - 1}`` — the probability simplex — or a box-constrained subset of it
+  (the paper's "prior knowledge or parameter regularization" footnote).
+
+All projections here are exact Euclidean projections computed with vectorized NumPy:
+
+* :func:`project_simplex` uses the O(n log n) sort-based algorithm of
+  Held–Wolfe–Crowder / Duchi et al. (2008).
+* :func:`project_capped_simplex` projects onto
+  ``{p : lo <= p_i <= hi, sum p = 1}`` by bisection on the shift parameter of the
+  clipped-affine function, which is monotone, so the solve is robust and fast.
+* :func:`project_l2_ball` and :func:`project_box` are closed-form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "project_simplex",
+    "project_capped_simplex",
+    "project_l2_ball",
+    "project_box",
+    "identity_projection",
+    "Projection",
+]
+
+Projection = Callable[[np.ndarray], np.ndarray]
+
+
+def identity_projection(x: np.ndarray) -> np.ndarray:
+    """Projection onto the whole space (no-op); used when ``W = R^d``."""
+    return x
+
+
+def project_simplex(v: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Project ``v`` onto the simplex ``{p >= 0, sum(p) = radius}``.
+
+    Implements the sort-and-threshold algorithm: find the largest ``rho`` with
+    ``u_rho - (cumsum(u)_rho - radius) / rho > 0`` where ``u`` is ``v`` sorted in
+    decreasing order; the projection is ``max(v - theta, 0)`` with
+    ``theta = (cumsum(u)_rho - radius) / rho``.
+
+    Parameters
+    ----------
+    v:
+        Input vector (any real values).
+    radius:
+        Total mass of the target simplex; must be positive.
+
+    Returns
+    -------
+    numpy.ndarray
+        The unique Euclidean projection, nonnegative and summing to ``radius``.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"project_simplex expects a 1-D vector, got shape {v.shape}")
+    if v.size == 0:
+        raise ValueError("cannot project an empty vector onto a simplex")
+    if not np.isfinite(radius) or radius <= 0:
+        raise ValueError(f"simplex radius must be positive, got {radius}")
+    if not np.all(np.isfinite(v)):
+        raise ValueError("project_simplex received non-finite input")
+
+    u = np.sort(v)[::-1]
+    cssv = np.cumsum(u) - radius
+    ind = np.arange(1, v.size + 1)
+    cond = u - cssv / ind > 0
+    # cond[0] is always True because u[0] - (u[0] - radius) = radius > 0.
+    rho = ind[cond][-1]
+    theta = cssv[rho - 1] / rho
+    return np.maximum(v - theta, 0.0)
+
+
+def project_capped_simplex(v: np.ndarray, lo: float = 0.0, hi: float = 1.0,
+                           *, total: float = 1.0, tol: float = 1e-12,
+                           max_iter: int = 200) -> np.ndarray:
+    """Project onto the box-constrained simplex ``{lo <= p_i <= hi, sum p = total}``.
+
+    The projection is ``clip(v - theta, lo, hi)`` for the unique ``theta`` making the
+    coordinates sum to ``total``; ``theta`` is found by bisection since the sum is a
+    continuous non-increasing function of ``theta``.
+
+    This realizes the paper's general convex constraint set ``P``: e.g.
+    ``lo = 0.05`` guarantees every edge area keeps at least 5% weight.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 1:
+        raise ValueError(f"project_capped_simplex expects a 1-D vector, got shape {v.shape}")
+    n = v.size
+    if n == 0:
+        raise ValueError("cannot project an empty vector")
+    if lo > hi:
+        raise ValueError(f"lower bound {lo} exceeds upper bound {hi}")
+    if not (n * lo <= total + 1e-12 and total <= n * hi + 1e-12):
+        raise ValueError(
+            f"infeasible capped simplex: need {n}*{lo} <= {total} <= {n}*{hi}")
+
+    def mass(theta: float) -> float:
+        return float(np.clip(v - theta, lo, hi).sum())
+
+    # Bracket theta: at theta_low the clipped sum is maximal (n*hi), at theta_high
+    # minimal (n*lo).
+    theta_low = float(v.min() - hi - 1.0)
+    theta_high = float(v.max() - lo + 1.0)
+    for _ in range(max_iter):
+        theta_mid = 0.5 * (theta_low + theta_high)
+        if mass(theta_mid) > total:
+            theta_low = theta_mid
+        else:
+            theta_high = theta_mid
+        if theta_high - theta_low < tol:
+            break
+    out = np.clip(v - 0.5 * (theta_low + theta_high), lo, hi)
+    # Remove the residual mass error from the bisection tolerance by distributing it
+    # over the interior (strictly-between-bounds) coordinates.
+    residual = total - out.sum()
+    if abs(residual) > 0:
+        interior = (out > lo + 1e-15) & (out < hi - 1e-15)
+        n_int = int(interior.sum())
+        if n_int > 0:
+            out[interior] += residual / n_int
+            out = np.clip(out, lo, hi)
+    return out
+
+
+def project_l2_ball(v: np.ndarray, radius: float, center: np.ndarray | None = None,
+                    ) -> np.ndarray:
+    """Project ``v`` onto the L2 ball of ``radius`` around ``center`` (default 0)."""
+    if not np.isfinite(radius) or radius < 0:
+        raise ValueError(f"ball radius must be a nonnegative finite number, got {radius}")
+    v = np.asarray(v, dtype=np.float64)
+    if center is not None:
+        center = np.asarray(center, dtype=np.float64)
+        if center.shape != v.shape:
+            raise ValueError(f"center shape {center.shape} != vector shape {v.shape}")
+        shifted = v - center
+    else:
+        shifted = v
+    norm = float(np.linalg.norm(shifted))
+    if norm <= radius:
+        return v.copy()
+    scaled = shifted * (radius / norm)
+    return scaled if center is None else center + scaled
+
+
+def project_box(v: np.ndarray, lo: np.ndarray | float, hi: np.ndarray | float) -> np.ndarray:
+    """Project ``v`` onto the axis-aligned box ``[lo, hi]`` (closed-form clip)."""
+    out = np.clip(np.asarray(v, dtype=np.float64), lo, hi)
+    if np.any(np.asarray(lo) > np.asarray(hi)):
+        raise ValueError("box projection requires lo <= hi elementwise")
+    return out

@@ -1,0 +1,5 @@
+"""Terminal (ASCII) plotting for figure series."""
+
+from repro.plotting.ascii import ascii_plot, plot_figure_series
+
+__all__ = ["ascii_plot", "plot_figure_series"]

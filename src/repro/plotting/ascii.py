@@ -1,0 +1,122 @@
+"""Terminal line charts for the figure series (no plotting libraries offline).
+
+:func:`ascii_plot` renders one or more (x, y) series on a character canvas with
+axes, tick labels, and a legend — enough to *see* Fig. 3/4's crossing behavior
+directly in bench output and examples.  Series are drawn with distinct marker
+characters; later series overwrite earlier ones where they collide.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "plot_figure_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(series: Mapping[str, tuple[Sequence[float], Sequence[float]]], *,
+               width: int = 72, height: int = 18, title: str = "",
+               xlabel: str = "", ylabel: str = "") -> str:
+    """Render named (x, y) series as a text chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping name -> (x, y); all series share the axes.  NaNs are skipped.
+    width, height:
+        Plot-area size in characters (>= 8 each).
+
+    Returns
+    -------
+    str
+        The rendered multi-line chart, including legend and tick labels.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 8:
+        raise ValueError(f"canvas too small: {width}x{height}")
+
+    xs_all: list[np.ndarray] = []
+    ys_all: list[np.ndarray] = []
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(f"series {name!r}: x and y must be matching 1-D arrays")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if not np.any(mask):
+            raise ValueError(f"series {name!r} has no finite points")
+        cleaned[name] = (x[mask], y[mask])
+        xs_all.append(x[mask])
+        ys_all.append(y[mask])
+    x_min = min(float(x.min()) for x in xs_all)
+    x_max = max(float(x.max()) for x in xs_all)
+    y_min = min(float(y.min()) for y in ys_all)
+    y_max = max(float(y.max()) for y in ys_all)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+
+    for idx, (name, (x, y)) in enumerate(cleaned.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        # densify by linear interpolation so lines look continuous
+        cols = np.arange(to_col(float(x.min())), to_col(float(x.max())) + 1)
+        if len(x) >= 2:
+            col_x = x_min + cols / (width - 1) * (x_max - x_min)
+            col_y = np.interp(col_x, x, y)
+        else:
+            cols = np.array([to_col(float(x[0]))])
+            col_y = np.array([float(y[0])])
+        for c, yv in zip(cols, col_y):
+            canvas[to_row(float(yv))][int(c)] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_label_width = 9
+    for r, row in enumerate(canvas):
+        if r == 0:
+            tick = f"{y_max:8.3g} "
+        elif r == height - 1:
+            tick = f"{y_min:8.3g} "
+        elif r == height // 2:
+            tick = f"{(y_min + y_max) / 2:8.3g} "
+        else:
+            tick = " " * y_label_width
+        lines.append(tick + "|" + "".join(row))
+    lines.append(" " * y_label_width + "+" + "-" * width)
+    x_ticks = (f"{x_min:<10.4g}" + f"{(x_min + x_max) / 2:^{width - 20}.4g}"
+               + f"{x_max:>10.4g}")
+    lines.append(" " * (y_label_width + 1) + x_ticks)
+    if xlabel:
+        lines.append(" " * (y_label_width + 1) + xlabel.center(width))
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}"
+                        for i, name in enumerate(cleaned))
+    lines.append((ylabel + "  " if ylabel else "") + "legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_figure_series(fig, *, field: str = "worst_accuracy",
+                       width: int = 72, height: int = 18) -> str:
+    """Render one metric of a :class:`~repro.experiments.figures.FigureData`."""
+    series = {}
+    for name, s in fig.series.items():
+        y = getattr(s, field)
+        series[name] = (s.comm_rounds, y)
+    return ascii_plot(series, width=width, height=height,
+                      title=f"{fig.name}: {field.replace('_', ' ')} vs "
+                            "communication rounds",
+                      xlabel="communication rounds (cloud-facing cycles)")

@@ -1,0 +1,15 @@
+"""Simulation actors: clients, edge servers, cloud server, and wiring helpers."""
+
+from repro.sim.builder import build_edge_servers, build_flat_clients, topology_of
+from repro.sim.client import Client
+from repro.sim.cloud import CloudServer
+from repro.sim.edge import EdgeServer
+
+__all__ = [
+    "build_edge_servers",
+    "build_flat_clients",
+    "topology_of",
+    "Client",
+    "CloudServer",
+    "EdgeServer",
+]

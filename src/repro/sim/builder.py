@@ -1,0 +1,56 @@
+"""Wiring helpers: build the actor graph from a federated dataset.
+
+Every algorithm run begins identically — spawn per-client RNG streams, wrap shards
+in :class:`~repro.sim.client.Client` actors, group them under
+:class:`~repro.sim.edge.EdgeServer` actors matching the dataset's layout.  This
+module centralizes that wiring so all five algorithms construct byte-identical
+actor graphs for a given (dataset, seed, batch size).
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import FederatedDataset
+from repro.sim.client import Client
+from repro.sim.edge import EdgeServer
+from repro.topology.network import HierarchicalTopology
+from repro.utils.rng import RngFactory
+
+__all__ = ["build_edge_servers", "build_flat_clients"]
+
+
+def build_edge_servers(dataset: FederatedDataset, *, batch_size: int,
+                       rng_factory: RngFactory) -> list[EdgeServer]:
+    """Create one :class:`EdgeServer` per edge area with its client actors.
+
+    Client RNG streams are keyed by global client index, so the same
+    (seed, dataset) pair yields identical minibatch sequences across algorithms —
+    making cross-algorithm comparisons paired rather than independent.
+    """
+    streams = rng_factory.streams("client", dataset.num_clients)
+    edges: list[EdgeServer] = []
+    global_id = 0
+    for e, edge_data in enumerate(dataset.edges):
+        clients = []
+        for shard in edge_data.clients:
+            clients.append(Client(global_id, shard, batch_size, streams[global_id]))
+            global_id += 1
+        edges.append(EdgeServer(e, clients))
+    return edges
+
+
+def build_flat_clients(dataset: FederatedDataset, *, batch_size: int,
+                       rng_factory: RngFactory) -> list[Client]:
+    """Create the flat client list used by two-layer baselines (no edge actors)."""
+    clients: list[Client] = []
+    streams = rng_factory.streams("client", dataset.num_clients)
+    global_id = 0
+    for edge_data in dataset.edges:
+        for shard in edge_data.clients:
+            clients.append(Client(global_id, shard, batch_size, streams[global_id]))
+            global_id += 1
+    return clients
+
+
+def topology_of(dataset: FederatedDataset) -> HierarchicalTopology:
+    """The :class:`HierarchicalTopology` induced by a dataset's layout."""
+    return HierarchicalTopology.from_dataset(dataset)

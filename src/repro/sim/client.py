@@ -1,0 +1,104 @@
+"""Client actor: local SGD, checkpoint capture, and loss estimation.
+
+A :class:`Client` owns its local shard and minibatch stream but **not** a private
+model copy.  All clients of a run share one *engine* :class:`NeuralNetwork` into
+which parameter vectors are loaded and out of which results are read; the model is
+a pure function of its flat parameter vector, so this is semantically identical to
+per-client models while avoiding ``N`` deep copies per aggregation (guides: reuse
+buffers, avoid copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import MinibatchSampler
+from repro.data.dataset import Dataset
+from repro.nn.network import NeuralNetwork
+from repro.ops.projections import Projection, identity_projection
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One client device in the hierarchy.
+
+    Parameters
+    ----------
+    client_id:
+        Global client index (edge-major order).
+    shard:
+        The client's local training data.
+    batch_size:
+        Minibatch size of the local SGD (Eq. (4)'s ``ξ``).
+    rng:
+        Client-private generator driving minibatch sampling.
+    """
+
+    def __init__(self, client_id: int, shard: Dataset, batch_size: int,
+                 rng: np.random.Generator) -> None:
+        self.client_id = int(client_id)
+        self.shard = shard
+        self.sampler = MinibatchSampler(shard, batch_size, rng)
+        self.sgd_steps_taken = 0
+
+    @property
+    def num_samples(self) -> int:
+        """Local training-set size (the ``q_n`` weight basis of Eq. (1))."""
+        return len(self.shard)
+
+    def local_sgd(self, engine: NeuralNetwork, w_start: np.ndarray, *,
+                  steps: int, lr: float,
+                  projection: Projection = identity_projection,
+                  checkpoint_after: int | None = None,
+                  ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Run ``steps`` projected-SGD steps from ``w_start`` (Eq. (4)).
+
+        Parameters
+        ----------
+        engine:
+            The shared compute model; its parameters are overwritten.
+        checkpoint_after:
+            When set to ``c1 ∈ {1, …, steps}``, additionally return a snapshot of
+            the local model after exactly ``c1`` steps (Part (b) of ModelUpdate).
+
+        Returns
+        -------
+        (w_end, w_checkpoint):
+            Final local model (copy) and the checkpoint snapshot (copy) or ``None``.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if checkpoint_after is not None and not 1 <= checkpoint_after <= steps:
+            raise ValueError(
+                f"checkpoint_after must be in [1, {steps}], got {checkpoint_after}")
+        engine.set_params(w_start)
+        params = engine.params_view()
+        w_checkpoint: np.ndarray | None = None
+        for t1 in range(steps):
+            X, y = self.sampler.next_batch()
+            _, grad = engine.loss_and_gradient(X, y)
+            params -= lr * grad
+            if projection is not identity_projection:
+                params[:] = projection(params)
+            self.sgd_steps_taken += 1
+            if checkpoint_after is not None and t1 + 1 == checkpoint_after:
+                w_checkpoint = params.copy()
+        return params.copy(), w_checkpoint
+
+    def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:
+        """Minibatch loss estimate ``f_n(w; ξ)`` used by Phase 2's LossEstimation."""
+        engine.set_params(w)
+        X, y = self.sampler.next_batch()
+        return engine.loss(X, y)
+
+    def full_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:
+        """Exact local loss ``f_n(w)`` over the whole shard (diagnostics/theory)."""
+        engine.set_params(w)
+        return engine.loss(self.shard.X, self.shard.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Client(id={self.client_id}, n={self.num_samples}, "
+                f"batch={self.sampler.batch_size})")

@@ -1,0 +1,174 @@
+"""Edge-server actor: the ModelUpdate and LossEstimation procedures of Algorithm 1.
+
+An :class:`EdgeServer` owns the clients of its edge area and implements
+
+* :meth:`model_update` — Part (a) (τ2 client-edge aggregation blocks of τ1 local
+  SGD steps each) and Part (b) (checkpoint aggregation at block ``c2``);
+* :meth:`estimate_loss` — the Phase-2 loss estimation
+  ``f_e(w) = (1/N0) Σ_n f_n(w; ξ_n)``.
+
+Communication with its clients is accounted on the ``client_edge`` link of the
+supplied :class:`~repro.topology.comm.CommunicationTracker`.  Aggregation
+accumulates into preallocated buffers (one ``d``-vector per edge, not per client).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.network import NeuralNetwork
+from repro.ops.projections import Projection, identity_projection
+from repro.sim.client import Client
+from repro.topology.comm import CommunicationTracker
+
+__all__ = ["EdgeServer"]
+
+
+def _compress(compressor, sender: int, delta: np.ndarray,
+              rng: np.random.Generator | None) -> np.ndarray:
+    """Apply a compressor to an upload delta, with sender attribution if supported."""
+    gen = rng if rng is not None else np.random.default_rng(0)
+    if hasattr(compressor, "compress_from"):
+        return compressor.compress_from(sender, delta, gen)
+    return compressor.compress(delta, gen)
+
+
+class EdgeServer:
+    """One edge server and its associated clients ``N_e``."""
+
+    def __init__(self, edge_id: int, clients: Sequence[Client]) -> None:
+        if not clients:
+            raise ValueError(f"edge server {edge_id} needs at least one client")
+        self.edge_id = int(edge_id)
+        self.clients = list(clients)
+
+    @property
+    def num_clients(self) -> int:
+        """``N0`` for this area."""
+        return len(self.clients)
+
+    @property
+    def num_samples(self) -> int:
+        """Total training samples of the area's clients."""
+        return sum(c.num_samples for c in self.clients)
+
+    def model_update(self, engine: NeuralNetwork, w_start: np.ndarray, *,
+                     tau1: int, tau2: int, lr: float,
+                     projection: Projection = identity_projection,
+                     checkpoint: tuple[int, int] | None = None,
+                     tracker: CommunicationTracker | None = None,
+                     weight_by_data: bool = False,
+                     compressor=None,
+                     comp_rng: np.random.Generator | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Run the ModelUpdate procedure from global model ``w_start``.
+
+        Parameters
+        ----------
+        tau1, tau2:
+            Local SGD steps per block and client-edge aggregation blocks per round.
+        checkpoint:
+            The cloud-sampled ``(c1, c2)`` with ``c1 ∈ [1, τ1]``,
+            ``c2 ∈ [0, τ2-1]``; ``None`` disables Part (b) (used by HierFAVG).
+        tracker:
+            Communication accounting; each aggregation block is one ``client_edge``
+            sync cycle; checkpoint uploads ride along with the block-``c2`` upload.
+        weight_by_data:
+            ``False`` (HierMinimax, Eq. (5)'s uniform ``1/N0`` average — clients of
+            an area share one distribution) or ``True`` (HierFAVG's FedAvg-style
+            aggregation proportional to client dataset sizes, the ``q_n`` of
+            Eq. (1)).
+        compressor / comp_rng:
+            Optional :class:`~repro.compression.Compressor` applied to client
+            uploads — each client transmits a compressed *delta* against the
+            block's broadcast model (the Hier-Local-QSGD extension).  Tracker
+            float counts use the compressor's payload size.
+
+        Returns
+        -------
+        (w_edge, w_edge_checkpoint):
+            The edge model after τ2 blocks, and the aggregated checkpoint model
+            (``None`` when ``checkpoint`` is ``None``).
+        """
+        if tau1 < 1 or tau2 < 1:
+            raise ValueError(f"tau1 and tau2 must be >= 1, got ({tau1}, {tau2})")
+        c1: int | None = None
+        c2: int | None = None
+        if checkpoint is not None:
+            c1, c2 = checkpoint
+            if not 1 <= c1 <= tau1:
+                raise ValueError(f"c1 must be in [1, {tau1}], got {c1}")
+            if not 0 <= c2 < tau2:
+                raise ValueError(f"c2 must be in [0, {tau2}), got {c2}")
+        d = w_start.size
+        n0 = self.num_clients
+        if weight_by_data:
+            agg_weights = np.array([c.num_samples for c in self.clients],
+                                   dtype=np.float64)
+            agg_weights /= agg_weights.sum()
+        else:
+            agg_weights = np.full(n0, 1.0 / n0)
+        w_edge = np.array(w_start, dtype=np.float64, copy=True)
+        w_ckpt: np.ndarray | None = None
+        acc = np.empty(d, dtype=np.float64)
+        for t2 in range(tau2):
+            is_ckpt_block = c2 is not None and t2 == c2
+            if tracker is not None:
+                # Edge broadcasts w_edge to its clients (model-sized, down).
+                tracker.record("client_edge", "down", count=n0, floats=d)
+            acc.fill(0.0)
+            ckpt_acc = np.zeros(d, dtype=np.float64) if is_ckpt_block else None
+            upload_floats = float(d) if compressor is None else \
+                compressor.payload_floats(d)
+            for weight, client in zip(agg_weights, self.clients):
+                w_end, w_c = client.local_sgd(
+                    engine, w_edge, steps=tau1, lr=lr, projection=projection,
+                    checkpoint_after=c1 if is_ckpt_block else None)
+                if compressor is not None:
+                    # Transmit compressed deltas against the broadcast model.
+                    w_end = w_edge + _compress(compressor, client.client_id,
+                                               w_end - w_edge, comp_rng)
+                    if w_c is not None:
+                        w_c = w_edge + _compress(compressor, client.client_id,
+                                                 w_c - w_edge, comp_rng)
+                acc += weight * w_end
+                if ckpt_acc is not None:
+                    ckpt_acc += weight * w_c
+                if tracker is not None:
+                    # Client uploads its model (+ checkpoint model when captured).
+                    tracker.record("client_edge", "up", count=1,
+                                   floats=upload_floats * (2 if is_ckpt_block
+                                                           else 1))
+            if tracker is not None:
+                tracker.sync_cycle("client_edge")
+            w_edge[:] = acc
+            if ckpt_acc is not None:
+                w_ckpt = ckpt_acc
+        return w_edge, w_ckpt
+
+    def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray, *,
+                      tracker: CommunicationTracker | None = None) -> float:
+        """LossEstimation: average the clients' minibatch losses at ``w``."""
+        d = w.size
+        if tracker is not None:
+            tracker.record("client_edge", "down", count=self.num_clients, floats=d)
+        total = 0.0
+        for client in self.clients:
+            total += client.estimate_loss(engine, w)
+            if tracker is not None:
+                tracker.record("client_edge", "up", count=1, floats=1)
+        if tracker is not None:
+            tracker.sync_cycle("client_edge")
+        return total / self.num_clients
+
+    def full_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:
+        """Exact edge loss ``f_e(w)`` over all the area's data (theory/diagnostics)."""
+        total = 0.0
+        for client in self.clients:
+            total += client.full_loss(engine, w)
+        return total / self.num_clients
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeServer(id={self.edge_id}, clients={self.num_clients})"

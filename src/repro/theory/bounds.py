@@ -1,0 +1,217 @@
+"""Evaluators of the paper's convergence bounds (Theorems 1 and 2, Lemmas 1–2).
+
+Given the problem constants of Assumptions 1–5 and an algorithm configuration
+(``η_w``, ``η_p``, ``τ1``, ``τ2``, ``m_E``, ``N0``, ``N_E``, ``T``), these
+functions evaluate the right-hand sides of the paper's bounds term by term, so the
+benches can (a) report the predicted duality gap / Moreau-envelope stationarity
+alongside the measured quantities, and (b) verify the claimed monotonicities (e.g.
+the bound degrades as ``τ1 τ2`` grows and tightens as ``T`` grows).
+
+Every term is named exactly as annotated under Theorem 1 (minimization gap,
+maximization gap, client-edge aggregation, edge-cloud aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.theory.constants import ProblemConstants
+
+__all__ = [
+    "HierMinimaxBoundInputs",
+    "Theorem1Bound",
+    "theorem1_bound",
+    "Theorem2Bound",
+    "theorem2_bound",
+    "lemma1_divergence_bound",
+    "lemma2_divergence_bound",
+    "lemma1_step_condition",
+    "lemma2_step_condition",
+]
+
+
+@dataclass(frozen=True)
+class HierMinimaxBoundInputs:
+    """Algorithm configuration entering the bounds.
+
+    Attributes
+    ----------
+    eta_w, eta_p:
+        Learning rates.
+    tau1, tau2:
+        Update/aggregation periods.
+    m_edges:
+        Sampled edges per phase (``m_E``).
+    n0:
+        Clients per edge area (``N0``).
+    n_edges:
+        Edge areas (``N_E``).
+    T:
+        Total training slots ``K·τ1·τ2``.
+    """
+
+    eta_w: float
+    eta_p: float
+    tau1: int
+    tau2: int
+    m_edges: int
+    n0: int
+    n_edges: int
+    T: int
+
+    def __post_init__(self) -> None:
+        if min(self.tau1, self.tau2, self.m_edges, self.n0, self.n_edges, self.T) < 1:
+            raise ValueError("tau1, tau2, m_edges, n0, n_edges, T must all be >= 1")
+        if self.eta_w <= 0 or self.eta_p <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.m_edges > self.n_edges:
+            raise ValueError(f"m_edges={self.m_edges} exceeds n_edges={self.n_edges}")
+
+    @property
+    def m(self) -> int:
+        """Sampled clients per round, ``m = m_E · N0``."""
+        return self.m_edges * self.n0
+
+    @property
+    def rounds(self) -> int:
+        """Training rounds ``K = T / (τ1·τ2)`` (ceil)."""
+        return -(-self.T // (self.tau1 * self.tau2))
+
+
+def lemma1_step_condition(cfg: HierMinimaxBoundInputs, c: ProblemConstants) -> bool:
+    """Whether the Lemma 1 step-size condition ``1 - 20η²L²τ1²(1+τ2²) >= 1/2`` holds."""
+    return (1.0 - 20.0 * cfg.eta_w ** 2 * c.L ** 2 * cfg.tau1 ** 2
+            * (1.0 + cfg.tau2 ** 2)) >= 0.5
+
+
+def lemma2_step_condition(cfg: HierMinimaxBoundInputs, c: ProblemConstants) -> bool:
+    """Whether the Lemma 2 condition ``1 - 2ηLτ1(1+τ2) >= 1/2`` holds."""
+    return (1.0 - 2.0 * cfg.eta_w * c.L * cfg.tau1 * (1.0 + cfg.tau2)) >= 0.5
+
+
+def lemma1_divergence_bound(cfg: HierMinimaxBoundInputs, c: ProblemConstants) -> float:
+    """Lemma 1: bound on the mean squared divergence between local and global models.
+
+    ``20η²τ1²((m+1)/m·σ² + Ψ) + 20η²τ1²τ2²((m_E+1)/N0·σ² + Ψ)``
+    """
+    m = cfg.m
+    term_ce = 20.0 * cfg.eta_w ** 2 * cfg.tau1 ** 2 * (
+        (m + 1) / m * c.sigma_w ** 2 + c.psi)
+    term_ec = 20.0 * cfg.eta_w ** 2 * cfg.tau1 ** 2 * cfg.tau2 ** 2 * (
+        (cfg.m_edges + 1) / cfg.n0 * c.sigma_w ** 2 + c.psi)
+    return term_ce + term_ec
+
+
+def lemma2_divergence_bound(cfg: HierMinimaxBoundInputs, c: ProblemConstants) -> float:
+    """Lemma 2: bound on the mean (unsquared) model divergence for non-convex loss.
+
+    ``2ητ1((m+1)/m·σ + √Ψ) + 2ητ1τ2((m_E+1)/N0·σ + √Ψ)``
+    """
+    m = cfg.m
+    sqrt_psi = c.psi ** 0.5
+    term_ce = 2.0 * cfg.eta_w * cfg.tau1 * ((m + 1) / m * c.sigma_w + sqrt_psi)
+    term_ec = 2.0 * cfg.eta_w * cfg.tau1 * cfg.tau2 * (
+        (cfg.m_edges + 1) / cfg.n0 * c.sigma_w + sqrt_psi)
+    return term_ce + term_ec
+
+
+@dataclass(frozen=True)
+class Theorem1Bound:
+    """The Theorem 1 duality-gap bound, term by term."""
+
+    maximization_gap: float
+    minimization_gap: float
+    client_edge_aggregation: float
+    edge_cloud_aggregation: float
+    step_condition_ok: bool
+
+    @property
+    def total(self) -> float:
+        """The full duality-gap upper bound."""
+        return (self.maximization_gap + self.minimization_gap
+                + self.client_edge_aggregation + self.edge_cloud_aggregation)
+
+
+def theorem1_bound(cfg: HierMinimaxBoundInputs, c: ProblemConstants) -> Theorem1Bound:
+    """Evaluate the Theorem 1 duality-gap upper bound for convex losses."""
+    m = cfg.m
+    maximization = (c.R_p ** 2 / (2.0 * cfg.eta_p * cfg.T)
+                    + cfg.eta_p * cfg.tau1 * cfg.tau2 / 2.0 * c.G_p ** 2
+                    + cfg.eta_p * cfg.tau1 * cfg.tau2 / (2.0 * m) * c.sigma_p ** 2)
+    minimization = (cfg.n_edges * c.R_w ** 2 / (2.0 * cfg.eta_w * cfg.T)
+                    + cfg.eta_w * cfg.n_edges / 2.0 * c.G_w ** 2
+                    + cfg.eta_w / (2.0 * cfg.n0) * c.sigma_w ** 2)
+    client_edge = (10.0 * c.L * cfg.n_edges * cfg.eta_w ** 2 * cfg.tau1 ** 2
+                   * ((m + 1) / m * c.sigma_w ** 2 + c.psi))
+    edge_cloud = (10.0 * c.L * cfg.n_edges * cfg.eta_w ** 2
+                  * cfg.tau1 ** 2 * cfg.tau2 ** 2
+                  * ((cfg.m_edges + 1) / cfg.n0 * c.sigma_w ** 2 + c.psi))
+    return Theorem1Bound(
+        maximization_gap=maximization,
+        minimization_gap=minimization,
+        client_edge_aggregation=client_edge,
+        edge_cloud_aggregation=edge_cloud,
+        step_condition_ok=lemma1_step_condition(cfg, c),
+    )
+
+
+@dataclass(frozen=True)
+class Theorem2Bound:
+    """The Theorem 2 Moreau-envelope stationarity bound, term by term."""
+
+    initial_gap: float
+    drift: float
+    weight_domain: float
+    weight_noise: float
+    model_noise: float
+    client_edge_divergence: float
+    edge_cloud_divergence: float
+    step_condition_ok: bool
+
+    @property
+    def total(self) -> float:
+        """The full bound on the averaged squared Moreau-envelope gradient norm."""
+        return (self.initial_gap + self.drift + self.weight_domain
+                + self.weight_noise + self.model_noise
+                + self.client_edge_divergence + self.edge_cloud_divergence)
+
+
+def theorem2_bound(cfg: HierMinimaxBoundInputs, c: ProblemConstants, *,
+                   phi0: float) -> Theorem2Bound:
+    """Evaluate the Theorem 2 bound for non-convex losses.
+
+    Parameters
+    ----------
+    phi0:
+        ``Φ_{1/2L}(w^(0))`` — the Moreau envelope of the worst-case objective at
+        the initial model (measure it with
+        :func:`repro.theory.moreau.moreau_envelope`).
+    """
+    if phi0 < 0:
+        raise ValueError(f"phi0 must be nonnegative, got {phi0}")
+    m = cfg.m
+    K = cfg.rounds
+    sqrt_K = K ** 0.5
+    sqrt_psi = c.psi ** 0.5
+    tau12 = cfg.tau1 * cfg.tau2
+    initial = 4.0 * phi0 / (cfg.eta_w * cfg.n_edges * cfg.T)
+    drift = (16.0 * c.L * sqrt_K * cfg.eta_w * tau12 * c.G_w
+             * (c.G_w ** 2 + c.sigma_w ** 2) ** 0.5)
+    weight_domain = 4.0 * c.L * c.R_p ** 2 / (sqrt_K * cfg.eta_p * tau12)
+    weight_noise = (8.0 * cfg.eta_p * tau12 * c.L
+                    * (c.G_p ** 2 + c.sigma_p ** 2 / m))
+    model_noise = 4.0 * cfg.eta_w / cfg.n_edges * (c.G_w ** 2 + c.sigma_w ** 2 / m)
+    ce_div = (8.0 * cfg.eta_w * cfg.tau1 * c.R_w * c.L ** 2 / cfg.n_edges
+              * ((m + 1) / m * c.sigma_w + sqrt_psi))
+    ec_div = (8.0 * cfg.eta_w * tau12 * c.R_w * c.L ** 2 / cfg.n_edges
+              * ((cfg.m_edges + 1) / cfg.n0 * c.sigma_w + sqrt_psi))
+    return Theorem2Bound(
+        initial_gap=initial,
+        drift=drift,
+        weight_domain=weight_domain,
+        weight_noise=weight_noise,
+        model_noise=model_noise,
+        client_edge_divergence=ce_div,
+        edge_cloud_divergence=ec_div,
+        step_condition_ok=lemma2_step_condition(cfg, c),
+    )

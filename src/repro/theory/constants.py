@@ -1,0 +1,162 @@
+"""Estimation of the problem constants appearing in Assumptions 1–5.
+
+The bounds of Theorems 1–2 are stated in terms of the constants
+
+* ``R_W``, ``R_P`` — domain diameters (Assumption 1),
+* ``L`` — smoothness (Assumption 2),
+* ``G_w``, ``G_p`` — gradient bounds (Assumption 3),
+* ``σ_w``, ``σ_p`` — stochastic-gradient variances (Assumption 4),
+* ``Ψ`` — gradient dissimilarity (Assumption 5).
+
+For the bound evaluators in :mod:`repro.theory.bounds` to produce concrete numbers
+on a concrete problem instance, these constants must be *measured*.
+:func:`estimate_problem_constants` probes a federated problem empirically: it draws
+models from the relevant region, computes per-edge full gradients and minibatch
+stochastic gradients, and returns conservative (max-over-probes) estimates.  For
+multinomial logistic regression the smoothness constant also has the closed form
+``L <= max_batch ||x||² / 2`` which :func:`logistic_smoothness_bound` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+from repro.nn.network import NeuralNetwork
+
+__all__ = ["ProblemConstants", "estimate_problem_constants", "logistic_smoothness_bound"]
+
+
+@dataclass(frozen=True)
+class ProblemConstants:
+    """Measured Assumption-1–5 constants of one problem instance."""
+
+    R_w: float
+    R_p: float
+    L: float
+    G_w: float
+    G_p: float
+    sigma_w: float
+    sigma_p: float
+    psi: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (serialization)."""
+        return {
+            "R_w": self.R_w, "R_p": self.R_p, "L": self.L, "G_w": self.G_w,
+            "G_p": self.G_p, "sigma_w": self.sigma_w, "sigma_p": self.sigma_p,
+            "psi": self.psi,
+        }
+
+
+def logistic_smoothness_bound(X: np.ndarray) -> float:
+    """Closed-form smoothness bound of softmax cross-entropy logistic regression.
+
+    For mean cross-entropy over a batch, the Hessian w.r.t. the weights satisfies
+    ``||H|| <= (1/2) · mean_i ||x_i||²`` (the softmax Jacobian has spectral norm
+    <= 1/2); we return the max over samples for a batch-independent constant.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    # +1 accounts for the bias coordinate.
+    return 0.5 * float((np.square(X).sum(axis=1) + 1.0).max())
+
+
+def estimate_problem_constants(dataset: FederatedDataset, engine: NeuralNetwork, *,
+                               num_probes: int = 8, probe_radius: float = 1.0,
+                               batch_size: int = 8,
+                               rng: np.random.Generator | None = None,
+                               ) -> ProblemConstants:
+    """Empirically estimate the Assumption constants around the init region.
+
+    Parameters
+    ----------
+    dataset:
+        The federated problem whose edge losses define ``F``.
+    engine:
+        Model defining the parameterization; its current parameters are restored
+        on exit.
+    num_probes:
+        Models sampled in the ball of ``probe_radius`` around the current
+        parameters (more probes → tighter max estimates, linearly slower).
+    batch_size:
+        Minibatch size used for the stochastic-variance estimates.
+
+    Notes
+    -----
+    The estimates are *empirical maxima*, i.e. lower bounds on the true suprema;
+    they are intended for evaluating the theorem bounds on concrete instances
+    (bench ``bench_theory_bounds``), not for certified guarantees.
+    """
+    if num_probes < 1:
+        raise ValueError(f"num_probes must be >= 1, got {num_probes}")
+    if probe_radius <= 0:
+        raise ValueError(f"probe_radius must be positive, got {probe_radius}")
+    gen = rng if rng is not None else np.random.default_rng(0)
+    w0 = engine.get_params()
+    d = w0.size
+    n_e = dataset.num_edges
+
+    G_w = 0.0
+    sigma_w2 = 0.0
+    psi = 0.0
+    G_p = 0.0
+    sigma_p2 = 0.0
+    L_est = 0.0
+
+    edge_pools = [edge.train_pool() for edge in dataset.edges]
+    prev_w: np.ndarray | None = None
+    prev_grads: np.ndarray | None = None
+    for probe in range(num_probes):
+        w = w0 if probe == 0 else w0 + probe_radius * _unit_vector(gen, d)
+        # Per-edge full gradients and losses.
+        grads = np.empty((n_e, d))
+        losses = np.empty(n_e)
+        for e, pool in enumerate(edge_pools):
+            engine.set_params(w)
+            losses[e], grads[e] = engine.loss_and_gradient(pool.X, pool.y)
+        norms = np.linalg.norm(grads, axis=1)
+        G_w = max(G_w, float(norms.max()))
+        # Psi: worst-case weighted dissimilarity; the sup over p of the weighted
+        # average is attained at the single worst pair, so bound with the max.
+        diffs = grads[:, None, :] - grads[None, :, :]
+        psi = max(psi, float(np.square(diffs).sum(axis=2).max()))
+        # G_p: gradient w.r.t. p is the loss vector itself.
+        G_p = max(G_p, float(np.linalg.norm(losses)))
+        # sigma_w: variance of minibatch gradients around the edge full gradient.
+        for e, pool in enumerate(edge_pools):
+            idx = gen.choice(len(pool), size=min(batch_size, len(pool)), replace=False)
+            engine.set_params(w)
+            _, g_batch = engine.loss_and_gradient(pool.X[idx], pool.y[idx])
+            sigma_w2 = max(sigma_w2, float(np.square(g_batch - grads[e]).sum()))
+            # sigma_p: per-coordinate loss-estimate variance proxy.
+            engine.set_params(w)
+            batch_loss = engine.loss(pool.X[idx], pool.y[idx])
+            sigma_p2 = max(sigma_p2, (batch_loss - losses[e]) ** 2 * n_e)
+        # L: secant estimate between consecutive probes.
+        if prev_w is not None:
+            dw = float(np.linalg.norm(w - prev_w))
+            if dw > 1e-12:
+                dg = float(np.linalg.norm(grads - prev_grads, axis=1).max())
+                L_est = max(L_est, dg / dw)
+        prev_w, prev_grads = w, grads
+
+    engine.set_params(w0)
+    return ProblemConstants(
+        R_w=2.0 * probe_radius,
+        R_p=float(np.sqrt(2.0)),  # diameter of the probability simplex
+        L=L_est if L_est > 0 else 1.0,
+        G_w=G_w,
+        G_p=G_p,
+        sigma_w=float(np.sqrt(sigma_w2)),
+        sigma_p=float(np.sqrt(sigma_p2)),
+        psi=psi,
+    )
+
+
+def _unit_vector(rng: np.random.Generator, d: int) -> np.ndarray:
+    v = rng.normal(size=d)
+    return v / np.linalg.norm(v)

@@ -1,0 +1,96 @@
+"""Moreau-envelope machinery for the non-convex analysis (§5.2).
+
+For non-convex losses the paper measures near-stationarity of
+``Φ(w) = max_{p∈P} F(w, p) = max_e f_e(w)`` through its (1/2L)-Moreau envelope
+(Eq. (9)):
+
+    Φ_λ(w) = min_x { Φ(x) + (1/2λ)||x − w||² },     ∇Φ_λ(w) = (w − x*)/λ.
+
+``Φ`` is a pointwise max of smooth functions, so the proximal subproblem is solved
+here by subgradient descent with averaging on the strongly convex objective — the
+max's subgradient at ``x`` is the gradient of an attaining edge loss.  The solver
+returns both the envelope value and the proximal point, from which the stationarity
+measure ``||∇Φ_{1/2L}(w)||`` follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import FederatedDataset
+from repro.nn.network import NeuralNetwork
+from repro.theory.duality import edge_losses
+
+__all__ = ["phi_value", "moreau_envelope", "moreau_gradient_norm"]
+
+
+def phi_value(engine: NeuralNetwork, w: np.ndarray,
+              dataset: FederatedDataset) -> float:
+    """``Φ(w) = max_e f_e(w)`` over the edges' pooled training data."""
+    return float(edge_losses(engine, w, dataset).max())
+
+
+def _phi_subgradient(engine: NeuralNetwork, x: np.ndarray,
+                     dataset: FederatedDataset) -> tuple[float, np.ndarray]:
+    """Value and one subgradient of ``Φ`` at ``x`` (gradient of an attaining edge)."""
+    losses = np.empty(dataset.num_edges)
+    grads: list[np.ndarray | None] = [None] * dataset.num_edges
+    for e, edge in enumerate(dataset.edges):
+        pool = edge.train_pool()
+        engine.set_params(x)
+        losses[e], g = engine.loss_and_gradient(pool.X, pool.y)
+        grads[e] = g
+    worst = int(np.argmax(losses))
+    return float(losses[worst]), grads[worst]
+
+
+def moreau_envelope(engine: NeuralNetwork, w: np.ndarray,
+                    dataset: FederatedDataset, *, lam: float,
+                    max_iters: int = 300, tol: float = 1e-7,
+                    ) -> tuple[float, np.ndarray]:
+    """Evaluate ``Φ_λ(w)`` and its proximal point ``x*``.
+
+    The subproblem ``min_x Φ(x) + (1/2λ)||x − w||²`` is ``1/λ``-strongly convex
+    (for ``λ`` below the weak-convexity threshold ``1/L``); projected subgradient
+    descent with the classic ``2/(μ(k+2))`` schedule and tail averaging converges
+    at ``O(1/k)``.
+
+    Returns
+    -------
+    (value, x_star):
+        The envelope value and the approximate proximal point.
+    """
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    if max_iters < 1:
+        raise ValueError(f"max_iters must be >= 1, got {max_iters}")
+    w = np.asarray(w, dtype=np.float64)
+    mu = 1.0 / lam
+    x = w.copy()
+    x_avg = np.zeros_like(x)
+    weight_sum = 0.0
+    prev_obj = np.inf
+    for k in range(max_iters):
+        phi_x, g_phi = _phi_subgradient(engine, x, dataset)
+        obj = phi_x + 0.5 * mu * float((x - w) @ (x - w))
+        grad = g_phi + mu * (x - w)
+        step = 2.0 / (mu * (k + 2))
+        x = x - step * grad
+        # Weighted (k+1)-averaging emphasizes late iterates (Lacoste-Julien et al.).
+        x_avg += (k + 1) * x
+        weight_sum += (k + 1)
+        if abs(prev_obj - obj) < tol and k > 10:
+            break
+        prev_obj = obj
+    x_star = x_avg / weight_sum
+    phi_star, _ = _phi_subgradient(engine, x_star, dataset)
+    value = phi_star + 0.5 * mu * float((x_star - w) @ (x_star - w))
+    return value, x_star
+
+
+def moreau_gradient_norm(engine: NeuralNetwork, w: np.ndarray,
+                         dataset: FederatedDataset, *, lam: float,
+                         **kwargs) -> float:
+    """``||∇Φ_λ(w)|| = ||w − x*|| / λ`` — the §5.2 stationarity measure."""
+    _, x_star = moreau_envelope(engine, w, dataset, lam=lam, **kwargs)
+    return float(np.linalg.norm(w - x_star)) / lam

@@ -1,0 +1,74 @@
+"""Empirical convergence-rate fitting.
+
+The §5 tradeoff benches verify the claimed orders empirically: run HierMinimax at
+several horizons ``T`` (or several ``α``), measure the duality gap / suboptimality,
+and fit the log-log slope.  :func:`fit_power_law` performs the regression;
+:func:`rate_consistency` compares a fitted exponent against a theoretical one with
+a tolerance appropriate for small-T, noisy measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "rate_consistency"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y ≈ C · x^slope`` in log-log space.
+
+    ``r_squared`` is the usual coefficient of determination of the log-log
+    regression.
+    """
+
+    slope: float
+    log_intercept: float
+    r_squared: float
+
+    @property
+    def constant(self) -> float:
+        """The multiplicative constant ``C = exp(log_intercept)``."""
+        return float(np.exp(self.log_intercept))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at ``x``."""
+        return self.constant * np.asarray(x, dtype=np.float64) ** self.slope
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> PowerLawFit:
+    """Fit ``y = C·x^s`` by ordinary least squares on ``(log x, log y)``.
+
+    Requires at least two points with strictly positive coordinates.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"x and y must be matching 1-D arrays, got {x.shape}, {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(slope=float(slope), log_intercept=float(intercept),
+                       r_squared=r2)
+
+
+def rate_consistency(fitted_slope: float, theoretical_slope: float, *,
+                     atol: float = 0.25) -> bool:
+    """Whether a fitted exponent is consistent with the theoretical one.
+
+    Theoretical rates are upper bounds, so empirical decay may be *faster*
+    (more negative slope); consistency therefore means
+    ``fitted <= theoretical + atol``.
+    """
+    if atol < 0:
+        raise ValueError(f"atol must be nonnegative, got {atol}")
+    return fitted_slope <= theoretical_slope + atol

@@ -1,0 +1,20 @@
+"""Hierarchical network structure, communication accounting, and sampling."""
+
+from repro.topology.comm import DIRECTIONS, LINKS, CommSnapshot, CommunicationTracker
+from repro.topology.network import HierarchicalTopology
+from repro.topology.sampling import (
+    sample_by_weight,
+    sample_checkpoint_slot,
+    sample_uniform_subset,
+)
+
+__all__ = [
+    "DIRECTIONS",
+    "LINKS",
+    "CommSnapshot",
+    "CommunicationTracker",
+    "HierarchicalTopology",
+    "sample_by_weight",
+    "sample_checkpoint_slot",
+    "sample_uniform_subset",
+]

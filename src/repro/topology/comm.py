@@ -1,0 +1,151 @@
+"""Communication accounting for federated algorithms.
+
+The paper's evaluation plots accuracy against *communication rounds* and its theory
+counts *edge-cloud communication complexity*.  :class:`CommunicationTracker` records
+enough raw information to report both (and more):
+
+* **events** — each call to :meth:`record` logs ``count`` messages of ``floats``
+  scalars each on one *link* (``client_edge``, ``edge_cloud``, or ``client_cloud``
+  for two-layer baselines) in one *direction* (``up`` toward the cloud, ``down``
+  toward the clients);
+* **sync cycles** — each call to :meth:`sync_cycle` marks one completed
+  synchronization cycle on a link (a broadcast + collect pair).  The figures'
+  default "communication rounds" is the total number of sync cycles across all
+  links, the convention under which one client-server exchange of a two-layer
+  method and one client-edge aggregation of a hierarchical method each cost 1.
+
+Derived views: per-link message/float totals, bytes (8 bytes per float64 scalar),
+edge-cloud-only cycles (the theory's complexity measure), and immutable snapshots
+for time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CommunicationTracker", "CommSnapshot", "LINKS", "DIRECTIONS"]
+
+LINKS = ("client_edge", "edge_cloud", "client_cloud")
+DIRECTIONS = ("up", "down")
+_BYTES_PER_FLOAT = 8
+
+
+@dataclass(frozen=True)
+class CommSnapshot:
+    """Immutable communication totals at one instant.
+
+    Attributes
+    ----------
+    cycles:
+        Sync-cycle count per link.
+    messages:
+        Message count per (link, direction) pair, keyed ``f"{link}:{direction}"``.
+    floats:
+        Scalar volume per (link, direction) pair.
+    """
+
+    cycles: Dict[str, int]
+    messages: Dict[str, int]
+    floats: Dict[str, float]
+
+    @property
+    def total_cycles(self) -> int:
+        """The default "communication rounds" of the figures."""
+        return sum(self.cycles.values())
+
+    @property
+    def edge_cloud_cycles(self) -> int:
+        """The theory's edge-cloud communication complexity measure.
+
+        Two-layer baselines talk straight to the cloud, so their client-cloud
+        cycles are counted here as well — both traverse the WAN backhaul.  The
+        multi-layer generalization's top link (``level_1``) likewise counts.
+        """
+        return (self.cycles.get("edge_cloud", 0) + self.cycles.get("client_cloud", 0)
+                + self.cycles.get("level_1", 0))
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_floats(self) -> float:
+        return sum(self.floats.values())
+
+    @property
+    def total_bytes(self) -> float:
+        """Traffic volume assuming float64 payloads."""
+        return self.total_floats * _BYTES_PER_FLOAT
+
+
+class CommunicationTracker:
+    """Mutable accumulator of the communication performed by one algorithm run.
+
+    Parameters
+    ----------
+    extra_links:
+        Additional link names beyond the standard three — used by the
+        multi-layer generalization, whose trees have one link type per level
+        (``level_1``, ``level_2``, …).
+    """
+
+    def __init__(self, extra_links: tuple[str, ...] = ()) -> None:
+        self._links = tuple(LINKS) + tuple(extra_links)
+        self._cycles: Dict[str, int] = {link: 0 for link in self._links}
+        self._messages: Dict[str, int] = {}
+        self._floats: Dict[str, float] = {}
+
+    def record(self, link: str, direction: str, *, count: int = 1,
+               floats: float = 0.0) -> None:
+        """Log ``count`` messages of ``floats`` scalars each on ``link``/``direction``."""
+        if link not in self._links:
+            raise ValueError(f"unknown link {link!r}; options: {self._links}")
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}; options: {DIRECTIONS}")
+        if count < 0 or floats < 0:
+            raise ValueError("count and floats must be nonnegative")
+        key = f"{link}:{direction}"
+        self._messages[key] = self._messages.get(key, 0) + int(count)
+        self._floats[key] = self._floats.get(key, 0.0) + float(floats) * int(count)
+
+    def sync_cycle(self, link: str, *, count: int = 1) -> None:
+        """Mark ``count`` completed synchronization cycles on ``link``."""
+        if link not in self._links:
+            raise ValueError(f"unknown link {link!r}; options: {self._links}")
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        self._cycles[link] += int(count)
+
+    # ---------------------------------------------------------------- reading
+    def snapshot(self) -> CommSnapshot:
+        """Immutable copy of the current totals."""
+        return CommSnapshot(cycles=dict(self._cycles),
+                            messages=dict(self._messages),
+                            floats=dict(self._floats))
+
+    @property
+    def total_cycles(self) -> int:
+        """Total sync cycles — the default communication-round counter."""
+        return sum(self._cycles.values())
+
+    @property
+    def edge_cloud_cycles(self) -> int:
+        """Edge↔cloud (plus client↔cloud / top-level tree link) cycles."""
+        return (self._cycles["edge_cloud"] + self._cycles["client_cloud"]
+                + self._cycles.get("level_1", 0))
+
+    @property
+    def total_bytes(self) -> float:
+        """Total traffic volume in bytes (float64 payloads)."""
+        return sum(self._floats.values()) * _BYTES_PER_FLOAT
+
+    def reset(self) -> None:
+        """Zero all counters (between repetitions)."""
+        self._cycles = {link: 0 for link in self._links}
+        self._messages.clear()
+        self._floats.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CommunicationTracker(cycles={self._cycles}, "
+                f"bytes={self.total_bytes:.3g})")

@@ -1,0 +1,124 @@
+"""Hierarchical hub-and-spoke network topology (Fig. 1 of the paper).
+
+:class:`HierarchicalTopology` describes the static structure: one cloud server,
+``N_E`` edge servers, and each edge server's set of associated clients.  The paper
+assumes a uniform ``N0`` clients per edge but notes the generalization to
+non-uniform areas; both are supported.  Client identifiers are global integers in
+edge-major order, matching :meth:`repro.data.FederatedDataset.iter_clients`.
+
+The topology is pure structure — no state, no communication; those live in
+:mod:`repro.sim` and :mod:`repro.topology.comm`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["HierarchicalTopology"]
+
+
+class HierarchicalTopology:
+    """Client-edge-cloud structure with global client indexing.
+
+    Parameters
+    ----------
+    clients_per_edge:
+        Client count of each edge area, length ``N_E``.
+    """
+
+    def __init__(self, clients_per_edge: Sequence[int]) -> None:
+        counts = [int(c) for c in clients_per_edge]
+        if not counts:
+            raise ValueError("topology needs at least one edge server")
+        if any(c < 1 for c in counts):
+            raise ValueError(f"every edge area needs >= 1 client, got {counts}")
+        self._counts = tuple(counts)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._offsets = offsets
+        self._edge_of_client = np.repeat(np.arange(len(counts)), counts)
+
+    # ------------------------------------------------------------------ basics
+    @classmethod
+    def uniform(cls, num_edges: int, clients_per_edge: int) -> "HierarchicalTopology":
+        """The paper's uniform layout: ``N_E`` edges × ``N0`` clients."""
+        if num_edges < 1 or clients_per_edge < 1:
+            raise ValueError("num_edges and clients_per_edge must be >= 1")
+        return cls([clients_per_edge] * num_edges)
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "HierarchicalTopology":
+        """Topology matching a :class:`repro.data.FederatedDataset` layout."""
+        return cls(dataset.clients_per_edge())
+
+    @property
+    def num_edges(self) -> int:
+        """``N_E``."""
+        return len(self._counts)
+
+    @property
+    def num_clients(self) -> int:
+        """``N`` — total clients across edge areas."""
+        return int(self._offsets[-1])
+
+    @property
+    def clients_per_edge(self) -> tuple[int, ...]:
+        """Client count per edge area."""
+        return self._counts
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether all edge areas have the same client count (the paper's ``N0``)."""
+        return len(set(self._counts)) == 1
+
+    @property
+    def n0(self) -> int:
+        """The uniform per-edge client count ``N0``; raises when non-uniform."""
+        if not self.is_uniform:
+            raise ValueError("topology is non-uniform; N0 is undefined")
+        return self._counts[0]
+
+    # ------------------------------------------------------------------ lookup
+    def clients_of_edge(self, edge: int) -> np.ndarray:
+        """Global client indices of edge area ``edge``."""
+        if not 0 <= edge < self.num_edges:
+            raise IndexError(f"edge index {edge} out of range [0, {self.num_edges})")
+        return np.arange(self._offsets[edge], self._offsets[edge + 1])
+
+    def edge_of_client(self, client: int) -> int:
+        """Edge area that client ``client`` belongs to."""
+        if not 0 <= client < self.num_clients:
+            raise IndexError(f"client index {client} out of range [0, {self.num_clients})")
+        return int(self._edge_of_client[client])
+
+    def validate_dataset(self, dataset) -> None:
+        """Check that a federated dataset matches this topology exactly."""
+        counts = tuple(dataset.clients_per_edge())
+        if counts != self._counts:
+            raise ValueError(
+                f"dataset layout {counts} does not match topology {self._counts}")
+
+    # --------------------------------------------------------------- analysis
+    def to_networkx(self):
+        """Hub-and-spoke graph: ``cloud`` – ``edge:e`` – ``client:i`` nodes.
+
+        Requires :mod:`networkx` (an optional analysis/visualization aid).
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("cloud", layer="cloud")
+        for e in range(self.num_edges):
+            g.add_node(f"edge:{e}", layer="edge")
+            g.add_edge("cloud", f"edge:{e}", link="edge_cloud")
+            for c in self.clients_of_edge(e):
+                g.add_node(f"client:{int(c)}", layer="client")
+                g.add_edge(f"edge:{e}", f"client:{int(c)}", link="client_edge")
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_uniform:
+            return (f"HierarchicalTopology(N_E={self.num_edges}, N0={self._counts[0]}, "
+                    f"N={self.num_clients})")
+        return f"HierarchicalTopology(clients_per_edge={self._counts})"

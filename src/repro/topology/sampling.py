@@ -1,0 +1,67 @@
+"""Participant-sampling primitives for Phases 1 and 2 of Algorithm 1.
+
+* :func:`sample_by_weight` — Phase 1: ``m`` i.i.d. draws from Categorical(p)
+  (with replacement, as in DRFA), making the ``1/m`` average of returned models an
+  unbiased estimate of the p-weighted aggregate.
+* :func:`sample_uniform_subset` — Phase 2: a uniform size-``m`` subset without
+  replacement, under which ``v_e = (N_E/m) f_e`` (0 off-support) is the unbiased
+  gradient estimator derived in §4.2.
+* :func:`sample_checkpoint_slot` — the uniform checkpoint index ``(c1, c2)`` from
+  ``[τ1] × [τ2]``, encoded as a flat slot for convenience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_by_weight", "sample_uniform_subset", "sample_checkpoint_slot"]
+
+
+def sample_by_weight(p: np.ndarray, m: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``m`` edge indices i.i.d. from the categorical distribution ``p``.
+
+    Returns a (possibly repeating) integer array of length ``m``.  ``p`` must be a
+    probability vector; a tiny negative/rounding slack is tolerated and
+    renormalized.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError(f"p must be a nonempty 1-D vector, got shape {p.shape}")
+    if m < 1:
+        raise ValueError(f"must sample at least one edge, got m={m}")
+    if np.any(p < -1e-9):
+        raise ValueError(f"p has negative entries: min={p.min()}")
+    q = np.clip(p, 0.0, None)
+    total = q.sum()
+    if total <= 0:
+        raise ValueError("p has no positive mass")
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"p must sum to 1 (got {total}); project it first")
+    q = q / total
+    return rng.choice(p.size, size=m, replace=True, p=q)
+
+
+def sample_uniform_subset(n: int, m: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random subset of size ``m`` from ``{0, …, n-1}``, no replacement."""
+    if n < 1:
+        raise ValueError(f"population must be nonempty, got n={n}")
+    if not 1 <= m <= n:
+        raise ValueError(f"subset size m={m} must satisfy 1 <= m <= n={n}")
+    return rng.choice(n, size=m, replace=False)
+
+
+def sample_checkpoint_slot(tau1: int, tau2: int, rng: np.random.Generator,
+                           ) -> tuple[int, int]:
+    """Sample the checkpoint index uniformly from the round's ``τ1·τ2`` slots.
+
+    Returns ``(c1, c2)`` where ``c2 ∈ {0, …, τ2-1}`` is the client-edge aggregation
+    block and ``c1 ∈ {1, …, τ1}`` the number of local SGD steps completed within
+    that block at the moment of the snapshot.  The encoding covers each of the
+    round's local-update instants exactly once, as the unbiasedness argument of
+    Appendix A requires.
+    """
+    if tau1 < 1 or tau2 < 1:
+        raise ValueError(f"tau1 and tau2 must be >= 1, got ({tau1}, {tau2})")
+    slot = int(rng.integers(0, tau1 * tau2))
+    c2, c1 = divmod(slot, tau1)
+    return c1 + 1, c2

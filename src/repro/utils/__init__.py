@@ -1,0 +1,43 @@
+"""Shared utilities: RNG stream management, validation, serialization, logging."""
+
+from repro.utils.logging import NullLogger, RunLogger
+from repro.utils.rng import RngFactory, as_generator, spawn_generators, stable_key
+from repro.utils.serialization import from_jsonable, load_json, save_json, to_jsonable
+from repro.utils.timers import Timer, TimerBank
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_in_unit_interval,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_simplex_vector,
+)
+
+__all__ = [
+    "NullLogger",
+    "RunLogger",
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "stable_key",
+    "from_jsonable",
+    "load_json",
+    "save_json",
+    "to_jsonable",
+    "Timer",
+    "TimerBank",
+    "check_array_1d",
+    "check_array_2d",
+    "check_fraction",
+    "check_in_unit_interval",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_positive_int",
+    "check_probability",
+    "check_same_length",
+    "check_simplex_vector",
+]

@@ -1,0 +1,66 @@
+"""Minimal structured logging for training runs.
+
+The library does not print from inside algorithm code; instead, algorithms accept an
+optional :class:`RunLogger` (or any callable) that receives structured progress
+events.  This keeps hot loops free of I/O unless the caller opts in, in line with
+the profile-first HPC guidance followed throughout the repo.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+__all__ = ["RunLogger", "NullLogger", "ProgressEvent"]
+
+ProgressEvent = dict  # alias: events are plain dicts with at least {"event": str}
+
+
+class NullLogger:
+    """Logger that drops all events (the default inside algorithms)."""
+
+    def __call__(self, event: ProgressEvent) -> None:
+        """Discard ``event``."""
+
+
+class RunLogger:
+    """Stream structured events as single-line records.
+
+    Parameters
+    ----------
+    stream:
+        File-like target; defaults to ``sys.stderr``.
+    every:
+        Only emit one out of ``every`` ``"round"`` events (other event types always
+        pass through).  Use this to keep long runs readable.
+    """
+
+    def __init__(self, stream: TextIO | None = None, *, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = every
+        self._round_count = 0
+        self._t0 = time.perf_counter()
+
+    def __call__(self, event: ProgressEvent) -> None:
+        """Format and emit ``event`` subject to the round-thinning policy."""
+        kind = event.get("event", "info")
+        if kind == "round":
+            self._round_count += 1
+            if (self._round_count - 1) % self._every != 0:
+                return
+        elapsed = time.perf_counter() - self._t0
+        fields = " ".join(f"{k}={_fmt(v)}" for k, v in event.items() if k != "event")
+        self._stream.write(f"[{elapsed:9.2f}s] {kind}: {fields}\n")
+        self._stream.flush()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+LoggerLike = Callable[[ProgressEvent], None]

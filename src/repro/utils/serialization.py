@@ -1,0 +1,68 @@
+"""Serialization of experiment results to JSON.
+
+Experiment outputs (training histories, table rows, figure series) are plain nested
+structures of dicts/lists/NumPy scalars/arrays.  These helpers convert them to and
+from portable JSON so benchmark runs can be archived and diffed.  Arrays are stored
+as ``{"__ndarray__": [...], "dtype": ..., "shape": [...]}`` envelopes, which keeps
+files human-readable for the modest sizes produced here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "from_jsonable", "save_json", "load_json"]
+
+_ARRAY_KEY = "__ndarray__"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-encodable structures."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        value = float(obj)
+        return value
+    if isinstance(obj, np.ndarray):
+        return {_ARRAY_KEY: obj.tolist(), "dtype": str(obj.dtype), "shape": list(obj.shape)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`to_jsonable`; reconstructs ndarray envelopes."""
+    if isinstance(obj, dict):
+        if _ARRAY_KEY in obj:
+            return np.asarray(obj[_ARRAY_KEY], dtype=obj.get("dtype", "float64")).reshape(
+                obj.get("shape", -1))
+        return {k: from_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    return obj
+
+
+def save_json(path: str | Path, obj: Any, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON file written by :func:`save_json`."""
+    return from_jsonable(json.loads(Path(path).read_text()))

@@ -1,0 +1,65 @@
+"""Lightweight wall-clock timers for profiling experiment phases.
+
+Following the optimization workflow in the scientific-Python guide (measure before
+optimizing), the experiment runner tags each phase (data generation, training,
+evaluation) with a :class:`Timer` so that benchmark output can attribute time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+__all__ = ["Timer", "TimerBank"]
+
+
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.total >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per enter/exit cycle (0 if never used)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer(total={self.total:.4f}s, count={self.count})"
+
+
+class TimerBank:
+    """Dictionary of named :class:`Timer` objects created on first use."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        """Return (creating if needed) the timer called ``name``."""
+        if name not in self._timers:
+            self._timers[name] = Timer()
+        return self._timers[name]
+
+    def summary(self) -> Dict[str, float]:
+        """Map of timer name to accumulated seconds."""
+        return {name: t.total for name, t in self._timers.items()}

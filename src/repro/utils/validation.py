@@ -1,0 +1,113 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers centralize the error messages so that misconfiguration surfaces as a
+clear ``ValueError``/``TypeError`` at construction time rather than as a NumPy shape
+error deep inside a training loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_in_unit_interval",
+    "check_array_1d",
+    "check_array_2d",
+    "check_simplex_vector",
+    "check_same_length",
+    "check_fraction",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it as ``float``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating, np.integer)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_in_unit_interval(value: Any, name: str, *, closed_right: bool = True) -> float:
+    """Validate that ``value`` is in [0, 1] (or [0, 1) when ``closed_right=False``)."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be in the unit interval, got {value}")
+    if closed_right and value > 1.0:
+        raise ValueError(f"{name} must be <= 1, got {value}")
+    if not closed_right and value >= 1.0:
+        raise ValueError(f"{name} must be < 1, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_unit_interval(value, name, closed_right=True)
+
+
+def check_fraction(numerator: int, denominator: int, name: str) -> None:
+    """Validate that ``numerator <= denominator`` (e.g. sampled edges <= edges)."""
+    if numerator > denominator:
+        raise ValueError(
+            f"{name}: cannot sample {numerator} items from a population of {denominator}")
+
+
+def check_array_1d(arr: Any, name: str, *, length: int | None = None) -> np.ndarray:
+    """Validate and return ``arr`` as a 1-D float array of optional fixed length."""
+    out = np.asarray(arr, dtype=np.float64)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {out.shape}")
+    if length is not None and out.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {out.shape[0]}")
+    return out
+
+
+def check_array_2d(arr: Any, name: str) -> np.ndarray:
+    """Validate and return ``arr`` as a 2-D float array."""
+    out = np.asarray(arr, dtype=np.float64)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {out.shape}")
+    return out
+
+
+def check_simplex_vector(p: Any, name: str, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is a probability vector (nonnegative, sums to 1)."""
+    p = check_array_1d(p, name)
+    if np.any(p < -atol):
+        raise ValueError(f"{name} has negative entries: min={p.min()}")
+    total = float(p.sum())
+    if abs(total - 1.0) > max(atol, 1e-8 * p.size):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return p
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) "
+                         "must have the same length")

@@ -1,0 +1,160 @@
+"""Tests for the HierMinimax core algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierminimax import HierMinimax
+from repro.ops.projections import project_capped_simplex
+
+from tests.conftest import make_blob_fed
+
+
+@pytest.fixture()
+def setup(blob_fed, blob_factory):
+    return blob_fed, blob_factory
+
+
+class TestConstruction:
+    def test_defaults(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, seed=0)
+        assert algo.m_edges == fed.num_edges  # full participation default
+        assert algo.slots_per_round == 4  # tau1=tau2=2
+        np.testing.assert_allclose(algo.p, np.full(fed.num_edges, 1 / fed.num_edges))
+
+    def test_validations(self, setup):
+        fed, factory = setup
+        with pytest.raises(ValueError):
+            HierMinimax(fed, factory, tau1=0)
+        with pytest.raises(ValueError):
+            HierMinimax(fed, factory, eta_p=0.0)
+        with pytest.raises(ValueError):
+            HierMinimax(fed, factory, m_edges=fed.num_edges + 1)
+
+    def test_flags(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory)
+        assert algo.is_minimax and algo.uses_hierarchy
+        assert algo.name == "hierminimax"
+
+
+class TestRound:
+    def test_round_updates_model_and_weights(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=0)
+        w0, p0 = algo.w.copy(), algo.p.copy()
+        algo.run_round(0)
+        assert not np.array_equal(algo.w, w0)
+        assert not np.array_equal(algo.p, p0)
+
+    def test_weights_stay_on_simplex(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.2, seed=0)
+        for k in range(10):
+            algo.run_round(k)
+            assert algo.p.sum() == pytest.approx(1.0)
+            assert np.all(algo.p >= -1e-12)
+
+    def test_capped_weight_constraint_respected(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(
+            fed, factory, eta_w=0.1, eta_p=1.0, seed=0,
+            projection_p=lambda v: project_capped_simplex(v, 0.05, 0.6))
+        for k in range(5):
+            algo.run_round(k)
+            assert algo.p.min() >= 0.05 - 1e-8
+            assert algo.p.max() <= 0.6 + 1e-8
+
+    def test_partial_participation(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, m_edges=2, eta_w=0.1, eta_p=0.05, seed=0)
+        algo.run_round(0)  # must not raise
+        assert algo.m_edges == 2
+
+    def test_communication_accounting_exact(self, setup):
+        """Per round: 2 edge-cloud cycles, m_E(τ2+1) client-edge cycles."""
+        fed, factory = setup
+        tau1, tau2, m_e = 2, 3, 2
+        algo = HierMinimax(fed, factory, tau1=tau1, tau2=tau2, m_edges=m_e,
+                           eta_w=0.1, eta_p=0.05, seed=0)
+        K = 4
+        for k in range(K):
+            algo.run_round(k)
+        snap = algo.tracker.snapshot()
+        assert snap.cycles["edge_cloud"] == 2 * K
+        assert snap.cycles["client_edge"] == K * m_e * (tau2 + 1)
+        assert snap.edge_cloud_cycles == 2 * K
+
+    def test_run_produces_history(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=0)
+        result = algo.run(rounds=6, eval_every=2)
+        assert result.rounds_run == 6
+        assert result.slots_run == 24
+        assert len(result.history) >= 3
+        assert result.final_weights is not None
+        # comm in history points must be non-decreasing
+        cycles = [pt.comm.edge_cloud_cycles for pt in result.history.points]
+        assert cycles == sorted(cycles)
+
+    def test_deterministic_given_seed(self, setup):
+        fed, factory = setup
+        a = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=11)
+        b = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=11)
+        ra = a.run(rounds=4, eval_every=4)
+        rb = b.run(rounds=4, eval_every=4)
+        np.testing.assert_array_equal(ra.final_params, rb.final_params)
+        np.testing.assert_array_equal(ra.final_weights, rb.final_weights)
+
+    def test_different_seeds_differ(self, setup):
+        fed, factory = setup
+        a = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=1)
+        b = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=2)
+        ra = a.run(rounds=3, eval_every=3)
+        rb = b.run(rounds=3, eval_every=3)
+        assert not np.array_equal(ra.final_params, rb.final_params)
+
+    def test_learning_on_easy_problem(self, setup):
+        """Blobs are linearly separable; HierMinimax must reach high accuracy."""
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, eta_w=0.2, eta_p=0.01, batch_size=4,
+                           seed=0)
+        result = algo.run(rounds=60, eval_every=20)
+        assert result.history.final().record.average_accuracy > 0.9
+
+    def test_weights_track_worst_edge(self):
+        """With one edge made artificially hard, p must shift toward it."""
+        from repro.data.dataset import Dataset, EdgeAreaData, FederatedDataset
+        from repro.nn.models import make_model_factory
+
+        gen = np.random.default_rng(0)
+        edges = []
+        for e in range(3):
+            # Edge 2's two classes overlap heavily -> persistently higher loss.
+            sep = 4.0 if e < 2 else 0.3
+            centers = sep * np.array([[1.0, 1.0], [-1.0, -1.0]])
+            def mk(n):
+                y = np.repeat([0, 1], n // 2)
+                X = centers[y] + gen.normal(size=(n, 2))
+                return Dataset(X, y, 2)
+            edges.append(EdgeAreaData([mk(30), mk(30)], mk(20)))
+        fed = FederatedDataset(edges)
+        factory = make_model_factory("logistic", 2, 2)
+        algo = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, batch_size=5,
+                           seed=0)
+        algo.run(rounds=40, eval_every=40)
+        assert np.argmax(algo.p) == 2
+        assert algo.p[2] > 0.4
+
+
+class TestResume:
+    def test_run_twice_continues(self, setup):
+        fed, factory = setup
+        algo = HierMinimax(fed, factory, eta_w=0.1, eta_p=0.05, seed=0)
+        r1 = algo.run(rounds=3, eval_every=3)
+        r2 = algo.run(rounds=2, eval_every=2)
+        assert r1.rounds_run == 3
+        assert r2.rounds_run == 5
+        assert r2.slots_run == 20

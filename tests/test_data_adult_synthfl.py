@@ -1,0 +1,159 @@
+"""Tests for the Adult-like generator and the Synthetic(α, β) generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import AdultLikeGenerator, AdultLikeSpec, make_adult_groups
+from repro.data.synthetic_fl import SyntheticFLSpec, generate_synthetic_fl
+
+
+class TestAdultSpec:
+    def test_defaults_valid(self):
+        AdultLikeSpec()
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError):
+            AdultLikeSpec(group_shift=-1.0)
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ValueError):
+            AdultLikeSpec(fields=())
+
+
+class TestAdultGenerator:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        return AdultLikeGenerator()
+
+    def test_one_hot_structure(self, gen):
+        ds = gen.sample_group(True, 50, np.random.default_rng(0))
+        assert ds.input_dim == gen.input_dim
+        # exactly one active category per field
+        assert np.all(ds.X.sum(axis=1) == len(AdultLikeSpec().fields))
+        assert set(np.unique(ds.X)) <= {0.0, 1.0}
+
+    def test_binary_labels(self, gen):
+        ds = gen.sample_group(False, 50, np.random.default_rng(0))
+        assert ds.num_classes == 2
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_group_label_models_conflict(self, gen):
+        """A model fit to one group must transfer poorly to the other.
+
+        This is the heterogeneity that Table 2's Adult row exercises: the two
+        education groups have conflicting income models (coefficient shift).
+        """
+        from repro.nn.models import logistic_regression
+
+        rng = np.random.default_rng(1)
+        doc_tr = gen.sample_group(True, 1500, rng)
+        doc_te = gen.sample_group(True, 800, rng)
+        oth_te = gen.sample_group(False, 800, rng)
+        net = logistic_regression(doc_tr.input_dim, 2, rng=0)
+        for _ in range(300):
+            _, g = net.loss_and_gradient(doc_tr.X, doc_tr.y)
+            net.params_view()[:] -= 0.5 * g
+        own = net.accuracy(doc_te.X, doc_te.y)
+        other = net.accuracy(oth_te.X, oth_te.y)
+        assert own > other + 0.05
+
+    def test_group_marginals_differ(self, gen):
+        rng = np.random.default_rng(2)
+        doc = gen.sample_group(True, 3000, rng).X.mean(axis=0)
+        other = gen.sample_group(False, 3000, rng).X.mean(axis=0)
+        assert np.abs(doc - other).max() > 0.05
+
+    def test_rejects_zero_samples(self, gen):
+        with pytest.raises(ValueError):
+            gen.sample_group(True, 0, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        a = AdultLikeGenerator().sample_group(True, 10, np.random.default_rng(3))
+        b = AdultLikeGenerator().sample_group(True, 10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_make_adult_groups(self):
+        trains, tests = make_adult_groups(400, 10, np.random.default_rng(0))
+        assert len(trains) == 2 and len(tests) == 2
+        # doctorate (index 0) is the scarce minority group in training
+        assert len(trains[0]) == 48  # 0.12 * 400
+        assert len(trains[1]) == 400
+        assert all(len(t) == 10 for t in tests)
+
+    def test_make_adult_groups_minimum_doctorate(self):
+        trains, _ = make_adult_groups(50, 10, np.random.default_rng(0))
+        assert len(trains[0]) == 30  # floor kicks in
+
+
+class TestSyntheticFLSpec:
+    def test_defaults_valid(self):
+        SyntheticFLSpec()
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            SyntheticFLSpec(alpha=-1.0)
+
+    def test_rejects_bad_test_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticFLSpec(test_fraction=0.0)
+
+    def test_rejects_bad_sample_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticFLSpec(min_samples=10, max_samples=5)
+
+
+class TestSyntheticFLGenerator:
+    def test_device_count_and_shapes(self):
+        spec = SyntheticFLSpec(num_devices=6, input_dim=12, num_classes=4,
+                               min_samples=10, max_samples=50)
+        trains, tests = generate_synthetic_fl(spec, np.random.default_rng(0))
+        assert len(trains) == 6 and len(tests) == 6
+        for tr, te in zip(trains, tests):
+            assert tr.input_dim == 12 and te.input_dim == 12
+            assert tr.num_classes == 4
+
+    def test_sample_counts_within_bounds(self):
+        spec = SyntheticFLSpec(num_devices=10, min_samples=15, max_samples=40)
+        trains, tests = generate_synthetic_fl(spec, np.random.default_rng(1))
+        for tr, te in zip(trains, tests):
+            total = len(tr) + len(te)
+            assert 15 <= total <= 40
+
+    def test_labels_valid(self):
+        spec = SyntheticFLSpec(num_devices=4)
+        trains, _ = generate_synthetic_fl(spec, np.random.default_rng(2))
+        for tr in trains:
+            assert tr.y.min() >= 0 and tr.y.max() < spec.num_classes
+
+    def test_heterogeneity_devices_differ(self):
+        """With alpha=beta=1 devices must have different feature means."""
+        spec = SyntheticFLSpec(num_devices=5, min_samples=100, max_samples=100)
+        trains, _ = generate_synthetic_fl(spec, np.random.default_rng(3))
+        means = np.array([tr.X.mean() for tr in trains])
+        assert means.std() > 0.1
+
+    def test_homogeneous_when_alpha_beta_zero(self):
+        spec = SyntheticFLSpec(alpha=0.0, beta=0.0, num_devices=5,
+                               min_samples=200, max_samples=200)
+        trains, _ = generate_synthetic_fl(spec, np.random.default_rng(4))
+        means = np.array([tr.X.mean(axis=0) for tr in trains])
+        # feature means cluster around a common v_k distribution mean of 0
+        assert np.abs(means.mean(axis=0)).mean() < 0.5
+
+    def test_deterministic(self):
+        spec = SyntheticFLSpec(num_devices=3)
+        a_tr, _ = generate_synthetic_fl(spec, np.random.default_rng(5))
+        b_tr, _ = generate_synthetic_fl(spec, np.random.default_rng(5))
+        np.testing.assert_array_equal(a_tr[0].X, b_tr[0].X)
+
+    def test_feature_covariance_decays(self):
+        """Later feature coordinates must have smaller variance (Σ_jj = j^-1.2)."""
+        spec = SyntheticFLSpec(num_devices=1, min_samples=1000, max_samples=1000,
+                               beta=0.0)
+        trains, tests = generate_synthetic_fl(spec, np.random.default_rng(6))
+        X = np.concatenate([trains[0].X, tests[0].X])
+        variances = X.var(axis=0)
+        assert variances[0] > variances[-1]

@@ -1,0 +1,150 @@
+"""Tests for repro.data.dataset containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, EdgeAreaData, FederatedDataset, concat_datasets
+
+
+def _ds(n=10, d=3, classes=4, seed=0):
+    gen = np.random.default_rng(seed)
+    return Dataset(gen.normal(size=(n, d)), gen.integers(0, classes, size=n), classes)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = _ds(10, 3, 4)
+        assert len(ds) == 10
+        assert ds.input_dim == 3
+        assert ds.num_classes == 4
+
+    def test_contiguous_float64(self):
+        ds = _ds()
+        assert ds.X.flags["C_CONTIGUOUS"]
+        assert ds.X.dtype == np.float64
+        assert ds.y.dtype == np.int64
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros(5), np.zeros(5, dtype=int), 2)
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 2)), np.zeros(3, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 2)
+
+    def test_rejects_bad_num_classes(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), 0)
+
+    def test_subset(self):
+        ds = _ds(10)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.X, ds.X[[0, 2, 4]])
+
+    def test_subset_is_copy(self):
+        ds = _ds()
+        sub = ds.subset(np.array([0]))
+        sub.X[0, 0] = 999.0
+        assert ds.X[0, 0] != 999.0
+
+    def test_shuffled_preserves_pairs(self):
+        ds = _ds(20)
+        shuffled = ds.shuffled(np.random.default_rng(0))
+        # Every (x, y) pair must still exist.
+        order = np.lexsort(ds.X.T)
+        order_s = np.lexsort(shuffled.X.T)
+        np.testing.assert_array_equal(ds.X[order], shuffled.X[order_s])
+        np.testing.assert_array_equal(ds.y[order], shuffled.y[order_s])
+
+    def test_split_sizes(self):
+        a, b = _ds(10).split(0.3)
+        assert len(a) == 3 and len(b) == 7
+
+    def test_split_never_empty(self):
+        a, b = _ds(2).split(0.01)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            _ds().split(1.0)
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 1, 1, 3]), 4)
+        np.testing.assert_array_equal(ds.class_counts(), [1, 2, 0, 1])
+
+
+class TestConcat:
+    def test_concat(self):
+        out = concat_datasets([_ds(4, seed=0), _ds(6, seed=1)])
+        assert len(out) == 10
+
+    def test_concat_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            concat_datasets([_ds(4, d=3), _ds(4, d=2)])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat_datasets([])
+
+
+class TestEdgeAreaData:
+    def test_properties(self):
+        edge = EdgeAreaData([_ds(4), _ds(6, seed=1)], _ds(5, seed=2), name="e0")
+        assert edge.num_clients == 2
+        assert edge.train_size == 10
+        assert len(edge.train_pool()) == 10
+
+    def test_requires_clients(self):
+        with pytest.raises(ValueError):
+            EdgeAreaData([], _ds())
+
+    def test_shape_consistency(self):
+        with pytest.raises(ValueError):
+            EdgeAreaData([_ds(4, d=3)], _ds(4, d=2))
+
+
+class TestFederatedDataset:
+    def _fed(self):
+        edges = [EdgeAreaData([_ds(4, seed=i), _ds(4, seed=i + 10)], _ds(3, seed=i + 20))
+                 for i in range(3)]
+        return FederatedDataset(edges, name="f")
+
+    def test_counts(self):
+        fed = self._fed()
+        assert fed.num_edges == 3
+        assert fed.num_clients == 6
+        assert fed.clients_per_edge() == [2, 2, 2]
+
+    def test_client_shards_order(self):
+        fed = self._fed()
+        shards = fed.client_shards()
+        assert len(shards) == 6
+        assert shards[0] is fed.edges[0].clients[0]
+        assert shards[-1] is fed.edges[2].clients[1]
+
+    def test_iter_clients(self):
+        fed = self._fed()
+        triples = list(fed.iter_clients())
+        assert triples[0][:2] == (0, 0)
+        assert triples[-1][:2] == (2, 1)
+
+    def test_global_test(self):
+        fed = self._fed()
+        assert len(fed.global_test()) == 9
+
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            FederatedDataset([])
+
+    def test_incompatible_edges_raise(self):
+        e1 = EdgeAreaData([_ds(4, d=3)], _ds(3, d=3))
+        e2 = EdgeAreaData([_ds(4, d=2)], _ds(3, d=2))
+        with pytest.raises(ValueError):
+            FederatedDataset([e1, e2])

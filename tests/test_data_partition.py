@@ -1,0 +1,210 @@
+"""Tests for repro.data.partition: the heterogeneity machinery of §6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import (
+    federated_from_group_pools,
+    partition_dirichlet,
+    partition_iid,
+    partition_one_class_per_edge,
+    partition_similarity,
+    split_evenly,
+    stratified_test_subset,
+)
+
+
+def _pool(n_per_class=30, classes=5, d=4, seed=0):
+    gen = np.random.default_rng(seed)
+    y = np.repeat(np.arange(classes), n_per_class)
+    X = gen.normal(size=(y.size, d))
+    return Dataset(X, y, classes)
+
+
+class TestSplitEvenly:
+    def test_sizes(self):
+        shards = split_evenly(_pool(), 4)
+        sizes = [len(s) for s in shards]
+        assert sum(sizes) == 150
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(ValueError):
+            split_evenly(_pool(n_per_class=1, classes=2), 3)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            split_evenly(_pool(), 0)
+
+    def test_shuffle_changes_assignment(self):
+        pool = _pool()
+        a = split_evenly(pool, 3)
+        b = split_evenly(pool, 3, rng=np.random.default_rng(0))
+        assert not np.array_equal(a[0].y, b[0].y)
+
+
+class TestStratifiedTestSubset:
+    def test_matches_distribution(self):
+        pool = _pool(n_per_class=50)
+        hist = np.array([10.0, 0, 0, 0, 10.0])
+        out = stratified_test_subset(pool, hist, 40, np.random.default_rng(0))
+        counts = out.class_counts()
+        assert counts[0] == 20 and counts[4] == 20
+        assert counts[1] == counts[2] == counts[3] == 0
+
+    def test_caps_at_availability(self):
+        pool = _pool(n_per_class=5)
+        hist = np.array([1.0, 0, 0, 0, 0])
+        out = stratified_test_subset(pool, hist, 50, np.random.default_rng(0))
+        assert len(out) == 5
+
+    def test_missing_class_raises(self):
+        pool = _pool(n_per_class=5, classes=2)
+        sub = pool.subset(np.nonzero(pool.y == 0)[0])  # only class 0 present
+        with pytest.raises(ValueError):
+            stratified_test_subset(sub, np.array([0.0, 1.0]), 4,
+                                   np.random.default_rng(0))
+
+    def test_validations(self):
+        pool = _pool()
+        with pytest.raises(ValueError):
+            stratified_test_subset(pool, np.zeros(5), 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            stratified_test_subset(pool, np.ones(3), 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            stratified_test_subset(pool, np.ones(5), 0, np.random.default_rng(0))
+
+
+class TestOneClassPerEdge:
+    def test_each_edge_single_class(self):
+        fed = partition_one_class_per_edge(
+            _pool(), _pool(seed=1), num_edges=5, clients_per_edge=2,
+            rng=np.random.default_rng(0))
+        assert fed.num_edges == 5
+        for e, edge in enumerate(fed.edges):
+            labels = np.unique(edge.train_pool().y)
+            np.testing.assert_array_equal(labels, [e])
+            np.testing.assert_array_equal(np.unique(edge.test.y), [e])
+
+    def test_round_robin_when_fewer_edges(self):
+        fed = partition_one_class_per_edge(
+            _pool(classes=5), _pool(classes=5, seed=1), num_edges=2,
+            clients_per_edge=2, rng=np.random.default_rng(0))
+        labels0 = set(np.unique(fed.edges[0].train_pool().y))
+        labels1 = set(np.unique(fed.edges[1].train_pool().y))
+        assert labels0 == {0, 2, 4}
+        assert labels1 == {1, 3}
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(ValueError):
+            partition_one_class_per_edge(
+                _pool(classes=3), _pool(classes=3, seed=1), num_edges=4,
+                clients_per_edge=1, rng=np.random.default_rng(0))
+
+    def test_client_shards_cover_edge_data(self):
+        fed = partition_one_class_per_edge(
+            _pool(), _pool(seed=1), num_edges=5, clients_per_edge=3,
+            rng=np.random.default_rng(0))
+        edge = fed.edges[0]
+        assert edge.train_size == 30  # all of class 0's train samples
+
+
+class TestSimilarity:
+    def test_full_similarity_is_iid(self):
+        fed = partition_similarity(
+            _pool(), _pool(seed=1), num_edges=5, clients_per_edge=2,
+            similarity=1.0, rng=np.random.default_rng(0))
+        # each edge should see (almost) all classes
+        for edge in fed.edges:
+            assert len(np.unique(edge.train_pool().y)) >= 4
+
+    def test_zero_similarity_concentrates_labels(self):
+        fed = partition_similarity(
+            _pool(n_per_class=40), _pool(seed=1), num_edges=5, clients_per_edge=2,
+            similarity=0.0, rng=np.random.default_rng(0))
+        for edge in fed.edges:
+            # sorted-by-label chunks: at most 2 distinct labels per edge
+            assert len(np.unique(edge.train_pool().y)) <= 2
+
+    def test_half_similarity_mixes(self):
+        fed = partition_similarity(
+            _pool(n_per_class=40), _pool(seed=1), num_edges=5, clients_per_edge=2,
+            similarity=0.5, rng=np.random.default_rng(0))
+        counts = fed.edges[0].train_pool().class_counts()
+        # one dominant label from the sorted part plus iid sprinkling
+        assert counts.max() > counts.sum() / 5
+        assert np.count_nonzero(counts) >= 3
+
+    def test_rejects_bad_similarity(self):
+        with pytest.raises(ValueError):
+            partition_similarity(_pool(), _pool(seed=1), num_edges=2,
+                                 clients_per_edge=1, similarity=1.5,
+                                 rng=np.random.default_rng(0))
+
+    def test_partition_iid_alias(self):
+        fed = partition_iid(_pool(), _pool(seed=1), num_edges=3,
+                            clients_per_edge=2, rng=np.random.default_rng(0))
+        assert fed.num_edges == 3
+
+    def test_total_samples_conserved(self):
+        pool = _pool()
+        fed = partition_similarity(pool, _pool(seed=1), num_edges=5,
+                                   clients_per_edge=2, similarity=0.5,
+                                   rng=np.random.default_rng(0))
+        assert sum(e.train_size for e in fed.edges) == len(pool)
+
+
+class TestDirichlet:
+    def test_basic(self):
+        fed = partition_dirichlet(
+            _pool(n_per_class=60), _pool(seed=1), num_edges=4, clients_per_edge=2,
+            concentration=0.5, rng=np.random.default_rng(0))
+        assert fed.num_edges == 4
+        assert sum(e.train_size for e in fed.edges) == 300
+
+    def test_low_concentration_skews(self):
+        fed = partition_dirichlet(
+            _pool(n_per_class=100), _pool(seed=1), num_edges=4, clients_per_edge=1,
+            concentration=0.05, rng=np.random.default_rng(2))
+        # at low concentration, each edge should be dominated by few classes
+        for edge in fed.edges:
+            counts = edge.train_pool().class_counts()
+            assert counts.max() / counts.sum() > 0.4
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            partition_dirichlet(_pool(), _pool(seed=1), num_edges=2,
+                                clients_per_edge=1, concentration=0.0,
+                                rng=np.random.default_rng(0))
+
+
+class TestGroupPools:
+    def test_groups_become_edges(self):
+        trains = [_pool(classes=2, seed=i) for i in range(3)]
+        tests = [_pool(classes=2, seed=10 + i) for i in range(3)]
+        fed = federated_from_group_pools(trains, tests, clients_per_edge=2,
+                                         rng=np.random.default_rng(0))
+        assert fed.num_edges == 3
+        assert fed.clients_per_edge() == [2, 2, 2]
+
+    def test_small_group_gets_fewer_clients(self):
+        tiny = _pool(n_per_class=1, classes=2)  # 2 samples
+        trains = [tiny, _pool(classes=2)]
+        tests = [_pool(classes=2, seed=5), _pool(classes=2, seed=6)]
+        fed = federated_from_group_pools(trains, tests, clients_per_edge=5,
+                                         rng=np.random.default_rng(0))
+        assert fed.edges[0].num_clients == 2
+        assert fed.edges[1].num_clients == 5
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            federated_from_group_pools([_pool()], [], clients_per_edge=1,
+                                       rng=np.random.default_rng(0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            federated_from_group_pools([], [], clients_per_edge=1,
+                                       rng=np.random.default_rng(0))

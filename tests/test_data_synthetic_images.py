@@ -1,0 +1,200 @@
+"""Tests for the synthetic image generators (the EMNIST/MNIST/Fashion stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_images import (
+    EMNIST_DIGITS_LIKE,
+    FASHION_MNIST_LIKE,
+    MNIST_LIKE,
+    ImageGeneratorSpec,
+    SyntheticImageGenerator,
+    make_image_dataset,
+    resized_spec,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        ImageGeneratorSpec(name="x")
+
+    def test_rejects_one_class(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", num_classes=1)
+
+    def test_rejects_tiny_side(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", side=3)
+
+    def test_rejects_grid_above_side(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", side=8, grid=9)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", pixel_noise=-0.1)
+
+    def test_rejects_huge_shift(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", side=8, max_shift=4)
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            ImageGeneratorSpec(name="x", class_difficulty_spread=1.0)
+
+    def test_class_noise_factor_ramp(self):
+        spec = ImageGeneratorSpec(name="x", num_classes=10,
+                                  class_difficulty_spread=0.4)
+        assert spec.class_noise_factor(0) == pytest.approx(0.6)
+        assert spec.class_noise_factor(9) == pytest.approx(1.4)
+        factors = [spec.class_noise_factor(c) for c in range(10)]
+        assert factors == sorted(factors)
+
+    def test_class_noise_factor_no_spread(self):
+        spec = ImageGeneratorSpec(name="x")
+        assert spec.class_noise_factor(3) == 1.0
+
+    def test_class_noise_factor_range_check(self):
+        spec = ImageGeneratorSpec(name="x")
+        with pytest.raises(ValueError):
+            spec.class_noise_factor(10)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        return SyntheticImageGenerator(
+            ImageGeneratorSpec(name="t", side=10, grid=5, max_shift=1,
+                               deform_scale=0.3, pixel_noise=0.1))
+
+    def test_prototypes_shape_and_range(self, gen):
+        protos = gen.prototypes()
+        assert protos.shape == (10, 10, 10)
+        assert np.all(protos >= 0) and np.all(protos <= 1)
+
+    def test_prototypes_deterministic(self):
+        spec = ImageGeneratorSpec(name="t", side=10, grid=5, prototype_seed=5,
+                                  max_shift=1)
+        a = SyntheticImageGenerator(spec).prototypes()
+        b = SyntheticImageGenerator(spec).prototypes()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_prototypes(self):
+        base = dict(name="t", side=10, grid=5, max_shift=1)
+        a = SyntheticImageGenerator(ImageGeneratorSpec(**base, prototype_seed=1))
+        b = SyntheticImageGenerator(ImageGeneratorSpec(**base, prototype_seed=2))
+        assert not np.allclose(a.prototypes(), b.prototypes())
+
+    def test_sample_class_shape_and_range(self, gen):
+        X = gen.sample_class(2, 7, np.random.default_rng(0))
+        assert X.shape == (7, 100)
+        assert np.all(X >= 0) and np.all(X <= 1)
+
+    def test_sample_class_validates(self, gen):
+        with pytest.raises(ValueError):
+            gen.sample_class(10, 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gen.sample_class(0, -1, np.random.default_rng(0))
+
+    def test_sample_deterministic_given_rng(self, gen):
+        a = gen.sample(np.array([0, 1, 2]), np.random.default_rng(3))
+        b = gen.sample(np.array([0, 1, 2]), np.random.default_rng(3))
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_sample_preserves_label_order(self, gen):
+        labels = np.array([3, 0, 3, 7])
+        ds = gen.sample(labels, np.random.default_rng(0))
+        np.testing.assert_array_equal(ds.y, labels)
+
+    def test_balanced_dataset(self, gen):
+        ds = gen.balanced_dataset(4, np.random.default_rng(0))
+        assert len(ds) == 40
+        np.testing.assert_array_equal(ds.class_counts(), np.full(10, 4))
+
+    def test_balanced_rejects_zero(self, gen):
+        with pytest.raises(ValueError):
+            gen.balanced_dataset(0, np.random.default_rng(0))
+
+    def test_within_class_variation(self, gen):
+        """Samples of one class must differ from each other (noise is applied)."""
+        X = gen.sample_class(0, 2, np.random.default_rng(0))
+        assert not np.allclose(X[0], X[1])
+
+    def test_classes_are_separable(self):
+        """Same-class samples must be closer to their prototype than to others."""
+        spec = ImageGeneratorSpec(name="t", side=10, grid=5, deform_scale=0.1,
+                                  pixel_noise=0.05, max_shift=0)
+        gen = SyntheticImageGenerator(spec)
+        protos = gen.prototypes().reshape(10, -1)
+        X = gen.sample_class(4, 20, np.random.default_rng(0))
+        dists = np.linalg.norm(X[:, None, :] - protos[None, :, :], axis=2)
+        assert np.all(np.argmin(dists, axis=1) == 4)
+
+
+class TestResizing:
+    def test_resized_spec_keeps_family_identity(self):
+        spec = resized_spec(EMNIST_DIGITS_LIKE, 12)
+        assert spec.side == 12
+        assert spec.prototype_seed == EMNIST_DIGITS_LIKE.prototype_seed
+        assert spec.class_difficulty_spread == EMNIST_DIGITS_LIKE.class_difficulty_spread
+
+    def test_difficulty_factor_shrinks_noise_at_small_sides(self):
+        spec8 = resized_spec(MNIST_LIKE, 8)
+        assert spec8.pixel_noise < MNIST_LIKE.pixel_noise
+
+    def test_make_image_dataset_families(self):
+        rng = np.random.default_rng(0)
+        for fam in ("mnist_like", "emnist_digits_like", "fashion_mnist_like"):
+            ds = make_image_dataset(fam, 3, rng, side=8)
+            assert ds.input_dim == 64
+            assert len(ds) == 30
+
+    def test_make_image_dataset_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_image_dataset("cifar_like", 3, np.random.default_rng(0))
+
+    def test_native_side_uses_family_spec(self):
+        rng = np.random.default_rng(0)
+        ds = make_image_dataset("mnist_like", 1, rng, side=28)
+        assert ds.input_dim == 784
+
+
+class TestDifficultyStructure:
+    def test_harder_family_is_harder(self):
+        """Linear separability must rank mnist > fashion (the paper's ordering)."""
+        from repro.nn.models import logistic_regression
+
+        rng = np.random.default_rng(0)
+        accs = {}
+        for fam in ("mnist_like", "fashion_mnist_like"):
+            train = make_image_dataset(fam, 40, rng, side=12)
+            test = make_image_dataset(fam, 20, rng, side=12)
+            net = logistic_regression(train.input_dim, 10, rng=0)
+            for _ in range(150):
+                _, g = net.loss_and_gradient(train.X, train.y)
+                net.params_view()[:] -= 0.5 * g
+            accs[fam] = net.accuracy(test.X, test.y)
+        assert accs["mnist_like"] > accs["fashion_mnist_like"]
+
+    def test_class_difficulty_ramp_in_accuracy(self):
+        """With a strong spread, the high-index classes must be harder to classify."""
+        from repro.nn.models import logistic_regression
+
+        spec = ImageGeneratorSpec(name="t", side=10, grid=5, deform_scale=0.45,
+                                  pixel_noise=0.18, max_shift=1,
+                                  class_difficulty_spread=0.7)
+        gen = SyntheticImageGenerator(spec)
+        rng = np.random.default_rng(0)
+        train = gen.balanced_dataset(60, rng)
+        test = gen.balanced_dataset(40, rng)
+        net = logistic_regression(train.input_dim, 10, rng=0)
+        for _ in range(200):
+            _, g = net.loss_and_gradient(train.X, train.y)
+            net.params_view()[:] -= 0.5 * g
+        per_class = [net.accuracy(test.X[test.y == c], test.y[test.y == c])
+                     for c in range(10)]
+        easy = np.mean(per_class[:3])
+        hard = np.mean(per_class[-3:])
+        assert easy > hard

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness: presets, runner, figure/table builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import build_figure, format_figure_report
+from repro.experiments.presets import (
+    FIGURE_ALGORITHMS,
+    TABLE2_DATASETS,
+    fig3_preset,
+    fig4_preset,
+    table2_preset,
+)
+from repro.experiments.runner import (
+    build_preset_dataset,
+    build_preset_model,
+    monotone_envelope,
+    run_experiment,
+)
+from repro.experiments.tables import format_table2, table2_row
+
+
+class TestPresets:
+    def test_fig3_paper_matches_section6(self):
+        p = fig3_preset("paper")
+        assert p.num_edges == 10 and p.clients_per_edge == 3
+        assert p.m_edges == 5
+        assert p.tau1 == p.tau2 == 2
+        assert p.batch_size == 1
+        assert p.eta_w == pytest.approx(1e-3)
+        assert p.eta_p == pytest.approx(1e-3)
+        assert p.worst_target == pytest.approx(0.80)
+
+    def test_fig4_paper_matches_section6(self):
+        p = fig4_preset("paper")
+        assert p.m_edges == 2
+        assert p.model == "mlp" and p.hidden == (300, 100)
+        assert p.batch_size == 8
+        assert p.eta_p == pytest.approx(1e-4)
+        assert p.worst_target == pytest.approx(0.50)
+
+    def test_all_scales_build(self):
+        for scale in ("paper", "small", "tiny"):
+            fig3_preset(scale)
+            fig4_preset(scale)
+            for ds in TABLE2_DATASETS:
+                table2_preset(ds, scale)
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            fig3_preset("huge")
+        with pytest.raises(ValueError):
+            table2_preset("adult", "huge")
+
+    def test_unknown_table2_dataset_raises(self):
+        with pytest.raises(ValueError):
+            table2_preset("cifar", "tiny")
+
+    def test_rounds_for_slot_budget(self):
+        p = fig3_preset("tiny")
+        assert p.rounds_for(4) == p.slots // 4
+        assert p.rounds_for(1) == p.slots
+        with pytest.raises(ValueError):
+            p.rounds_for(0)
+
+    def test_eval_every(self):
+        p = fig3_preset("tiny")
+        assert p.eval_every_for(4) >= 1
+
+    def test_table2_roster_is_hierarchical_pair(self):
+        p = table2_preset("mnist", "tiny")
+        assert p.algorithms == ("hierfavg", "hierminimax")
+
+    def test_figure_roster(self):
+        assert fig3_preset("tiny").algorithms == FIGURE_ALGORITHMS
+
+
+class TestRunner:
+    def test_dataset_and_model_builders(self):
+        p = fig3_preset("tiny")
+        fed = build_preset_dataset(p, seed=0)
+        assert fed.num_edges == 10
+        factory = build_preset_model(p, fed)
+        net = factory(0)
+        assert net.output_dim == fed.num_classes
+
+    def test_run_experiment_pairs_algorithms(self):
+        p = fig3_preset("tiny").with_overrides(slots=80, eval_points=2)
+        out = run_experiment(p, seed=0, algorithms=("hierfavg", "hierminimax"))
+        assert set(out.results) == {"hierfavg", "hierminimax"}
+        assert set(out.timings) == {"hierfavg", "hierminimax"}
+        # equal slot budgets
+        assert out.results["hierfavg"].slots_run == \
+            out.results["hierminimax"].slots_run
+
+    def test_run_experiment_deterministic(self):
+        p = fig3_preset("tiny").with_overrides(slots=40, eval_points=1)
+        a = run_experiment(p, seed=1, algorithms=("hierminimax",))
+        b = run_experiment(p, seed=1, algorithms=("hierminimax",))
+        np.testing.assert_array_equal(a.results["hierminimax"].final_params,
+                                      b.results["hierminimax"].final_params)
+
+    def test_monotone_envelope(self):
+        y = np.array([0.1, 0.3, 0.2, 0.5, 0.4])
+        np.testing.assert_array_equal(monotone_envelope(y),
+                                      [0.1, 0.3, 0.3, 0.5, 0.5])
+
+    def test_monotone_envelope_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            monotone_envelope(np.zeros((2, 2)))
+
+
+class TestFigureBuilder:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        preset = fig3_preset("tiny").with_overrides(
+            slots=160, eval_points=4, worst_target=0.2,
+            algorithms=("drfa", "hierminimax"))
+        return build_figure(preset, seeds=(0, 1))
+
+    def test_series_present(self, figure):
+        assert set(figure.series) == {"drfa", "hierminimax"}
+        s = figure.series["hierminimax"]
+        assert s.comm_rounds.shape == s.worst_accuracy.shape
+        assert s.comm_rounds[0] <= s.comm_rounds[-1]
+
+    def test_accuracies_in_range(self, figure):
+        for s in figure.series.values():
+            assert np.all((s.average_accuracy >= 0) & (s.average_accuracy <= 1))
+            assert np.all((s.worst_accuracy >= 0) & (s.worst_accuracy <= 1))
+
+    def test_report_renders(self, figure):
+        text = format_figure_report(figure)
+        assert "hierminimax" in text
+        assert "rounds to target" in text
+
+    def test_reduction_vs(self, figure):
+        red = figure.reduction_vs("drfa")
+        assert red is None or -5.0 < red < 1.0
+
+
+class TestTableBuilder:
+    def test_adult_row(self):
+        rows = table2_row("adult", scale="tiny", seed=0)
+        assert len(rows) == 2
+        assert {r.method for r in rows} == {"hierfavg", "hierminimax"}
+        for r in rows:
+            assert 0.0 <= r.average <= 1.0
+            assert 0.0 <= r.worst <= 1.0
+            assert r.variance_x1e4 >= 0.0
+
+    def test_format(self):
+        rows = table2_row("adult", scale="tiny", seed=0)
+        text = format_table2(rows)
+        assert "adult" in text and "hierminimax" in text

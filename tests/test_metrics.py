@@ -1,0 +1,193 @@
+"""Tests for repro.metrics: fairness statistics, evaluation, history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.evaluation import evaluate_per_edge, evaluate_record
+from repro.metrics.fairness import (
+    accuracy_range,
+    accuracy_variance_x1e4,
+    average_accuracy,
+    entropy_of_weights,
+    jain_fairness_index,
+    worst_accuracy,
+    worst_fraction_mean,
+)
+from repro.metrics.history import HistoryPoint, TrainingHistory
+from repro.nn.models import logistic_regression
+from repro.topology.comm import CommunicationTracker
+
+accuracy_arrays = hnp.arrays(dtype=np.float64, shape=st.integers(1, 20),
+                             elements=st.floats(0.0, 1.0, allow_nan=False))
+
+
+class TestFairnessStats:
+    def test_average_and_worst(self):
+        acc = np.array([0.9, 0.5, 0.7])
+        assert average_accuracy(acc) == pytest.approx(0.7)
+        assert worst_accuracy(acc) == pytest.approx(0.5)
+
+    def test_worst_fraction(self):
+        acc = np.linspace(0.1, 1.0, 10)
+        assert worst_fraction_mean(acc, 0.10) == pytest.approx(0.1)
+        assert worst_fraction_mean(acc, 0.30) == pytest.approx(0.2)
+
+    def test_worst_fraction_includes_at_least_one(self):
+        assert worst_fraction_mean(np.array([0.4, 0.8]), 0.01) == pytest.approx(0.4)
+
+    def test_worst_fraction_validation(self):
+        with pytest.raises(ValueError):
+            worst_fraction_mean(np.array([0.5]), 0.0)
+
+    def test_variance_units(self):
+        """Table 2's units: variance of percent accuracies."""
+        acc = np.array([0.80, 0.90])
+        # percents 80, 90 -> variance 25
+        assert accuracy_variance_x1e4(acc) == pytest.approx(25.0)
+
+    def test_range(self):
+        assert accuracy_range(np.array([0.2, 0.9, 0.5])) == pytest.approx(0.7)
+
+    def test_jain_uniform_is_one(self):
+        assert jain_fairness_index(np.full(5, 0.7)) == pytest.approx(1.0)
+
+    def test_jain_decreases_with_spread(self):
+        uniform = jain_fairness_index(np.full(4, 0.5))
+        skewed = jain_fairness_index(np.array([1.0, 0.1, 0.1, 0.1]))
+        assert skewed < uniform
+
+    def test_entropy_uniform_max(self):
+        p = np.full(4, 0.25)
+        assert entropy_of_weights(p) == pytest.approx(np.log(4))
+
+    def test_entropy_peaked_zero(self):
+        assert entropy_of_weights(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_entropy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy_of_weights(np.array([1.1, -0.1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            worst_accuracy(np.array([]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(acc=accuracy_arrays)
+    def test_property_orderings(self, acc):
+        assert worst_accuracy(acc) <= average_accuracy(acc) + 1e-12
+        assert worst_accuracy(acc) <= worst_fraction_mean(acc, 0.5) + 1e-12
+        assert 0 <= jain_fairness_index(acc) <= 1 + 1e-12
+        assert accuracy_variance_x1e4(acc) >= 0
+
+
+class TestEvaluation:
+    def test_per_edge_shapes(self, tiny_image_fed):
+        net = logistic_regression(tiny_image_fed.input_dim,
+                                  tiny_image_fed.num_classes, rng=0)
+        acc, loss = evaluate_per_edge(net, net.get_params(), tiny_image_fed)
+        assert acc.shape == (tiny_image_fed.num_edges,)
+        assert loss.shape == (tiny_image_fed.num_edges,)
+        assert np.all((acc >= 0) & (acc <= 1))
+        assert np.all(loss > 0)
+
+    def test_record_consistency(self, tiny_image_fed):
+        net = logistic_regression(tiny_image_fed.input_dim,
+                                  tiny_image_fed.num_classes, rng=0)
+        rec = evaluate_record(net, net.get_params(), tiny_image_fed, tag="t")
+        assert rec.average_accuracy == pytest.approx(rec.per_edge_accuracy.mean())
+        assert rec.worst_accuracy == pytest.approx(rec.per_edge_accuracy.min())
+        assert rec.extra == {"tag": "t"}
+        as_dict = rec.as_dict()
+        assert "tag" in as_dict
+
+    def test_perfect_model_scores_one(self, blob_fed):
+        """A converged model on separable blobs has accuracy 1 on every edge."""
+        net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes, rng=0)
+        pool_X = np.concatenate([e.train_pool().X for e in blob_fed.edges])
+        pool_y = np.concatenate([e.train_pool().y for e in blob_fed.edges])
+        for _ in range(200):
+            _, g = net.loss_and_gradient(pool_X, pool_y)
+            net.params_view()[:] -= 0.5 * g
+        rec = evaluate_record(net, net.get_params(), blob_fed)
+        assert rec.worst_accuracy == 1.0
+        assert rec.variance_x1e4 == pytest.approx(0.0)
+
+
+def _point(k, slots, cycles, worst, avg=0.8):
+    from repro.metrics.evaluation import EvaluationRecord
+
+    tracker = CommunicationTracker()
+    tracker.sync_cycle("edge_cloud", count=cycles)
+    rec = EvaluationRecord(
+        per_edge_accuracy=np.array([avg, worst]),
+        per_edge_loss=np.array([0.1, 0.2]),
+        average_accuracy=avg, worst_accuracy=worst,
+        worst10_accuracy=worst, variance_x1e4=1.0)
+    return HistoryPoint(round_index=k, slots=slots, comm=tracker.snapshot(),
+                        record=rec)
+
+
+class TestTrainingHistory:
+    def test_append_and_len(self):
+        h = TrainingHistory("x")
+        h.append(_point(0, 4, 2, 0.1))
+        h.append(_point(1, 8, 4, 0.2))
+        assert len(h) == 2
+
+    def test_rejects_decreasing_rounds(self):
+        h = TrainingHistory()
+        h.append(_point(3, 4, 2, 0.1))
+        with pytest.raises(ValueError):
+            h.append(_point(1, 8, 4, 0.2))
+
+    def test_series(self):
+        h = TrainingHistory()
+        for k, worst in enumerate([0.1, 0.3, 0.5]):
+            h.append(_point(k, 4 * (k + 1), 2 * (k + 1), worst))
+        x, y = h.series("worst_accuracy")
+        np.testing.assert_array_equal(x, [2, 4, 6])
+        np.testing.assert_array_equal(y, [0.1, 0.3, 0.5])
+
+    def test_series_slot_measure(self):
+        h = TrainingHistory()
+        h.append(_point(0, 4, 2, 0.1))
+        x, _ = h.series("worst_accuracy", comm_measure="slots")
+        np.testing.assert_array_equal(x, [4])
+
+    def test_series_unknown_measure_raises(self):
+        h = TrainingHistory()
+        h.append(_point(0, 4, 2, 0.1))
+        with pytest.raises(ValueError):
+            h.series("worst_accuracy", comm_measure="carrier_pigeons")
+
+    def test_series_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().series("worst_accuracy")
+
+    def test_rounds_to_target(self):
+        h = TrainingHistory()
+        for k, worst in enumerate([0.1, 0.3, 0.5]):
+            h.append(_point(k, 4 * (k + 1), 2 * (k + 1), worst))
+        assert h.rounds_to_target("worst_accuracy", 0.3) == 4
+        assert h.rounds_to_target("worst_accuracy", 0.9) is None
+
+    def test_final_and_best(self):
+        h = TrainingHistory()
+        h.append(_point(0, 4, 2, 0.5))
+        h.append(_point(1, 8, 4, 0.2))
+        assert h.final().record.worst_accuracy == 0.2
+        assert h.best("worst_accuracy").record.worst_accuracy == 0.5
+
+    def test_as_dict_serializable(self):
+        from repro.utils.serialization import to_jsonable
+
+        h = TrainingHistory("algo")
+        h.append(_point(0, 4, 2, 0.5))
+        payload = to_jsonable(h.as_dict())
+        assert payload["algorithm"] == "algo"
+        assert payload["points"][0]["edge_cloud_cycles"] == 2

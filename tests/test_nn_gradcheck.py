@@ -1,0 +1,114 @@
+"""Gradient verification: every hand-derived backward pass vs finite differences.
+
+These tests certify the substrate the whole reproduction rests on — if a backward
+pass were wrong, every experiment downstream would be silently corrupted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradient_check, max_relative_error, numerical_gradient
+from repro.nn.layers import Linear, Tanh
+from repro.nn.losses import MeanSquaredError
+from repro.nn.models import logistic_regression, mlp
+from repro.nn.network import NeuralNetwork
+
+
+def _data(n, d, classes, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.normal(size=(n, d)), gen.integers(0, classes, size=n)
+
+
+class TestGradientCheck:
+    def test_logistic_regression(self):
+        X, y = _data(6, 5, 3)
+        err = gradient_check(logistic_regression(5, 3, rng=1), X, y, tol=1e-5)
+        assert err < 1e-5
+
+    def test_logistic_with_l2(self):
+        X, y = _data(6, 5, 3)
+        err = gradient_check(logistic_regression(5, 3, rng=1, l2=0.05), X, y, tol=1e-5)
+        assert err < 1e-5
+
+    def test_relu_mlp(self):
+        X, y = _data(8, 4, 3, seed=2)
+        err = gradient_check(mlp(4, (6, 5), 3, rng=2), X, y, tol=1e-4)
+        assert err < 1e-4
+
+    def test_deep_relu_mlp(self):
+        X, y = _data(5, 3, 2, seed=3)
+        err = gradient_check(mlp(3, (4, 4, 4), 2, rng=3), X, y, tol=1e-4)
+        assert err < 1e-4
+
+    def test_tanh_network(self):
+        X, y = _data(6, 4, 3, seed=4)
+        net = NeuralNetwork([Linear(4, 5), Tanh(), Linear(5, 3)], input_dim=4, rng=4)
+        err = gradient_check(net, X, y, tol=1e-5)
+        assert err < 1e-5
+
+    def test_mse_network(self):
+        gen = np.random.default_rng(5)
+        X = gen.normal(size=(4, 3))
+        t = gen.normal(size=(4, 2))
+        net = NeuralNetwork([Linear(3, 2)], input_dim=3, rng=5,
+                            loss=MeanSquaredError())
+        err = gradient_check(net, X, t, tol=1e-6)
+        assert err < 1e-6
+
+    def test_subset_probing(self):
+        X, y = _data(5, 30, 4, seed=6)
+        net = logistic_regression(30, 4, rng=6)
+        err = gradient_check(net, X, y, num_probes=40, tol=1e-5,
+                             rng=np.random.default_rng(0))
+        assert err < 1e-5
+
+    def test_batch_size_one(self):
+        X, y = _data(1, 4, 3, seed=7)
+        assert gradient_check(logistic_regression(4, 3, rng=7), X, y, tol=1e-5) < 1e-5
+
+    def test_failure_detected(self):
+        """A deliberately corrupted gradient must be caught."""
+        X, y = _data(5, 4, 3, seed=8)
+        net = logistic_regression(4, 3, rng=8)
+
+        original = net.loss_and_gradient
+
+        def corrupted(Xb, yb):
+            loss, grad = original(Xb, yb)
+            grad = grad + 0.5
+            return loss, grad
+
+        net.loss_and_gradient = corrupted  # type: ignore[method-assign]
+        with pytest.raises(AssertionError):
+            gradient_check(net, X, y, tol=1e-5)
+
+
+class TestNumericalGradient:
+    def test_restores_parameters(self):
+        X, y = _data(3, 4, 2, seed=9)
+        net = logistic_regression(4, 2, rng=9)
+        before = net.get_params()
+        numerical_gradient(net, X, y, indices=np.array([0, 1, 2]))
+        np.testing.assert_array_equal(net.get_params(), before)
+
+    def test_indices_limit_probes(self):
+        X, y = _data(3, 4, 2, seed=9)
+        net = logistic_regression(4, 2, rng=9)
+        g = numerical_gradient(net, X, y, indices=np.array([1]))
+        assert np.count_nonzero(g) <= 1
+
+
+class TestMaxRelativeError:
+    def test_zero_for_identical(self):
+        v = np.array([1.0, -2.0])
+        assert max_relative_error(v, v) == 0.0
+
+    def test_scale_free(self):
+        a = np.array([1000.0])
+        b = np.array([1001.0])
+        assert max_relative_error(a, b) == pytest.approx(1.0 / 1001.0)
+
+    def test_floor_prevents_blowup(self):
+        assert max_relative_error(np.array([0.0]), np.array([1e-12])) < 1e-3

@@ -1,0 +1,141 @@
+"""Tests for repro.nn.layers and repro.nn.init."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import fan_in_out, kaiming_uniform_, normal_, xavier_uniform_, zeros_
+from repro.nn.layers import Identity, Linear, ReLU, Tanh
+from repro.nn.network import NeuralNetwork
+
+
+class TestInitializers:
+    def test_fan_in_out_matrix(self):
+        assert fan_in_out((784, 300)) == (784, 300)
+
+    def test_fan_in_out_vector(self):
+        assert fan_in_out((10,)) == (10, 10)
+
+    def test_fan_in_out_empty_raises(self):
+        with pytest.raises(ValueError):
+            fan_in_out(())
+
+    def test_zeros(self):
+        a = np.ones(5)
+        zeros_(a)
+        np.testing.assert_array_equal(a, np.zeros(5))
+
+    def test_normal_std(self):
+        a = np.empty(20000)
+        normal_(a, np.random.default_rng(0), std=0.1)
+        assert abs(a.std() - 0.1) < 0.005
+
+    def test_normal_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            normal_(np.empty(3), np.random.default_rng(0), std=-1.0)
+
+    def test_xavier_bound(self):
+        a = np.empty((100, 50))
+        xavier_uniform_(a, np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(a) <= bound)
+
+    def test_kaiming_bound(self):
+        a = np.empty((64, 32))
+        kaiming_uniform_(a, np.random.default_rng(0))
+        assert np.all(np.abs(a) <= np.sqrt(6.0 / 64))
+
+
+class TestLinear:
+    def _bound_linear(self, in_f=3, out_f=2, bias=True):
+        net = NeuralNetwork([Linear(in_f, out_f, bias=bias)], input_dim=in_f, rng=0)
+        return net.layers[0], net
+
+    def test_forward_shape(self):
+        layer, _ = self._bound_linear()
+        assert layer.forward(np.zeros((5, 3))).shape == (5, 2)
+
+    def test_forward_is_affine(self):
+        layer, _ = self._bound_linear()
+        layer.W[:] = np.arange(6).reshape(3, 2)
+        layer.b[:] = [1.0, -1.0]
+        x = np.array([[1.0, 0.0, 2.0]])
+        np.testing.assert_allclose(layer.forward(x), x @ layer.W + layer.b)
+
+    def test_no_bias(self):
+        layer, _ = self._bound_linear(bias=False)
+        assert layer.b is None
+        out = layer.forward(np.zeros((2, 3)))
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
+
+    def test_backward_accumulates_grads(self):
+        layer, net = self._bound_linear()
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        layer.forward(x, train=True)
+        g = np.ones((4, 2))
+        dx = layer.backward(g)
+        np.testing.assert_allclose(layer.gW, x.T @ g)
+        np.testing.assert_allclose(layer.gb, g.sum(axis=0))
+        np.testing.assert_allclose(dx, g @ layer.W.T)
+
+    def test_backward_before_forward_raises(self):
+        layer, _ = self._bound_linear()
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_eval_forward_does_not_cache(self):
+        layer, _ = self._bound_linear()
+        layer.forward(np.zeros((1, 3)), train=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_wrong_input_dim_raises(self):
+        layer, _ = self._bound_linear()
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_unbound_use_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).forward(np.zeros((1, 2)))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError):
+            Linear(2, 2, weight_init="bogus")
+
+    def test_output_dim_checks_input(self):
+        with pytest.raises(ValueError):
+            Linear(3, 2).output_dim(5)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]), train=True)
+        np.testing.assert_array_equal(layer.backward(np.array([[5.0, 5.0]])),
+                                      [[0.0, 5.0]])
+
+    def test_relu_backward_without_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+
+    def test_tanh_backward(self):
+        layer = Tanh()
+        x = np.array([[0.5, -0.3]])
+        out = layer.forward(x, train=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, 1.0 - out**2)
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.array([[1.0, 2.0]])
+        assert layer.forward(x) is x
+        assert layer.backward(x) is x

@@ -1,0 +1,97 @@
+"""Tests for repro.nn.losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.ops.numerics import softmax
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual_computation(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        targets = np.array([0, 2])
+        probs = softmax(logits)
+        expected = -np.mean([np.log(probs[0, 0]), np.log(probs[1, 2])])
+        assert loss.forward(logits, targets) == pytest.approx(expected)
+
+    def test_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_log_c(self):
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(np.zeros((3, 5)), np.array([0, 1, 2])) == pytest.approx(
+            np.log(5))
+
+    def test_backward_formula(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1.0, -1.0, 0.5]])
+        targets = np.array([1])
+        grad = loss.backward(logits, targets)
+        expected = softmax(logits)
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(grad, expected)
+
+    def test_backward_rows_sum_to_zero(self):
+        loss = SoftmaxCrossEntropy()
+        gen = np.random.default_rng(0)
+        logits = gen.normal(size=(6, 4))
+        targets = gen.integers(0, 4, size=6)
+        grad = loss.backward(logits, targets)
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(6), atol=1e-12)
+
+    def test_backward_scaled_by_batch(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.tile(np.array([[1.0, 0.0]]), (4, 1))
+        targets = np.zeros(4, dtype=int)
+        grad = loss.backward(logits, targets)
+        single = loss.backward(logits[:1], targets[:1])
+        np.testing.assert_allclose(grad[0], single[0] / 4.0)
+
+    def test_per_sample(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        targets = np.array([0, 0])
+        per = loss.forward_per_sample(logits, targets)
+        assert per.shape == (2,)
+        assert per[0] < per[1]
+        assert loss.forward(logits, targets) == pytest.approx(per.mean())
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(3), np.array([0]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((1, 3)), np.array([5]))
+
+
+class TestMeanSquaredError:
+    def test_value(self):
+        mse = MeanSquaredError()
+        assert mse.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == \
+            pytest.approx(2.5)
+
+    def test_gradient(self):
+        mse = MeanSquaredError()
+        logits = np.array([[1.0, 2.0]])
+        targets = np.array([[0.0, 0.0]])
+        np.testing.assert_allclose(mse.backward(logits, targets), [[1.0, 2.0]])
+
+    def test_zero_at_fit(self):
+        mse = MeanSquaredError()
+        x = np.array([[0.5, -0.5]])
+        assert mse.forward(x, x) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        mse = MeanSquaredError()
+        with pytest.raises(ValueError):
+            mse.forward(np.zeros((1, 2)), np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            mse.backward(np.zeros((1, 2)), np.zeros((2, 1)))

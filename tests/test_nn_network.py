@@ -1,0 +1,182 @@
+"""Tests for repro.nn.network and repro.nn.models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import MeanSquaredError
+from repro.nn.models import logistic_regression, make_model_factory, mlp
+from repro.nn.network import NeuralNetwork
+
+
+class TestConstruction:
+    def test_paper_parameter_counts(self):
+        """The §6 models: logistic 7850 params, MLP(300,100) 266,610 params."""
+        assert logistic_regression(784, 10).num_parameters == 7850
+        assert mlp(784, (300, 100), 10).num_parameters == 266_610
+
+    def test_empty_layers_raise(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([], input_dim=4)
+
+    def test_bad_input_dim_raises(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([Linear(3, 2)], input_dim=0)
+
+    def test_negative_l2_raises(self):
+        with pytest.raises(ValueError):
+            logistic_regression(4, 2, l2=-0.1)
+
+    def test_shape_pipeline_validated(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([Linear(3, 2), Linear(3, 2)], input_dim=3)
+
+    def test_mlp_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            mlp(4, (0,), 2)
+
+    def test_output_dim(self):
+        assert mlp(8, (6, 5), 3).output_dim == 3
+
+
+class TestFlatParams:
+    def test_get_set_roundtrip(self):
+        net = logistic_regression(4, 3, rng=0)
+        w = net.get_params()
+        net.set_params(np.zeros_like(w))
+        assert np.all(net.get_params() == 0)
+        net.set_params(w)
+        np.testing.assert_array_equal(net.get_params(), w)
+
+    def test_get_params_returns_copy(self):
+        net = logistic_regression(4, 3, rng=0)
+        w = net.get_params()
+        w[:] = 99.0
+        assert not np.any(net.get_params() == 99.0)
+
+    def test_set_params_shape_checked(self):
+        net = logistic_regression(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            net.set_params(np.zeros(5))
+
+    def test_params_view_is_live(self):
+        net = logistic_regression(4, 3, rng=0)
+        net.params_view()[:] = 1.5
+        assert np.all(net.get_params() == 1.5)
+
+    def test_layer_views_alias_flat_buffer(self):
+        net = logistic_regression(4, 3, rng=0)
+        net.params_view()[:] = 0.0
+        layer = net.layers[0]
+        layer.W[0, 0] = 7.0
+        assert net.get_params()[0] == 7.0
+
+    def test_initialize_reproducible(self):
+        a = logistic_regression(5, 3, rng=42).get_params()
+        b = logistic_regression(5, 3, rng=42).get_params()
+        np.testing.assert_array_equal(a, b)
+
+    def test_initialize_seed_matters(self):
+        a = logistic_regression(5, 3, rng=1).get_params()
+        b = logistic_regression(5, 3, rng=2).get_params()
+        assert not np.array_equal(a, b)
+
+
+class TestPasses:
+    def test_forward_shape(self):
+        net = mlp(6, (4,), 3, rng=0)
+        assert net.forward(np.zeros((7, 6))).shape == (7, 3)
+
+    def test_forward_rejects_bad_shape(self):
+        net = logistic_regression(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((3, 5)))
+
+    def test_loss_and_gradient_shapes(self):
+        net = mlp(5, (4,), 3, rng=0)
+        X = np.random.default_rng(0).normal(size=(6, 5))
+        y = np.array([0, 1, 2, 0, 1, 2])
+        loss, grad = net.loss_and_gradient(X, y)
+        assert np.isscalar(loss)
+        assert grad.shape == (net.num_parameters,)
+        assert np.all(np.isfinite(grad))
+
+    def test_gradient_is_copy(self):
+        net = logistic_regression(4, 2, rng=0)
+        X = np.random.default_rng(0).normal(size=(2, 4))
+        y = np.array([0, 1])
+        _, g1 = net.loss_and_gradient(X, y)
+        g1[:] = 0.0
+        _, g2 = net.loss_and_gradient(X, y)
+        assert not np.array_equal(g1, g2)
+
+    def test_l2_adds_to_loss_and_gradient(self):
+        X = np.random.default_rng(1).normal(size=(4, 3))
+        y = np.array([0, 1, 0, 1])
+        plain = logistic_regression(3, 2, rng=5, l2=0.0)
+        reg = logistic_regression(3, 2, rng=5, l2=0.1)
+        w = plain.get_params()
+        loss_plain, grad_plain = plain.loss_and_gradient(X, y)
+        loss_reg, grad_reg = reg.loss_and_gradient(X, y)
+        assert loss_reg == pytest.approx(loss_plain + 0.05 * float(w @ w))
+        np.testing.assert_allclose(grad_reg, grad_plain + 0.1 * w)
+
+    def test_predict_and_accuracy(self):
+        net = logistic_regression(2, 2, rng=0)
+        net.params_view()[:] = 0.0
+        net.layers[0].W[:] = np.array([[1.0, -1.0], [0.0, 0.0]])
+        X = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        np.testing.assert_array_equal(net.predict(X), [0, 1])
+        assert net.accuracy(X, np.array([0, 1])) == 1.0
+        assert net.accuracy(X, np.array([1, 1])) == 0.5
+
+    def test_accuracy_empty_raises(self):
+        net = logistic_regression(2, 2, rng=0)
+        with pytest.raises(ValueError):
+            net.accuracy(np.zeros((0, 2)), np.array([], dtype=int))
+
+    def test_custom_loss(self):
+        net = NeuralNetwork([Linear(2, 2)], input_dim=2, rng=0,
+                            loss=MeanSquaredError())
+        X = np.array([[1.0, 1.0]])
+        t = np.array([[0.0, 0.0]])
+        loss, grad = net.loss_and_gradient(X, t)
+        assert loss >= 0.0
+        assert grad.shape == (net.num_parameters,)
+
+
+class TestClone:
+    def test_clone_equal_but_independent(self):
+        net = mlp(4, (3,), 2, rng=0)
+        twin = net.clone()
+        np.testing.assert_array_equal(net.get_params(), twin.get_params())
+        twin.params_view()[:] = 0.0
+        assert not np.array_equal(net.get_params(), twin.get_params())
+
+    def test_clone_produces_same_outputs(self):
+        net = mlp(4, (3,), 2, rng=0)
+        twin = net.clone()
+        X = np.random.default_rng(0).normal(size=(5, 4))
+        np.testing.assert_array_equal(net.forward(X), twin.forward(X))
+
+
+class TestModelFactory:
+    def test_logistic_factory(self, tiny_image_fed):
+        f = make_model_factory("logistic", 8, 3)
+        net = f(0)
+        assert net.num_parameters == 8 * 3 + 3
+
+    def test_mlp_factory_hidden(self):
+        f = make_model_factory("mlp", 8, 3, hidden=(5,))
+        net = f(0)
+        assert len(net.layers) == 3  # Linear, ReLU, Linear
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_model_factory("cnn", 8, 3)
+
+    def test_factory_reproducible(self):
+        f = make_model_factory("logistic", 6, 2)
+        np.testing.assert_array_equal(f(3).get_params(), f(3).get_params())

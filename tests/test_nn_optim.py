@@ -1,0 +1,119 @@
+"""Tests for repro.nn.optim (projected SGD, Eq. (4))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import logistic_regression
+from repro.nn.optim import SGD, sgd_step
+from repro.ops.projections import project_l2_ball
+
+
+def _easy_problem(seed=0, n=40, d=4):
+    gen = np.random.default_rng(seed)
+    X0 = gen.normal(size=(n // 2, d)) + 3.0
+    X1 = gen.normal(size=(n // 2, d)) - 3.0
+    X = np.concatenate([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestSgdStep:
+    def test_returns_pre_step_loss(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        loss_before = net.loss(X, y)
+        reported = sgd_step(net, X, y, lr=0.1)
+        assert reported == pytest.approx(loss_before)
+
+    def test_full_batch_descent(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        losses = [sgd_step(net, X, y, lr=0.1) for _ in range(30)]
+        assert losses[-1] < losses[0]
+        assert net.accuracy(X, y) == 1.0
+
+    def test_matches_manual_update(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=1)
+        w0 = net.get_params()
+        _, g = net.loss_and_gradient(X, y)
+        net.set_params(w0)
+        sgd_step(net, X, y, lr=0.25)
+        np.testing.assert_allclose(net.get_params(), w0 - 0.25 * g)
+
+    def test_projection_applied(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        net.params_view()[:] = 10.0  # far outside the ball
+        sgd_step(net, X, y, lr=0.01,
+                 projection=lambda w: project_l2_ball(w, 1.0))
+        assert np.linalg.norm(net.get_params()) <= 1.0 + 1e-9
+
+    def test_bad_lr_raises(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            sgd_step(net, X, y, lr=0.0)
+
+
+class TestSGDClass:
+    def test_plain_matches_sgd_step(self):
+        X, y = _easy_problem()
+        a = logistic_regression(4, 2, rng=3)
+        b = logistic_regression(4, 2, rng=3)
+        opt = SGD(a, lr=0.2)
+        opt.step(X, y)
+        sgd_step(b, X, y, lr=0.2)
+        np.testing.assert_array_equal(a.get_params(), b.get_params())
+
+    def test_step_count(self):
+        X, y = _easy_problem()
+        opt = SGD(logistic_regression(4, 2, rng=0), lr=0.1)
+        for _ in range(3):
+            opt.step(X, y)
+        assert opt.steps_taken == 3
+
+    def test_lr_override(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        w0 = net.get_params()
+        _, g = net.loss_and_gradient(X, y)
+        net.set_params(w0)
+        SGD(net, lr=1.0).step(X, y, lr=0.5)
+        np.testing.assert_allclose(net.get_params(), w0 - 0.5 * g)
+
+    def test_momentum_accelerates_on_quadratic_like(self):
+        X, y = _easy_problem()
+        plain = SGD(logistic_regression(4, 2, rng=4), lr=0.05)
+        heavy = SGD(logistic_regression(4, 2, rng=4), lr=0.05, momentum=0.9)
+        for _ in range(25):
+            plain.step(X, y)
+            heavy.step(X, y)
+        assert heavy.model.loss(X, y) < plain.model.loss(X, y)
+
+    def test_momentum_reset(self):
+        X, y = _easy_problem()
+        opt = SGD(logistic_regression(4, 2, rng=0), lr=0.1, momentum=0.9)
+        opt.step(X, y)
+        opt.reset_state()
+        assert np.all(opt._velocity == 0.0)
+
+    def test_invalid_hyperparams(self):
+        net = logistic_regression(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            SGD(net, lr=-0.1)
+        with pytest.raises(ValueError):
+            SGD(net, lr=0.1, momentum=1.0)
+        X, y = _easy_problem()
+        with pytest.raises(ValueError):
+            SGD(net, lr=0.1).step(X, y, lr=0.0)
+
+    def test_projection_enforced_every_step(self):
+        X, y = _easy_problem()
+        net = logistic_regression(4, 2, rng=0)
+        opt = SGD(net, lr=0.5, projection=lambda w: project_l2_ball(w, 0.5))
+        for _ in range(5):
+            opt.step(X, y)
+            assert np.linalg.norm(net.get_params()) <= 0.5 + 1e-9

@@ -1,0 +1,158 @@
+"""Non-uniform topologies and extra property-based coverage.
+
+The paper notes its analysis "can be easily generalized to the case where
+different edge servers have different numbers of clients"; these tests exercise
+that case end to end, plus additional hypothesis properties on the data layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import ALGORITHMS, make_algorithm
+from repro.data.batching import MinibatchSampler
+from repro.data.dataset import Dataset, EdgeAreaData, FederatedDataset
+from repro.data.partition import partition_similarity, split_evenly
+from repro.nn.models import make_model_factory
+
+
+def make_nonuniform_fed(counts=(1, 3, 2), seed=0) -> FederatedDataset:
+    """Edge areas with different client counts over separable blobs."""
+    gen = np.random.default_rng(seed)
+    num_classes = len(counts)
+    centers = 3.0 * gen.normal(size=(num_classes, 4))
+    edges = []
+    for e, n_clients in enumerate(counts):
+        def mk(n):
+            X = centers[e] + gen.normal(size=(n, 4))
+            return Dataset(X, np.full(n, e, dtype=np.int64), num_classes)
+        edges.append(EdgeAreaData([mk(10 + 2 * i) for i in range(n_clients)],
+                                  mk(12), name=f"area{e}"))
+    return FederatedDataset(edges, name="nonuniform")
+
+
+class TestNonUniformTopology:
+    @pytest.fixture()
+    def fed(self):
+        return make_nonuniform_fed()
+
+    @pytest.fixture()
+    def factory(self, fed):
+        return make_model_factory("logistic", fed.input_dim, fed.num_classes)
+
+    def test_layout(self, fed):
+        assert fed.clients_per_edge() == [1, 3, 2]
+        assert fed.num_clients == 6
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_algorithm_runs(self, fed, factory, name):
+        algo = make_algorithm(name, fed, factory, batch_size=4, eta_w=0.1,
+                              eta_p=0.02, tau1=2, tau2=2, m_edges=2, seed=0)
+        res = algo.run(rounds=3, eval_every=3)
+        assert len(res.history) >= 1
+        assert np.all(np.isfinite(res.final_params))
+
+    def test_hierminimax_learns_nonuniform(self, fed, factory):
+        algo = make_algorithm("hierminimax", fed, factory, batch_size=4,
+                              eta_w=0.2, eta_p=0.02, seed=0)
+        res = algo.run(rounds=50, eval_every=50)
+        assert res.history.final().record.average_accuracy > 0.9
+
+    def test_hierfavg_data_weighting_nonuniform(self, fed, factory):
+        """Data-weighted aggregation must differ from uniform on uneven areas."""
+        a = make_algorithm("hierfavg", fed, factory, batch_size=4, eta_w=0.1,
+                           weight_by_data=True, seed=0)
+        b = make_algorithm("hierfavg", fed, factory, batch_size=4, eta_w=0.1,
+                           weight_by_data=False, seed=0)
+        a.run_round(0)
+        b.run_round(0)
+        assert not np.array_equal(a.w, b.w)
+
+    def test_multilevel_with_irregular_tree(self, fed, factory):
+        from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
+
+        tree = HierarchyTree([[[0, 1, 2]], [[0], [1, 2, 3], [4, 5]]])
+        tree.validate_dataset(fed)
+        algo = MultiLevelHierMinimax(fed, factory, tree=tree, taus=(2, 2),
+                                     eta_w=0.1, eta_p=0.02, batch_size=4, seed=0)
+        res = algo.run(rounds=5, eval_every=5)
+        assert res.final_weights.shape == (3,)
+        assert res.final_weights.sum() == pytest.approx(1.0)
+
+
+class TestDataProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(6, 60), parts=st.integers(1, 6), seed=st.integers(0, 50))
+    def test_split_evenly_partition_property(self, n, parts, seed):
+        """split_evenly is a true partition: sizes balanced, rows conserved."""
+        if parts > n:
+            return
+        gen = np.random.default_rng(seed)
+        ds = Dataset(np.arange(n, dtype=np.float64)[:, None],
+                     np.zeros(n, dtype=np.int64), 1)
+        shards = split_evenly(ds, parts, rng=gen)
+        sizes = [len(s) for s in shards]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        all_rows = np.sort(np.concatenate([s.X[:, 0] for s in shards]))
+        np.testing.assert_array_equal(all_rows, np.arange(n))
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=st.integers(1, 7), draws=st.integers(1, 30),
+           seed=st.integers(0, 20))
+    def test_minibatch_usage_balance(self, batch, draws, seed):
+        """No sample is ever used more than one epoch ahead of another.
+
+        The shuffled-epoch stream guarantees usage counts differ by at most 1 at
+        any instant (each epoch contains each sample exactly once; a
+        boundary-spanning batch simply holds the tail of one epoch and the head
+        of the next).  ``np.add.at`` is required for counting: plain fancy-index
+        ``+=`` silently collapses duplicate indices.
+        """
+        n = 12
+        ds = Dataset(np.arange(n, dtype=np.float64)[:, None],
+                     np.zeros(n, dtype=np.int64), 1)
+        sampler = MinibatchSampler(ds, batch, np.random.default_rng(seed))
+        counts = np.zeros(n, dtype=np.int64)
+        total = 0
+        for _ in range(draws):
+            X, _ = sampler.next_batch()
+            np.add.at(counts, X[:, 0].astype(int), 1)
+            total += X.shape[0]
+        assert counts.sum() == total  # every drawn row is accounted for
+        assert counts.max() - counts.min() <= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(similarity=st.floats(0.0, 1.0), seed=st.integers(0, 30))
+    def test_similarity_partition_conserves_samples(self, similarity, seed):
+        gen = np.random.default_rng(seed)
+        y = np.repeat(np.arange(4), 25)
+        pool = Dataset(gen.normal(size=(100, 3)), y, 4)
+        test_pool = Dataset(gen.normal(size=(40, 3)), np.repeat(np.arange(4), 10), 4)
+        fed = partition_similarity(pool, test_pool, num_edges=4,
+                                   clients_per_edge=2, similarity=similarity,
+                                   rng=gen)
+        assert sum(e.train_size for e in fed.edges) == 100
+        for edge in fed.edges:
+            assert edge.num_clients == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.floats(1.0, 8.0), seed=st.integers(0, 20))
+    def test_edge_shares_sizes_proportional(self, ratio, seed):
+        """Training sizes track the requested shares within rounding (±2:
+        the iid and skewed halves are cut independently, each rounding once)."""
+        gen = np.random.default_rng(seed)
+        y = np.repeat(np.arange(4), 50)
+        pool = Dataset(gen.normal(size=(200, 3)), y, 4)
+        test_pool = Dataset(gen.normal(size=(40, 3)), np.repeat(np.arange(4), 10), 4)
+        shares = np.linspace(ratio, 1.0, 4)
+        shares = shares / shares.sum()
+        fed = partition_similarity(pool, test_pool, num_edges=4,
+                                   clients_per_edge=1, similarity=0.5, rng=gen,
+                                   edge_shares=shares)
+        sizes = np.array([e.train_size for e in fed.edges])
+        assert sizes.sum() == 200
+        np.testing.assert_allclose(sizes, shares * 200, atol=2.0)

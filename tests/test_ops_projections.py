@@ -1,0 +1,189 @@
+"""Tests for repro.ops.projections, including hypothesis property tests.
+
+The simplex projection is load-bearing for the weight update (Eq. (7)); its
+correctness is verified against first principles (feasibility, idempotency,
+variational optimality) and against a brute-force QP on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ops.projections import (
+    identity_projection,
+    project_box,
+    project_capped_simplex,
+    project_l2_ball,
+    project_simplex,
+)
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=12),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex_is_fixed_point(self):
+        p = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(p), p)
+
+    def test_uniform_from_constant_vector(self):
+        out = project_simplex(np.full(4, 10.0))
+        np.testing.assert_allclose(out, np.full(4, 0.25))
+
+    def test_one_hot_for_dominant_coordinate(self):
+        out = project_simplex(np.array([10.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0])
+
+    def test_radius(self):
+        out = project_simplex(np.array([1.0, 2.0, 3.0]), radius=2.0)
+        assert out.sum() == pytest.approx(2.0)
+        assert np.all(out >= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.array([]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.zeros((2, 2)))
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.ones(3), radius=0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.array([np.nan, 0.0]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(v=finite_vectors)
+    def test_property_feasible(self, v):
+        out = project_simplex(v)
+        assert np.all(out >= 0)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(v=finite_vectors)
+    def test_property_idempotent(self, v):
+        out = project_simplex(v)
+        np.testing.assert_allclose(project_simplex(out), out, atol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=finite_vectors)
+    def test_property_closest_point(self, v):
+        """Variational optimality: no random feasible point is closer than Π(v)."""
+        out = project_simplex(v)
+        gen = np.random.default_rng(0)
+        dist = np.linalg.norm(out - v)
+        for _ in range(20):
+            candidate = gen.dirichlet(np.ones(v.size))
+            assert np.linalg.norm(candidate - v) >= dist - 1e-9
+
+    def test_matches_scipy_qp_small(self):
+        """Cross-check against a high-accuracy constrained solve."""
+        from scipy.optimize import minimize
+
+        gen = np.random.default_rng(1)
+        for _ in range(5):
+            v = gen.normal(size=4) * 3
+            out = project_simplex(v)
+            res = minimize(
+                lambda x: 0.5 * np.sum((x - v) ** 2), np.full(4, 0.25),
+                constraints=[{"type": "eq", "fun": lambda x: x.sum() - 1}],
+                bounds=[(0, None)] * 4, method="SLSQP",
+                options={"ftol": 1e-12, "maxiter": 500})
+            np.testing.assert_allclose(out, res.x, atol=1e-6)
+
+
+class TestProjectCappedSimplex:
+    def test_reduces_to_simplex_when_unconstrained(self):
+        v = np.array([0.5, -1.0, 2.0, 0.1])
+        np.testing.assert_allclose(project_capped_simplex(v, 0.0, 1.0),
+                                   project_simplex(v), atol=1e-8)
+
+    def test_respects_lower_bound(self):
+        out = project_capped_simplex(np.array([10.0, 0.0, 0.0]), lo=0.1, hi=1.0)
+        assert np.all(out >= 0.1 - 1e-9)
+        assert out.sum() == pytest.approx(1.0)
+        assert out[0] == pytest.approx(0.8)
+
+    def test_respects_upper_bound(self):
+        out = project_capped_simplex(np.array([10.0, 10.0, 0.0]), lo=0.0, hi=0.4)
+        assert np.all(out <= 0.4 + 1e-9)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.ones(3), lo=0.5, hi=1.0)  # 3*0.5 > 1
+
+    def test_lo_above_hi_raises(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.ones(3), lo=0.6, hi=0.4)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.zeros((2, 2)))
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=hnp.arrays(dtype=np.float64, shape=st.integers(2, 10),
+                        elements=st.floats(-20, 20, allow_nan=False)))
+    def test_property_feasible(self, v):
+        lo, hi = 0.02, 0.9
+        out = project_capped_simplex(v, lo, hi)
+        assert np.all(out >= lo - 1e-8)
+        assert np.all(out <= hi + 1e-8)
+        assert out.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestProjectL2Ball:
+    def test_inside_unchanged(self):
+        v = np.array([0.1, 0.2])
+        np.testing.assert_array_equal(project_l2_ball(v, 1.0), v)
+
+    def test_outside_scaled_to_boundary(self):
+        out = project_l2_ball(np.array([3.0, 4.0]), 1.0)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+        np.testing.assert_allclose(out, [0.6, 0.8])
+
+    def test_center_shift(self):
+        center = np.array([1.0, 1.0])
+        out = project_l2_ball(np.array([5.0, 1.0]), 2.0, center=center)
+        np.testing.assert_allclose(out, [3.0, 1.0])
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            project_l2_ball(np.ones(2), -1.0)
+
+    def test_center_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            project_l2_ball(np.ones(2), 1.0, center=np.ones(3))
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=finite_vectors, radius=st.floats(0.1, 10))
+    def test_property_inside_ball(self, v, radius):
+        out = project_l2_ball(v, radius)
+        assert np.linalg.norm(out) <= radius + 1e-9
+
+
+class TestProjectBox:
+    def test_clip(self):
+        np.testing.assert_array_equal(
+            project_box(np.array([-1.0, 0.5, 2.0]), 0.0, 1.0), [0.0, 0.5, 1.0])
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(ValueError):
+            project_box(np.ones(2), 1.0, 0.0)
+
+
+class TestIdentity:
+    def test_identity_returns_same_object(self):
+        v = np.ones(3)
+        assert identity_projection(v) is v

@@ -1,0 +1,102 @@
+"""Tests for the ASCII plotting module and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.plotting.ascii import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        x = np.arange(10, dtype=float)
+        out = ascii_plot({"a": (x, x**2)}, title="t", xlabel="x")
+        assert "t" in out and "legend: o a" in out
+        assert "|" in out and "+--" in out
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.arange(5, dtype=float)
+        out = ascii_plot({"one": (x, x), "two": (x, 4 - x)})
+        assert "o one" in out and "x two" in out
+        assert "o" in out and "x" in out
+
+    def test_constant_series_ok(self):
+        x = np.arange(5, dtype=float)
+        out = ascii_plot({"flat": (x, np.full(5, 2.0))})
+        assert "flat" in out
+
+    def test_single_point_ok(self):
+        out = ascii_plot({"dot": (np.array([1.0]), np.array([2.0]))})
+        assert "dot" in out
+
+    def test_nan_points_skipped(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, np.nan, 2.0])
+        out = ascii_plot({"a": (x, y)})
+        assert "a" in out
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": (np.arange(3.0), np.arange(4.0))})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": (np.array([np.nan]), np.array([np.nan]))})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": (np.arange(3.0), np.arange(3.0))}, width=4)
+
+    def test_axis_ranges_in_output(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([0.25, 0.75])
+        out = ascii_plot({"a": (x, y)})
+        assert "100" in out and "0.75" in out
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        for cmd in ("fig3", "fig4", "table1", "table2", "tradeoff", "info"):
+            args = parser.parse_args([cmd] if cmd in ("info",) else
+                                     [cmd, "--scale", "tiny"]
+                                     if cmd in ("fig3", "fig4", "table2")
+                                     else [cmd])
+            assert args.command == cmd
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "HierMinimax" in out and "hierminimax" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--horizon", "1000", "--alpha", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "DRFA" in out and "Stochastic-AFL" in out
+
+    def test_table2_unknown_dataset_rejected(self, capsys):
+        assert main(["table2", "--scale", "tiny", "--datasets", "cifar"]) == 2
+
+    def test_table2_single_dataset(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.json"
+        code = main(["table2", "--scale", "tiny", "--datasets", "adult",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "adult" in out
+
+    def test_fig3_tiny_with_plot_and_out(self, capsys, tmp_path):
+        out_file = tmp_path / "fig3.json"
+        code = main(["fig3", "--scale", "tiny", "--seeds", "1", "--plot",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "rounds to target" in out
+        assert "legend:" in out  # the ASCII plot
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff", "--horizon", "64", "--alphas", "0.0", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "duality gap" in out

@@ -1,0 +1,280 @@
+"""Tests for repro.theory: bounds, constants, schedules, Table 1, rate fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import (
+    communication_complexity_order,
+    convergence_rate_order,
+    split_tau_product,
+    tradeoff_schedule,
+)
+from repro.theory.bounds import (
+    HierMinimaxBoundInputs,
+    lemma1_divergence_bound,
+    lemma1_step_condition,
+    lemma2_divergence_bound,
+    theorem1_bound,
+    theorem2_bound,
+)
+from repro.theory.constants import ProblemConstants, logistic_smoothness_bound
+from repro.theory.rates import fit_power_law, rate_consistency
+from repro.theory.table1 import evaluate_row, format_table1, table1_rows
+
+
+def _constants(**overrides) -> ProblemConstants:
+    base = dict(R_w=2.0, R_p=np.sqrt(2), L=1.0, G_w=1.0, G_p=1.0,
+                sigma_w=0.5, sigma_p=0.5, psi=0.2)
+    base.update(overrides)
+    return ProblemConstants(**base)
+
+
+def _cfg(**overrides) -> HierMinimaxBoundInputs:
+    base = dict(eta_w=1e-3, eta_p=1e-3, tau1=2, tau2=2, m_edges=5, n0=3,
+                n_edges=10, T=4000)
+    base.update(overrides)
+    return HierMinimaxBoundInputs(**base)
+
+
+class TestBoundInputs:
+    def test_derived_quantities(self):
+        cfg = _cfg()
+        assert cfg.m == 15
+        assert cfg.rounds == 1000
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            _cfg(tau1=0)
+        with pytest.raises(ValueError):
+            _cfg(eta_w=0.0)
+        with pytest.raises(ValueError):
+            _cfg(m_edges=11)
+
+
+class TestLemmas:
+    def test_lemma1_nonnegative(self):
+        assert lemma1_divergence_bound(_cfg(), _constants()) > 0
+
+    def test_lemma1_zero_when_homogeneous_and_noiseless(self):
+        c = _constants(sigma_w=0.0, psi=0.0)
+        assert lemma1_divergence_bound(_cfg(), c) == 0.0
+
+    def test_lemma1_grows_with_tau2(self):
+        c = _constants()
+        assert lemma1_divergence_bound(_cfg(tau2=4), c) > \
+            lemma1_divergence_bound(_cfg(tau2=1), c)
+
+    def test_lemma1_grows_with_eta(self):
+        c = _constants()
+        assert lemma1_divergence_bound(_cfg(eta_w=1e-2), c) > \
+            lemma1_divergence_bound(_cfg(eta_w=1e-3), c)
+
+    def test_lemma2_scales_linearly_in_eta(self):
+        c = _constants()
+        a = lemma2_divergence_bound(_cfg(eta_w=1e-3), c)
+        b = lemma2_divergence_bound(_cfg(eta_w=2e-3), c)
+        assert b == pytest.approx(2 * a)
+
+    def test_step_condition_small_eta_ok(self):
+        assert lemma1_step_condition(_cfg(eta_w=1e-4), _constants())
+
+    def test_step_condition_large_eta_fails(self):
+        assert not lemma1_step_condition(_cfg(eta_w=1.0), _constants(L=10.0))
+
+
+class TestTheorem1:
+    def test_terms_positive_and_total(self):
+        bound = theorem1_bound(_cfg(), _constants())
+        assert bound.maximization_gap > 0
+        assert bound.minimization_gap > 0
+        assert bound.client_edge_aggregation > 0
+        assert bound.edge_cloud_aggregation > 0
+        assert bound.total == pytest.approx(
+            bound.maximization_gap + bound.minimization_gap
+            + bound.client_edge_aggregation + bound.edge_cloud_aggregation)
+
+    def test_bound_decreases_with_T_at_fixed_lr(self):
+        """The 1/T terms shrink while the others are constant."""
+        c = _constants()
+        assert theorem1_bound(_cfg(T=8000), c).total < \
+            theorem1_bound(_cfg(T=2000), c).total
+
+    def test_aggregation_terms_grow_with_periods(self):
+        c = _constants()
+        small = theorem1_bound(_cfg(tau1=1, tau2=1), c)
+        large = theorem1_bound(_cfg(tau1=4, tau2=4), c)
+        assert large.edge_cloud_aggregation > small.edge_cloud_aggregation
+        assert large.client_edge_aggregation > small.client_edge_aggregation
+
+    def test_scheduled_bound_vanishes_as_T_grows(self):
+        """With the §5 learning rates the whole bound must go to zero."""
+        c = _constants()
+        totals = []
+        for T in (10**3, 10**4, 10**5, 10**6):
+            sched = tradeoff_schedule(T, 0.25, convex=True)
+            cfg = _cfg(T=T, eta_w=sched.eta_w, eta_p=sched.eta_p,
+                       tau1=sched.tau1, tau2=sched.tau2)
+            totals.append(theorem1_bound(cfg, c).total)
+        assert totals == sorted(totals, reverse=True)
+        assert totals[-1] < 0.05 * totals[0]
+
+    def test_rate_no_slower_than_theory_exponent(self):
+        """The scheduled bound must decay at least as fast as O(1/T^{(1-α)/2}).
+
+        At finite T the minimization-gap terms (decaying at 1/√T) still dominate,
+        so the measured slope can be *steeper* than the asymptotic -(1-α)/2; it
+        must never be shallower.
+        """
+        c = _constants()
+        alpha = 0.25
+        Ts = np.array([10**4, 10**5, 10**6, 10**7])
+        gaps = []
+        for T in Ts:
+            sched = tradeoff_schedule(int(T), alpha, convex=True)
+            cfg = _cfg(T=int(T), eta_w=sched.eta_w, eta_p=sched.eta_p,
+                       tau1=sched.tau1, tau2=sched.tau2)
+            gaps.append(theorem1_bound(cfg, c).total)
+        fit = fit_power_law(Ts, np.array(gaps))
+        assert rate_consistency(fit.slope, -(1 - alpha) / 2, atol=0.02)
+        assert fit.slope >= -0.55  # and not faster than the 1/sqrt(T) floor
+
+
+class TestTheorem2:
+    def test_total_positive(self):
+        bound = theorem2_bound(_cfg(), _constants(), phi0=1.0)
+        assert bound.total > 0
+
+    def test_rejects_negative_phi0(self):
+        with pytest.raises(ValueError):
+            theorem2_bound(_cfg(), _constants(), phi0=-1.0)
+
+    def test_scheduled_bound_decreases_with_T(self):
+        c = _constants()
+        totals = []
+        for T in (10**4, 10**6, 10**8):
+            sched = tradeoff_schedule(T, 0.25, convex=False)
+            cfg = _cfg(T=T, eta_w=sched.eta_w, eta_p=sched.eta_p,
+                       tau1=sched.tau1, tau2=sched.tau2)
+            totals.append(theorem2_bound(cfg, c, phi0=1.0).total)
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestSchedules:
+    def test_split_tau_product(self):
+        assert split_tau_product(12) == (4, 3)
+        assert split_tau_product(1) == (1, 1)
+        assert split_tau_product(7) == (7, 1)
+
+    def test_split_rejects_zero(self):
+        with pytest.raises(ValueError):
+            split_tau_product(0)
+
+    def test_schedule_product_near_T_alpha(self):
+        sched = tradeoff_schedule(10000, 0.5)
+        assert sched.tau1 * sched.tau2 == pytest.approx(100, rel=0.05)
+
+    def test_alpha_zero_recovers_afl_scaling(self):
+        sched = tradeoff_schedule(10000, 0.0, convex=True)
+        assert sched.tau1 == sched.tau2 == 1
+        assert sched.eta_w == pytest.approx(1.0 / 100)  # 1/sqrt(T)
+        assert sched.eta_p == pytest.approx(1.0 / 100)
+
+    def test_convex_lr_branch_small_alpha(self):
+        sched = tradeoff_schedule(10**4, 0.1, convex=True)
+        assert sched.eta_w == pytest.approx((10**4) ** -(1 - 0.2))
+
+    def test_communication_decreases_with_alpha(self):
+        lo = tradeoff_schedule(10**4, 0.0)
+        hi = tradeoff_schedule(10**4, 0.5)
+        assert hi.rounds < lo.rounds
+        assert hi.edge_cloud_rounds < lo.edge_cloud_rounds
+
+    def test_rate_worsens_with_alpha(self):
+        assert convergence_rate_order(10**4, 0.5, convex=True) > \
+            convergence_rate_order(10**4, 0.0, convex=True)
+
+    def test_order_helpers_validate(self):
+        with pytest.raises(ValueError):
+            communication_complexity_order(0, 0.2)
+        with pytest.raises(ValueError):
+            convergence_rate_order(10, 1.0, convex=True)
+        with pytest.raises(ValueError):
+            tradeoff_schedule(10, -0.1)
+
+
+class TestTable1:
+    def test_three_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert rows[0].reference.startswith("Stochastic-AFL")
+        assert rows[2].alpha_dependent
+
+    def test_only_ours_hierarchical(self):
+        rows = table1_rows()
+        assert [r.hierarchical for r in rows] == [False, False, True]
+
+    def test_afl_nonconvex_na(self):
+        cc, cr = evaluate_row(table1_rows()[0], 1000, convex=False)
+        assert cc is None and cr is None
+
+    def test_ours_beats_drfa_communication_at_high_alpha(self):
+        rows = table1_rows(alpha=0.5)
+        cc_drfa, _ = evaluate_row(rows[1], 10**6, convex=True)
+        cc_ours, _ = evaluate_row(rows[2], 10**6, convex=True)
+        assert cc_ours < cc_drfa
+
+    def test_alpha_zero_matches_afl_convex(self):
+        rows = table1_rows(alpha=0.0)
+        cc_afl, cr_afl = evaluate_row(rows[0], 10**4, convex=True)
+        cc_ours, cr_ours = evaluate_row(rows[2], 10**4, convex=True)
+        assert cc_afl == pytest.approx(cc_ours)
+        assert cr_afl == pytest.approx(cr_ours)
+
+    def test_format_includes_all_references(self):
+        text = format_table1(alpha=0.25, T=10**5)
+        for ref in ("Stochastic-AFL", "DRFA", "HierMinimax"):
+            assert ref in text
+
+    def test_format_validates_alpha(self):
+        with pytest.raises(ValueError):
+            table1_rows(alpha=1.0)
+
+
+class TestRateFitting:
+    def test_exact_power_law_recovered(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        y = 5.0 * x ** -0.5
+        fit = fit_power_law(x, y)
+        assert fit.slope == pytest.approx(-0.5)
+        assert fit.constant == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.array([1.0, 10.0, 100.0])
+        fit = fit_power_law(x, 2.0 * x)
+        np.testing.assert_allclose(fit.predict(np.array([5.0])), [10.0])
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+    def test_rate_consistency(self):
+        assert rate_consistency(-0.6, -0.5)          # faster than theory: ok
+        assert rate_consistency(-0.4, -0.5, atol=0.25)
+        assert not rate_consistency(0.1, -0.5, atol=0.25)
+        with pytest.raises(ValueError):
+            rate_consistency(-0.5, -0.5, atol=-1.0)
+
+
+class TestLogisticSmoothness:
+    def test_formula(self):
+        X = np.array([[3.0, 4.0]])  # ||x||^2 = 25, +1 bias -> 13
+        assert logistic_smoothness_bound(X) == pytest.approx(13.0)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            logistic_smoothness_bound(np.ones(3))

@@ -1,0 +1,97 @@
+"""Tests for the Lemma 1/2 divergence measurement — theory meets simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import make_model_factory
+from repro.theory.bounds import (
+    HierMinimaxBoundInputs,
+    lemma1_divergence_bound,
+    lemma2_divergence_bound,
+)
+from repro.theory.constants import estimate_problem_constants
+from repro.theory.divergence import measure_model_divergence
+
+from tests.conftest import make_blob_fed
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return make_blob_fed(num_edges=4, clients_per_edge=2, n_per_client=16,
+                         dim=4, seed=2)
+
+
+@pytest.fixture(scope="module")
+def factory(fed):
+    return make_model_factory("logistic", fed.input_dim, fed.num_classes)
+
+
+class TestMeasurement:
+    def test_returns_nonnegative(self, fed, factory):
+        m = measure_model_divergence(fed, factory, eta_w=0.05, tau1=2, tau2=2,
+                                     rounds=3, seed=0)
+        assert m.mean_squared >= 0.0
+        assert m.mean_absolute >= 0.0
+        assert m.slots == 12
+
+    def test_jensen_relation(self, fed, factory):
+        """mean(|x|)² <= mean(x²) (Jensen) must hold between the two outputs."""
+        m = measure_model_divergence(fed, factory, eta_w=0.05, tau1=3, tau2=2,
+                                     rounds=3, seed=0)
+        assert m.mean_absolute ** 2 <= m.mean_squared + 1e-12
+
+    def test_divergence_grows_with_eta(self, fed, factory):
+        lo = measure_model_divergence(fed, factory, eta_w=0.01, tau1=2, tau2=2,
+                                      rounds=4, seed=0)
+        hi = measure_model_divergence(fed, factory, eta_w=0.1, tau1=2, tau2=2,
+                                      rounds=4, seed=0)
+        assert hi.mean_squared > lo.mean_squared
+
+    def test_divergence_grows_with_tau(self, fed, factory):
+        short = measure_model_divergence(fed, factory, eta_w=0.05, tau1=1,
+                                         tau2=1, rounds=6, seed=0)
+        long = measure_model_divergence(fed, factory, eta_w=0.05, tau1=4,
+                                        tau2=2, rounds=6, seed=0)
+        assert long.mean_squared > short.mean_squared
+
+    def test_single_client_single_edge_zero_divergence(self, factory):
+        """With one participating client the virtual average IS the local model."""
+        solo = make_blob_fed(num_edges=1, clients_per_edge=1, n_per_client=16,
+                             dim=4, seed=3)
+        solo_factory = make_model_factory("logistic", solo.input_dim,
+                                          solo.num_classes)
+        m = measure_model_divergence(solo, solo_factory, eta_w=0.1, tau1=3,
+                                     tau2=2, rounds=2, seed=0)
+        assert m.mean_squared == pytest.approx(0.0, abs=1e-18)
+
+    def test_validations(self, fed, factory):
+        with pytest.raises(ValueError):
+            measure_model_divergence(fed, factory, eta_w=0.0, tau1=2, tau2=2)
+        with pytest.raises(ValueError):
+            measure_model_divergence(fed, factory, eta_w=0.1, tau1=2, tau2=2,
+                                     m_edges=9)
+
+
+class TestLemma1Verification:
+    def test_measured_below_lemma1_bound(self, fed, factory):
+        """The empirical Lemma 1 LHS must sit below the evaluated RHS."""
+        eta_w, tau1, tau2 = 0.02, 2, 2
+        engine = factory(0)
+        constants = estimate_problem_constants(
+            fed, engine, num_probes=4, probe_radius=0.3,
+            rng=np.random.default_rng(0))
+        cfg = HierMinimaxBoundInputs(
+            eta_w=eta_w, eta_p=1e-3, tau1=tau1, tau2=tau2, m_edges=4, n0=2,
+            n_edges=4, T=64)
+        measured = measure_model_divergence(
+            fed, factory, eta_w=eta_w, tau1=tau1, tau2=tau2, rounds=8, seed=0)
+        bound_sq = lemma1_divergence_bound(cfg, constants)
+        bound_abs = lemma2_divergence_bound(cfg, constants)
+        assert measured.mean_squared <= bound_sq, (
+            f"Lemma 1 violated empirically: {measured.mean_squared:.3e} > "
+            f"{bound_sq:.3e}")
+        assert measured.mean_absolute <= bound_abs, (
+            f"Lemma 2 violated empirically: {measured.mean_absolute:.3e} > "
+            f"{bound_abs:.3e}")

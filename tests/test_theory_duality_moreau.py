@@ -1,0 +1,176 @@
+"""Tests for the duality-gap and Moreau-envelope measurement machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import logistic_regression
+from repro.theory.constants import estimate_problem_constants
+from repro.theory.duality import (
+    duality_gap,
+    edge_losses,
+    max_over_simplex,
+    weighted_min_loss,
+)
+from repro.theory.moreau import moreau_envelope, moreau_gradient_norm, phi_value
+
+from tests.conftest import make_blob_fed
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return make_blob_fed(num_edges=3, clients_per_edge=2, n_per_client=15,
+                         dim=4, seed=1)
+
+
+@pytest.fixture()
+def engine(fed):
+    return logistic_regression(fed.input_dim, fed.num_classes, rng=0)
+
+
+class TestEdgeLosses:
+    def test_shape_positive(self, fed, engine):
+        losses = edge_losses(engine, engine.get_params(), fed)
+        assert losses.shape == (3,)
+        assert np.all(losses > 0)
+
+    def test_max_over_simplex(self):
+        assert max_over_simplex(np.array([1.0, 3.0, 2.0])) == 3.0
+
+    def test_max_over_simplex_validates(self):
+        with pytest.raises(ValueError):
+            max_over_simplex(np.array([]))
+
+
+class TestWeightedMinLoss:
+    def test_below_initial_value(self, fed, engine):
+        p = np.full(3, 1 / 3)
+        w0 = engine.get_params()
+        init_value = float(np.dot(p, edge_losses(engine, w0, fed)))
+        opt_value = weighted_min_loss(engine, p, fed, max_iters=300)
+        assert opt_value < init_value
+
+    def test_single_edge_weight(self, fed, engine):
+        """Weight concentrated on one edge minimizes only that edge's loss."""
+        p = np.array([1.0, 0.0, 0.0])
+        value = weighted_min_loss(engine, p, fed, max_iters=400)
+        assert value < 0.1  # separable blob problem: near-zero attainable
+
+    def test_validations(self, fed, engine):
+        with pytest.raises(ValueError):
+            weighted_min_loss(engine, np.full(2, 0.5), fed)
+        with pytest.raises(ValueError):
+            weighted_min_loss(engine, np.array([-0.5, 1.0, 0.5]), fed)
+        with pytest.raises(ValueError):
+            weighted_min_loss(engine, np.zeros(3), fed)
+
+
+class TestDualityGap:
+    def test_nonnegative(self, fed, engine):
+        p = np.full(3, 1 / 3)
+        gap = duality_gap(engine, engine.get_params(), p, fed, max_iters=300)
+        assert gap > -1e-6
+
+    def test_shrinks_with_training(self, fed, engine):
+        """Training the uniform-weighted objective must shrink the duality gap."""
+        p = np.full(3, 1 / 3)
+        w0 = engine.get_params()
+        gap_before = duality_gap(engine, w0, p, fed, max_iters=300)
+        # crude training: full-batch GD on the uniform mixture
+        pools = [e.train_pool() for e in fed.edges]
+        w = w0.copy()
+        for _ in range(150):
+            grad = np.zeros_like(w)
+            for pool in pools:
+                engine.set_params(w)
+                _, g = engine.loss_and_gradient(pool.X, pool.y)
+                grad += g / 3
+            w -= 0.3 * grad
+        gap_after = duality_gap(engine, w, p, fed, max_iters=300)
+        assert gap_after < gap_before
+
+
+class TestMoreau:
+    def test_phi_is_max_of_edge_losses(self, fed, engine):
+        w = engine.get_params()
+        assert phi_value(engine, w, fed) == pytest.approx(
+            edge_losses(engine, w, fed).max())
+
+    def test_envelope_below_phi(self, fed, engine):
+        """Φ_λ(w) <= Φ(w) always (take x = w in the inf)."""
+        w = engine.get_params()
+        lam = 0.5
+        value, _ = moreau_envelope(engine, w, fed, lam=lam, max_iters=100)
+        assert value <= phi_value(engine, w, fed) + 1e-6
+
+    def test_envelope_positive(self, fed, engine):
+        value, _ = moreau_envelope(engine, engine.get_params(), fed, lam=0.5,
+                                   max_iters=60)
+        assert value > 0
+
+    def test_prox_point_improves_objective(self, fed, engine):
+        w = engine.get_params()
+        lam = 0.5
+        _, x_star = moreau_envelope(engine, w, fed, lam=lam, max_iters=150)
+        obj_w = phi_value(engine, w, fed)
+        obj_x = phi_value(engine, x_star, fed) + \
+            0.5 / lam * float((x_star - w) @ (x_star - w))
+        assert obj_x <= obj_w + 1e-6
+
+    def test_gradient_norm_matches_prox_formula(self, fed, engine):
+        w = engine.get_params()
+        lam = 0.5
+        _, x_star = moreau_envelope(engine, w, fed, lam=lam, max_iters=100)
+        norm = moreau_gradient_norm(engine, w, fed, lam=lam, max_iters=100)
+        assert norm == pytest.approx(np.linalg.norm(w - x_star) / lam, rel=1e-6)
+
+    def test_validations(self, fed, engine):
+        with pytest.raises(ValueError):
+            moreau_envelope(engine, engine.get_params(), fed, lam=0.0)
+        with pytest.raises(ValueError):
+            moreau_envelope(engine, engine.get_params(), fed, lam=0.5, max_iters=0)
+
+
+class TestEstimateConstants:
+    def test_estimates_positive_and_consistent(self, fed, engine):
+        c = estimate_problem_constants(fed, engine, num_probes=3,
+                                       rng=np.random.default_rng(0))
+        assert c.L > 0
+        assert c.G_w > 0
+        assert c.G_p > 0
+        assert c.sigma_w >= 0
+        assert c.psi >= 0
+        assert c.R_p == pytest.approx(np.sqrt(2))
+
+    def test_restores_engine_params(self, fed, engine):
+        before = engine.get_params()
+        estimate_problem_constants(fed, engine, num_probes=2,
+                                   rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(engine.get_params(), before)
+
+    def test_validations(self, fed, engine):
+        with pytest.raises(ValueError):
+            estimate_problem_constants(fed, engine, num_probes=0)
+        with pytest.raises(ValueError):
+            estimate_problem_constants(fed, engine, probe_radius=0.0)
+
+    def test_heterogeneous_psi_larger_than_homogeneous(self, engine, fed):
+        """Ψ on a one-class-per-edge layout must exceed Ψ on an iid layout."""
+        from repro.data.dataset import EdgeAreaData, FederatedDataset
+        from tests.conftest import make_blob_dataset
+
+        pool = make_blob_dataset(30, 3, 4, seed=2)
+        gen = np.random.default_rng(0)
+        # iid layout: every edge gets a random subset of the same pool
+        edges = []
+        for e in range(3):
+            idx = gen.choice(len(pool), size=20, replace=False)
+            shard = pool.subset(idx)
+            edges.append(EdgeAreaData([shard], pool.subset(idx[:5])))
+        iid_fed = FederatedDataset(edges)
+        c_het = estimate_problem_constants(fed, engine, num_probes=3,
+                                           rng=np.random.default_rng(1))
+        c_iid = estimate_problem_constants(iid_fed, engine, num_probes=3,
+                                           rng=np.random.default_rng(1))
+        assert c_het.psi > c_iid.psi

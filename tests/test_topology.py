@@ -1,0 +1,212 @@
+"""Tests for repro.topology: structure, communication accounting, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.comm import CommunicationTracker
+from repro.topology.network import HierarchicalTopology
+from repro.topology.sampling import (
+    sample_by_weight,
+    sample_checkpoint_slot,
+    sample_uniform_subset,
+)
+
+
+class TestHierarchicalTopology:
+    def test_uniform_constructor(self):
+        topo = HierarchicalTopology.uniform(4, 3)
+        assert topo.num_edges == 4
+        assert topo.num_clients == 12
+        assert topo.is_uniform
+        assert topo.n0 == 3
+
+    def test_nonuniform(self):
+        topo = HierarchicalTopology([2, 3, 1])
+        assert topo.num_clients == 6
+        assert not topo.is_uniform
+        with pytest.raises(ValueError):
+            _ = topo.n0
+
+    def test_clients_of_edge(self):
+        topo = HierarchicalTopology([2, 3])
+        np.testing.assert_array_equal(topo.clients_of_edge(0), [0, 1])
+        np.testing.assert_array_equal(topo.clients_of_edge(1), [2, 3, 4])
+
+    def test_edge_of_client(self):
+        topo = HierarchicalTopology([2, 3])
+        assert topo.edge_of_client(0) == 0
+        assert topo.edge_of_client(4) == 1
+
+    def test_index_bounds(self):
+        topo = HierarchicalTopology([2])
+        with pytest.raises(IndexError):
+            topo.clients_of_edge(1)
+        with pytest.raises(IndexError):
+            topo.edge_of_client(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HierarchicalTopology([])
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            HierarchicalTopology([2, 0])
+
+    def test_from_dataset_and_validate(self, tiny_image_fed):
+        topo = HierarchicalTopology.from_dataset(tiny_image_fed)
+        assert topo.num_edges == tiny_image_fed.num_edges
+        topo.validate_dataset(tiny_image_fed)
+
+    def test_validate_mismatch_raises(self, tiny_image_fed):
+        topo = HierarchicalTopology.uniform(3, 2)
+        with pytest.raises(ValueError):
+            topo.validate_dataset(tiny_image_fed)
+
+    def test_to_networkx_structure(self):
+        topo = HierarchicalTopology.uniform(3, 2)
+        g = topo.to_networkx()
+        assert g.number_of_nodes() == 1 + 3 + 6
+        assert g.number_of_edges() == 3 + 6
+        assert g.degree["cloud"] == 3
+
+
+class TestCommunicationTracker:
+    def test_record_and_totals(self):
+        t = CommunicationTracker()
+        t.record("edge_cloud", "down", count=3, floats=100)
+        t.record("edge_cloud", "up", count=3, floats=100)
+        snap = t.snapshot()
+        assert snap.total_messages == 6
+        assert snap.total_floats == 600
+        assert snap.total_bytes == 4800
+
+    def test_sync_cycles(self):
+        t = CommunicationTracker()
+        t.sync_cycle("client_edge", count=4)
+        t.sync_cycle("edge_cloud")
+        assert t.total_cycles == 5
+        assert t.edge_cloud_cycles == 1
+
+    def test_client_cloud_counts_as_cloud_facing(self):
+        t = CommunicationTracker()
+        t.sync_cycle("client_cloud", count=2)
+        assert t.edge_cloud_cycles == 2
+
+    def test_snapshot_immutable_copy(self):
+        t = CommunicationTracker()
+        t.sync_cycle("edge_cloud")
+        snap = t.snapshot()
+        t.sync_cycle("edge_cloud")
+        assert snap.edge_cloud_cycles == 1
+        assert t.edge_cloud_cycles == 2
+
+    def test_reset(self):
+        t = CommunicationTracker()
+        t.record("client_edge", "up", count=1, floats=10)
+        t.sync_cycle("client_edge")
+        t.reset()
+        assert t.total_cycles == 0
+        assert t.total_bytes == 0
+
+    def test_validations(self):
+        t = CommunicationTracker()
+        with pytest.raises(ValueError):
+            t.record("wan", "up")
+        with pytest.raises(ValueError):
+            t.record("edge_cloud", "sideways")
+        with pytest.raises(ValueError):
+            t.record("edge_cloud", "up", count=-1)
+        with pytest.raises(ValueError):
+            t.sync_cycle("lan")
+
+
+class TestSampleByWeight:
+    def test_shape_and_range(self):
+        idx = sample_by_weight(np.full(5, 0.2), 8, np.random.default_rng(0))
+        assert idx.shape == (8,)
+        assert idx.min() >= 0 and idx.max() < 5
+
+    def test_degenerate_weight(self):
+        p = np.array([0.0, 1.0, 0.0])
+        idx = sample_by_weight(p, 10, np.random.default_rng(0))
+        assert np.all(idx == 1)
+
+    def test_empirical_frequencies_match_p(self):
+        p = np.array([0.5, 0.3, 0.2])
+        idx = sample_by_weight(p, 30000, np.random.default_rng(0))
+        freq = np.bincount(idx, minlength=3) / idx.size
+        np.testing.assert_allclose(freq, p, atol=0.02)
+
+    def test_validations(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_by_weight(np.array([]), 1, gen)
+        with pytest.raises(ValueError):
+            sample_by_weight(np.array([0.5, 0.5]), 0, gen)
+        with pytest.raises(ValueError):
+            sample_by_weight(np.array([0.9, -0.1]), 1, gen)
+        with pytest.raises(ValueError):
+            sample_by_weight(np.array([0.2, 0.2]), 1, gen)  # sums to 0.4
+
+    def test_tiny_negative_rounding_tolerated(self):
+        p = np.array([1.0 + 1e-10, -1e-10])
+        idx = sample_by_weight(p, 5, np.random.default_rng(0))
+        assert np.all(idx == 0)
+
+
+class TestSampleUniformSubset:
+    def test_no_replacement(self):
+        sub = sample_uniform_subset(10, 10, np.random.default_rng(0))
+        assert len(np.unique(sub)) == 10
+
+    def test_subset_size(self):
+        assert sample_uniform_subset(10, 4, np.random.default_rng(0)).shape == (4,)
+
+    def test_validations(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_uniform_subset(0, 1, gen)
+        with pytest.raises(ValueError):
+            sample_uniform_subset(5, 6, gen)
+        with pytest.raises(ValueError):
+            sample_uniform_subset(5, 0, gen)
+
+    def test_uniform_coverage(self):
+        counts = np.zeros(6)
+        gen = np.random.default_rng(1)
+        for _ in range(6000):
+            counts[sample_uniform_subset(6, 2, gen)] += 1
+        freq = counts / counts.sum()
+        np.testing.assert_allclose(freq, np.full(6, 1 / 6), atol=0.02)
+
+
+class TestCheckpointSlot:
+    @settings(max_examples=60, deadline=None)
+    @given(tau1=st.integers(1, 6), tau2=st.integers(1, 6),
+           seed=st.integers(0, 100))
+    def test_property_in_range(self, tau1, tau2, seed):
+        c1, c2 = sample_checkpoint_slot(tau1, tau2, np.random.default_rng(seed))
+        assert 1 <= c1 <= tau1
+        assert 0 <= c2 < tau2
+
+    def test_uniform_over_slots(self):
+        gen = np.random.default_rng(0)
+        tau1, tau2 = 3, 4
+        counts = np.zeros((tau1, tau2))
+        n = 24000
+        for _ in range(n):
+            c1, c2 = sample_checkpoint_slot(tau1, tau2, gen)
+            counts[c1 - 1, c2] += 1
+        np.testing.assert_allclose(counts / n, np.full((tau1, tau2), 1 / 12),
+                                   atol=0.01)
+
+    def test_degenerate(self):
+        assert sample_checkpoint_slot(1, 1, np.random.default_rng(0)) == (1, 0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            sample_checkpoint_slot(0, 1, np.random.default_rng(0))

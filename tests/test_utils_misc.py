@@ -1,0 +1,78 @@
+"""Tests for repro.utils.logging and repro.utils.timers."""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from repro.utils.logging import NullLogger, RunLogger
+from repro.utils.timers import Timer, TimerBank
+
+
+class TestNullLogger:
+    def test_swallows_events(self):
+        NullLogger()({"event": "round", "k": 1})  # must not raise
+
+
+class TestRunLogger:
+    def test_writes_line(self):
+        buf = io.StringIO()
+        RunLogger(stream=buf)({"event": "round", "acc": 0.5})
+        text = buf.getvalue()
+        assert "round" in text and "acc=0.5" in text
+
+    def test_round_thinning(self):
+        buf = io.StringIO()
+        log = RunLogger(stream=buf, every=3)
+        for _ in range(7):
+            log({"event": "round", "k": 1})
+        assert buf.getvalue().count("round") == 3  # rounds 1, 4, 7
+
+    def test_non_round_events_always_pass(self):
+        buf = io.StringIO()
+        log = RunLogger(stream=buf, every=100)
+        log({"event": "done", "total": 1})
+        assert "done" in buf.getvalue()
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RunLogger(every=0)
+
+    def test_float_formatting(self):
+        buf = io.StringIO()
+        RunLogger(stream=buf)({"event": "x", "v": 0.123456789})
+        assert "0.123457" in buf.getvalue()
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        with t:
+            time.sleep(0.001)
+        assert t.count == 2
+        assert t.total >= 0.002
+
+    def test_mean(self):
+        t = Timer()
+        assert t.mean == 0.0
+        with t:
+            pass
+        assert t.mean == t.total
+
+
+class TestTimerBank:
+    def test_reuses_named_timer(self):
+        bank = TimerBank()
+        assert bank("train") is bank("train")
+
+    def test_summary(self):
+        bank = TimerBank()
+        with bank("a"):
+            pass
+        summary = bank.summary()
+        assert set(summary) == {"a"}
+        assert summary["a"] >= 0.0

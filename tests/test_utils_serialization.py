@@ -1,0 +1,68 @@
+"""Tests for repro.utils.serialization: JSON round-trips of experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import from_jsonable, load_json, save_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "x"):
+            assert to_jsonable(v) == v
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_array_envelope(self):
+        out = to_jsonable(np.arange(6).reshape(2, 3))
+        assert out["shape"] == [2, 3]
+        assert out["__ndarray__"] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_nested_structures(self):
+        out = to_jsonable({"a": [np.float64(1.0), {"b": (1, 2)}]})
+        assert out == {"a": [1.0, {"b": [1, 2]}]}
+
+    def test_dataclass(self):
+        @dataclass
+        class Point:
+            x: float
+            y: float
+
+        assert to_jsonable(Point(1.0, 2.0)) == {"x": 1.0, "y": 2.0}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_array_roundtrip(self):
+        arr = np.linspace(0, 1, 7).reshape(7, 1)
+        back = from_jsonable(to_jsonable(arr))
+        np.testing.assert_array_almost_equal(back, arr)
+        assert back.shape == arr.shape
+
+    def test_nested_roundtrip(self):
+        obj = {"history": [{"acc": np.array([0.1, 0.2])}, {"acc": np.array([0.3])}]}
+        back = from_jsonable(to_jsonable(obj))
+        np.testing.assert_array_equal(back["history"][0]["acc"], [0.1, 0.2])
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "res.json"
+        payload = {"x": np.arange(3), "meta": {"seed": 7}}
+        save_json(path, payload)
+        loaded = load_json(path)
+        np.testing.assert_array_equal(loaded["x"], [0, 1, 2])
+        assert loaded["meta"]["seed"] == 7
+
+    def test_save_creates_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.json"
+        save_json(path, {"ok": 1})
+        assert path.exists()

@@ -1,0 +1,146 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_fraction,
+    check_in_unit_interval,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    check_simplex_vector,
+)
+
+
+class TestPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(2), "x") == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ValueError, match="tau1"):
+            check_positive_int(-1, "tau1")
+
+
+class TestNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts(self):
+        assert check_positive_float(0.5, "lr") == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive_float(2, "lr") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "lr")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("nan"), "lr")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("inf"), "lr")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_float("0.1", "lr")
+
+
+class TestUnitInterval:
+    def test_closed_right_boundary(self):
+        assert check_in_unit_interval(1.0, "s") == 1.0
+
+    def test_open_right_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_in_unit_interval(1.0, "s", closed_right=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_in_unit_interval(-0.1, "s")
+
+    def test_probability_alias(self):
+        assert check_probability(0.3, "p") == 0.3
+
+
+class TestFraction:
+    def test_ok(self):
+        check_fraction(2, 5, "m")
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            check_fraction(6, 5, "m")
+
+
+class TestArrays:
+    def test_1d_roundtrip(self):
+        out = check_array_1d([1, 2, 3], "v")
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_1d_length_enforced(self):
+        with pytest.raises(ValueError):
+            check_array_1d([1, 2], "v", length=3)
+
+    def test_1d_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_array_1d([[1, 2]], "v")
+
+    def test_2d_ok(self):
+        assert check_array_2d([[1, 2]], "m").shape == (1, 2)
+
+    def test_2d_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_array_2d([1, 2], "m")
+
+
+class TestSimplexVector:
+    def test_uniform_ok(self):
+        p = check_simplex_vector([0.25] * 4, "p")
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_simplex_vector([0.5, 0.7, -0.2], "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            check_simplex_vector([0.5, 0.1], "p")
+
+
+class TestSameLength:
+    def test_ok(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            check_same_length("a", [1], "b", [3, 4])
