@@ -7,7 +7,8 @@ measured against, per the profile-first workflow of the HPC guides:
 * fused forward+backward of the two paper models,
 * the simplex projection behind every weight update,
 * client-edge aggregation (weighted averaging of model vectors),
-* one full HierMinimax training round.
+* one full HierMinimax training round,
+* per-phase wall-clock attribution of a traced experiment run.
 """
 
 from __future__ import annotations
@@ -82,3 +83,40 @@ def test_hierminimax_round(benchmark):
         algo.run_round(next(counter))
 
     benchmark(one_round)
+
+
+def test_phase_attribution(make_tracer, save_report):
+    """Where does a traced experiment run spend its time?
+
+    Runs the tiny Fig. 3 preset under a :class:`repro.obs.Tracer` and archives
+    the per-algorithm span breakdown (phase1 / phase2 / evaluate / edge_block /
+    client_local_steps), the metric snapshot, and the JSONL trace itself —
+    the observability layer's answer to "which phase should optimization work
+    target".
+    """
+    from repro.experiments.presets import fig3_preset
+    from repro.experiments.runner import run_experiment
+
+    preset = fig3_preset(scale="tiny").with_overrides(slots=240, eval_points=4)
+    tracer = make_tracer("phase_attribution", meta={"bench": "substrate"},
+                         write_max_depth=2)
+    out = run_experiment(preset, seed=0, obs=tracer)
+    tracer.close()
+
+    lines = ["algorithm            phase                       seconds"]
+    containers = ("run", "cloud_round")  # wrappers, not phases
+    for name, phases in out.phase_times.items():
+        for span, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
+            if span not in containers:
+                lines.append(f"{name:<20s} {span:<26s} {seconds:8.3f}")
+    counters = out.metrics.get("counters", {})
+    lines.append(f"sgd_steps_total = {counters.get('sgd_steps_total', 0)}   "
+                 f"edge_cloud_bytes = {counters.get('edge_cloud_bytes', 0)}")
+    report = "\n".join(lines)
+    save_report("phase_attribution",
+                {"phase_times": {k: dict(v) for k, v in out.phase_times.items()},
+                 "setup_times": dict(out.setup_times),
+                 "metrics": out.metrics}, report)
+    assert out.phase_times, "tracer produced no per-phase attribution"
+    for name in preset.algorithms:
+        assert name in out.phase_times

@@ -47,6 +47,25 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture
+def make_tracer(results_dir):
+    """Callable fixture: build a :class:`repro.obs.Tracer` whose JSONL trace is
+    archived as ``results/<name>.trace.jsonl``.  Tracers are closed at test
+    teardown so partial traces still end with their ``trace_end`` record."""
+    from repro.obs import Tracer
+
+    tracers: list[Tracer] = []
+
+    def _make(name: str, **kwargs) -> Tracer:
+        tracer = Tracer(results_dir / f"{name}.trace.jsonl", **kwargs)
+        tracers.append(tracer)
+        return tracer
+
+    yield _make
+    for tracer in tracers:
+        tracer.close()
+
+
 @pytest.fixture(scope="session")
 def save_report(results_dir):
     """Callable fixture: archive a payload as JSON, print the text report, and

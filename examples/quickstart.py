@@ -6,7 +6,11 @@ class per area), runs HierMinimax with the §6.1 period parameters, and prints t
 fairness metrics and communication totals.
 
 Run:
-    python examples/quickstart.py [--scale tiny|small] [--rounds N]
+    python examples/quickstart.py [--scale tiny|small] [--rounds N] \
+        [--trace run.trace.jsonl]
+
+With ``--trace`` the run also streams a JSONL span/metric record; inspect it
+afterwards with ``python -m repro trace-report run.trace.jsonl``.
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ import argparse
 
 import numpy as np
 
-from repro import HierMinimax, make_federated_dataset, make_model_factory
+from repro import HierMinimax, NullTracer, Tracer, make_federated_dataset, \
+    make_model_factory
 from repro.utils.logging import RunLogger
 
 
@@ -26,6 +31,8 @@ def main() -> None:
     parser.add_argument("--rounds", type=int, default=None,
                         help="cloud training rounds (default: scale-dependent)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL trace of the run here")
     args = parser.parse_args()
 
     rounds = args.rounds if args.rounds is not None else (
@@ -40,15 +47,23 @@ def main() -> None:
     model = make_model_factory("logistic", data.input_dim, data.num_classes)
 
     # 3. Algorithm 1 with the paper's periods (tau1 = tau2 = 2, m_E = 5).
+    obs = (Tracer(args.trace, meta={"example": "quickstart"},
+                  write_max_depth=2)
+           if args.trace else NullTracer())
     algo = HierMinimax(
         data, model,
         tau1=2, tau2=2, m_edges=5,
         eta_w=0.05, eta_p=2e-3, batch_size=8,
         seed=args.seed,
         logger=RunLogger(every=max(1, rounds // 10)),
+        obs=obs,
     )
 
     result = algo.run(rounds=rounds, eval_every=max(1, rounds // 10))
+    obs.close()
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(inspect: python -m repro trace-report {args.trace})")
 
     record = result.history.final().record
     print("\n--- results ---")

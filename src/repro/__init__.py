@@ -37,6 +37,14 @@ from repro.data import (
 from repro.compression import IdentityCompressor, QSGDQuantizer, TopKSparsifier
 from repro.metrics import EvaluationRecord, TrainingHistory, evaluate_record
 from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    TraceWriter,
+    analyze_trace,
+    format_trace_report,
+)
 from repro.nn import NeuralNetwork, logistic_regression, make_model_factory, mlp
 from repro.topology import CommunicationTracker, HierarchicalTopology
 
@@ -66,6 +74,12 @@ __all__ = [
     "evaluate_record",
     "HierarchyTree",
     "MultiLevelHierMinimax",
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "TraceWriter",
+    "analyze_trace",
+    "format_trace_report",
     "NeuralNetwork",
     "logistic_regression",
     "make_model_factory",

@@ -50,9 +50,10 @@ class DRFA(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
-                         seed=seed, projection_w=projection_w, logger=logger)
+                         seed=seed, projection_w=projection_w, logger=logger,
+                         obs=obs)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -78,33 +79,43 @@ class DRFA(FederatedAlgorithm):
     def run_round(self, round_index: int) -> None:
         """One DRFA round: τ1 local steps with a random checkpoint, then q ascent."""
         d = self.w.size
+        obs = self.obs
         sampled = sample_by_weight(self.q, self.m_clients, self.rng)
         # Checkpoint step t' uniform in {1, ..., tau1}.
         t_prime = int(self.rng.integers(1, self.tau1 + 1))
-        self.tracker.record("client_cloud", "down", count=len(np.unique(sampled)),
-                            floats=d + 1)
-        acc = np.zeros(d)
-        acc_ckpt = np.zeros(d)
-        for i in sampled:
-            w_end, w_ckpt = self.clients[int(i)].local_sgd(
-                self.engine, self.w, steps=self.tau1, lr=self.eta_w,
-                projection=self.projection_w, checkpoint_after=t_prime)
-            acc += w_end
-            acc_ckpt += w_ckpt
-            self.tracker.record("client_cloud", "up", count=1, floats=2 * d)
-        self.tracker.sync_cycle("client_cloud")
-        self.w = acc / self.m_clients
-        w_checkpoint = acc_ckpt / self.m_clients
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_clients=len(sampled), t_prime=t_prime):
+            self.tracker.record("client_cloud", "down",
+                                count=len(np.unique(sampled)), floats=d + 1)
+            acc = np.zeros(d)
+            acc_ckpt = np.zeros(d)
+            for i in sampled:
+                with obs.span("client_local_steps", client=int(i),
+                              steps=self.tau1):
+                    w_end, w_ckpt = self.clients[int(i)].local_sgd(
+                        self.engine, self.w, steps=self.tau1, lr=self.eta_w,
+                        projection=self.projection_w, checkpoint_after=t_prime)
+                obs.count("sgd_steps_total", self.tau1)
+                acc += w_end
+                acc_ckpt += w_ckpt
+                self.tracker.record("client_cloud", "up", count=1, floats=2 * d)
+            self.tracker.sync_cycle("client_cloud")
+            self.w = acc / self.m_clients
+            w_checkpoint = acc_ckpt / self.m_clients
 
         # Weight ascent phase at the checkpoint model, scaled by tau1.
-        probed = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
-        self.tracker.record("client_cloud", "down", count=len(probed), floats=d)
-        losses: dict[int, float] = {}
-        for i in probed:
-            losses[int(i)] = self.clients[int(i)].estimate_loss(
-                self.engine, w_checkpoint)
-            self.tracker.record("client_cloud", "up", count=1, floats=1)
-        self.tracker.sync_cycle("client_cloud")
-        v = self.cloud.build_loss_vector(losses)
-        self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q,
-                                           tau1=self.tau1)
+        with obs.span("phase2_weight_update", round=round_index):
+            probed = sample_uniform_subset(len(self.clients), self.m_clients,
+                                           self.rng)
+            self.tracker.record("client_cloud", "down", count=len(probed),
+                                floats=d)
+            losses: dict[int, float] = {}
+            for i in probed:
+                losses[int(i)] = self.clients[int(i)].estimate_loss(
+                    self.engine, w_checkpoint)
+                self.tracker.record("client_cloud", "up", count=1, floats=1)
+            self.tracker.sync_cycle("client_cloud")
+            obs.gauge("worst_client_loss", max(losses.values()))
+            v = self.cloud.build_loss_vector(losses)
+            self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q,
+                                               tau1=self.tau1)

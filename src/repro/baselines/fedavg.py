@@ -45,9 +45,10 @@ class FedAvg(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
-                         seed=seed, projection_w=projection_w, logger=logger)
+                         seed=seed, projection_w=projection_w, logger=logger,
+                         obs=obs)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -64,17 +65,25 @@ class FedAvg(FederatedAlgorithm):
     def run_round(self, round_index: int) -> None:
         """One FedAvg round: uniform sample, τ1 local steps, weighted average."""
         d = self.w.size
+        obs = self.obs
         sampled = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
-        self.tracker.record("client_cloud", "down", count=len(sampled), floats=d)
-        acc = np.zeros(d)
-        total_weight = 0.0
-        for i in sampled:
-            client = self.clients[int(i)]
-            w_end, _ = client.local_sgd(self.engine, self.w, steps=self.tau1,
-                                        lr=self.eta_w, projection=self.projection_w)
-            weight = float(client.num_samples) if self.weight_by_data else 1.0
-            acc += weight * w_end
-            total_weight += weight
-            self.tracker.record("client_cloud", "up", count=1, floats=d)
-        self.tracker.sync_cycle("client_cloud")
-        self.w = acc / total_weight
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_clients=len(sampled)):
+            self.tracker.record("client_cloud", "down", count=len(sampled),
+                                floats=d)
+            acc = np.zeros(d)
+            total_weight = 0.0
+            for i in sampled:
+                client = self.clients[int(i)]
+                with obs.span("client_local_steps", client=int(i),
+                              steps=self.tau1):
+                    w_end, _ = client.local_sgd(
+                        self.engine, self.w, steps=self.tau1, lr=self.eta_w,
+                        projection=self.projection_w)
+                obs.count("sgd_steps_total", self.tau1)
+                weight = float(client.num_samples) if self.weight_by_data else 1.0
+                acc += weight * w_end
+                total_weight += weight
+                self.tracker.record("client_cloud", "up", count=1, floats=d)
+            self.tracker.sync_cycle("client_cloud")
+            self.w = acc / total_weight

@@ -46,9 +46,10 @@ class StochasticAFL(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
-                         seed=seed, projection_w=projection_w, logger=logger)
+                         seed=seed, projection_w=projection_w, logger=logger,
+                         obs=obs)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -74,27 +75,37 @@ class StochasticAFL(FederatedAlgorithm):
     def run_round(self, round_index: int) -> None:
         """One AFL round: q-sampled single-step model update, then q ascent."""
         d = self.w.size
+        obs = self.obs
         # Model update phase.
         sampled = sample_by_weight(self.q, self.m_clients, self.rng)
-        self.tracker.record("client_cloud", "down", count=len(np.unique(sampled)),
-                            floats=d)
-        acc = np.zeros(d)
-        for i in sampled:
-            w_end, _ = self.clients[int(i)].local_sgd(
-                self.engine, self.w, steps=1, lr=self.eta_w,
-                projection=self.projection_w)
-            acc += w_end
-            self.tracker.record("client_cloud", "up", count=1, floats=d)
-        self.tracker.sync_cycle("client_cloud")
-        self.w = acc / self.m_clients
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_clients=len(sampled)):
+            self.tracker.record("client_cloud", "down",
+                                count=len(np.unique(sampled)), floats=d)
+            acc = np.zeros(d)
+            for i in sampled:
+                with obs.span("client_local_steps", client=int(i), steps=1):
+                    w_end, _ = self.clients[int(i)].local_sgd(
+                        self.engine, self.w, steps=1, lr=self.eta_w,
+                        projection=self.projection_w)
+                obs.count("sgd_steps_total", 1)
+                acc += w_end
+                self.tracker.record("client_cloud", "up", count=1, floats=d)
+            self.tracker.sync_cycle("client_cloud")
+            self.w = acc / self.m_clients
 
         # Weight update phase: loss estimation at the fresh global model.
-        probed = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
-        self.tracker.record("client_cloud", "down", count=len(probed), floats=d)
-        losses: dict[int, float] = {}
-        for i in probed:
-            losses[int(i)] = self.clients[int(i)].estimate_loss(self.engine, self.w)
-            self.tracker.record("client_cloud", "up", count=1, floats=1)
-        self.tracker.sync_cycle("client_cloud")
-        v = self.cloud.build_loss_vector(losses)
-        self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q)
+        with obs.span("phase2_weight_update", round=round_index):
+            probed = sample_uniform_subset(len(self.clients), self.m_clients,
+                                           self.rng)
+            self.tracker.record("client_cloud", "down", count=len(probed),
+                                floats=d)
+            losses: dict[int, float] = {}
+            for i in probed:
+                losses[int(i)] = self.clients[int(i)].estimate_loss(self.engine,
+                                                                    self.w)
+                self.tracker.record("client_cloud", "up", count=1, floats=1)
+            self.tracker.sync_cycle("client_cloud")
+            obs.gauge("worst_client_loss", max(losses.values()))
+            v = self.cloud.build_loss_vector(losses)
+            self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q)

@@ -7,6 +7,7 @@ Usage::
     python -m repro table1 --horizon 100000 --alpha 0.25
     python -m repro table2 --scale small --datasets adult synthetic
     python -m repro tradeoff --horizon 512
+    python -m repro trace-report run.trace.jsonl
     python -m repro info
 
 Every subcommand prints the same reports the benchmark harness archives; ``--out``
@@ -59,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--horizon", type=int, default=512)
     p_tr.add_argument("--alphas", type=float, nargs="+",
                       default=(0.0, 0.2, 0.4, 0.6))
+
+    p_trace = sub.add_parser("trace-report",
+                             help="analyze a JSONL trace from repro.obs")
+    p_trace.add_argument("trace", help="path to a .trace.jsonl file")
+    p_trace.add_argument("--timeline", type=int, default=5,
+                         help="rounds to show at each end of the timeline")
 
     sub.add_parser("info", help="version and system inventory")
     return parser
@@ -141,6 +148,27 @@ def _cmd_tradeoff(args) -> int:
     return 0
 
 
+def _cmd_trace_report(args) -> int:
+    import os
+
+    from repro.obs import analyze_trace, format_trace_report
+
+    try:
+        report = analyze_trace(args.trace)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_trace_report(report, timeline=max(0, args.timeline)))
+    except BrokenPipeError:
+        # Output piped into head/less and the pager closed early: not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if report.replay_consistent else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -162,4 +190,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table2(args)
     if args.command == "tradeoff":
         return _cmd_tradeoff(args)
+    if args.command == "trace-report":
+        return _cmd_trace_report(args)
     return _cmd_info()

@@ -22,6 +22,7 @@ from repro.data.dataset import FederatedDataset
 from repro.metrics.evaluation import evaluate_record
 from repro.metrics.history import HistoryPoint, TrainingHistory
 from repro.nn.models import ModelFactory
+from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
 from repro.topology.comm import CommSnapshot, CommunicationTracker
 from repro.utils.logging import NullLogger
@@ -82,6 +83,11 @@ class FederatedAlgorithm(ABC):
         paper's experiments).
     logger:
         Optional structured-event callback (:class:`~repro.utils.logging.RunLogger`).
+    obs:
+        Optional :class:`~repro.obs.Tracer` receiving spans
+        (``run`` → ``cloud_round`` → phases), metrics, and trace events.
+        Defaults to the no-op :data:`~repro.obs.NULL_TRACER`; tracing never
+        touches an RNG, so results are bit-identical either way.
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -94,7 +100,7 @@ class FederatedAlgorithm(ABC):
     def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -104,6 +110,7 @@ class FederatedAlgorithm(ABC):
         self.engine = model_factory(self.rng_factory.stream("init"))
         self.tracker = CommunicationTracker()
         self.logger = logger if logger is not None else NullLogger()
+        self.obs = obs if obs is not None else NULL_TRACER
         self.w: np.ndarray = self.engine.get_params()
         self.rounds_completed = 0
 
@@ -137,20 +144,50 @@ class FederatedAlgorithm(ABC):
         rounds = check_positive_int(rounds, "rounds")
         eval_every = check_positive_int(eval_every, "eval_every")
         history = TrainingHistory(self.name)
-        if eval_at_start:
-            history.append(self._evaluation_point(-1))
-        for k in range(self.rounds_completed, self.rounds_completed + rounds):
-            self.run_round(k)
-            if (k + 1) % eval_every == 0 or k == self.rounds_completed + rounds - 1:
-                point = self._evaluation_point(k)
-                history.append(point)
-                self.logger({
-                    "event": "round", "algorithm": self.name, "round": k,
-                    "avg_acc": point.record.average_accuracy,
-                    "worst_acc": point.record.worst_accuracy,
-                    "comm": point.comm.edge_cloud_cycles,
-                })
-        self.rounds_completed += rounds
+        obs = self.obs
+        with obs.span("run", algorithm=self.name, rounds=rounds) as run_span:
+            if eval_at_start:
+                with obs.span("evaluate", round=-1):
+                    history.append(self._evaluation_point(-1))
+            first = self.rounds_completed
+            for k in range(first, first + rounds):
+                comm_before = self.tracker.snapshot() if obs.enabled else None
+                with obs.span("cloud_round", algorithm=self.name,
+                              round=k) as round_span:
+                    self.run_round(k)
+                    if obs.enabled:
+                        delta = self.tracker.snapshot().diff(comm_before)
+                        round_span.set(comm={"cycles": delta.cycles,
+                                             "messages": delta.messages,
+                                             "floats": delta.floats})
+                if obs.enabled:
+                    obs.count("rounds_total")
+                    obs.count("edge_cloud_bytes", delta.edge_cloud_bytes)
+                    obs.observe("round_time_s", round_span.duration)
+                if (k + 1) % eval_every == 0 or k == first + rounds - 1:
+                    with obs.span("evaluate", round=k):
+                        point = self._evaluation_point(k)
+                    history.append(point)
+                    self.logger({
+                        "event": "round", "algorithm": self.name, "round": k,
+                        "avg_acc": point.record.average_accuracy,
+                        "worst_acc": point.record.worst_accuracy,
+                        "comm": point.comm.edge_cloud_cycles,
+                    })
+            self.rounds_completed += rounds
+            if obs.enabled:
+                snap = self.tracker.snapshot()
+                run_span.set(comm_total={"cycles": snap.cycles,
+                                         "messages": snap.messages,
+                                         "floats": snap.floats})
+        final = history.final() if len(history) else None
+        self.logger({
+            "event": "run_end", "algorithm": self.name,
+            "rounds": self.rounds_completed,
+            "slots": self.rounds_completed * self.slots_per_round,
+            "comm": self.tracker.edge_cloud_cycles,
+            **({"worst_acc": final.record.worst_accuracy} if final else {}),
+        })
         weights = self.current_weights()
         return RunResult(
             algorithm=self.name,

@@ -92,9 +92,10 @@ class HierMinimax(FederatedAlgorithm):
                  compressor=None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
-                         seed=seed, projection_w=projection_w, logger=logger)
+                         seed=seed, projection_w=projection_w, logger=logger,
+                         obs=obs)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -125,55 +126,63 @@ class HierMinimax(FederatedAlgorithm):
     def run_round(self, round_index: int) -> None:
         """One training round: Phase 1 (model + checkpoint) then Phase 2 (weights)."""
         d = self._dim
+        obs = self.obs
         # ---- Phase 1: sample edges by p, sample the checkpoint slot.
         sampled = sample_by_weight(self.p, self.m_edges, self.rng)
         c1, c2 = sample_checkpoint_slot(self.tau1, self.tau2, self.rng)
         checkpoint = (c1, c2) if self.use_checkpoint else None
-        # Cloud broadcasts w^(k) and (c1, c2) to the sampled edges.
-        self.tracker.record("edge_cloud", "down", count=len(np.unique(sampled)),
-                            floats=d + 2)
-        acc_w = np.zeros(d)
-        acc_ckpt = np.zeros(d) if self.use_checkpoint else None
-        unit_floats = (float(d) if self.compressor is None
-                       else self.compressor.payload_floats(d))
-        upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
-        for e in sampled:
-            w_e, w_e_ckpt = self.edges[int(e)].model_update(
-                self.engine, self.w, tau1=self.tau1, tau2=self.tau2, lr=self.eta_w,
-                projection=self.projection_w, checkpoint=checkpoint,
-                tracker=self.tracker, compressor=self.compressor,
-                comp_rng=self._comp_rng)
-            if self.compressor is not None:
-                # Edge transmits compressed deltas against the broadcast w^(k).
-                w_e = self.w + self.compressor.compress(w_e - self.w,
-                                                        self._comp_rng)
-                if w_e_ckpt is not None:
-                    w_e_ckpt = self.w + self.compressor.compress(
-                        w_e_ckpt - self.w, self._comp_rng)
-            acc_w += w_e
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_edges=len(sampled), c1=c1, c2=c2):
+            # Cloud broadcasts w^(k) and (c1, c2) to the sampled edges.
+            self.tracker.record("edge_cloud", "down",
+                                count=len(np.unique(sampled)), floats=d + 2)
+            acc_w = np.zeros(d)
+            acc_ckpt = np.zeros(d) if self.use_checkpoint else None
+            unit_floats = (float(d) if self.compressor is None
+                           else self.compressor.payload_floats(d))
+            upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
+            for e in sampled:
+                w_e, w_e_ckpt = self.edges[int(e)].model_update(
+                    self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
+                    lr=self.eta_w, projection=self.projection_w,
+                    checkpoint=checkpoint, tracker=self.tracker,
+                    compressor=self.compressor, comp_rng=self._comp_rng,
+                    obs=obs)
+                if self.compressor is not None:
+                    # Edge transmits compressed deltas against the broadcast w^(k).
+                    w_e = self.w + self.compressor.compress(w_e - self.w,
+                                                            self._comp_rng)
+                    if w_e_ckpt is not None:
+                        w_e_ckpt = self.w + self.compressor.compress(
+                            w_e_ckpt - self.w, self._comp_rng)
+                acc_w += w_e
+                if acc_ckpt is not None:
+                    acc_ckpt += w_e_ckpt
+                # Edge uploads its round-final model (and its checkpoint model).
+                self.tracker.record("edge_cloud", "up", count=1,
+                                    floats=upload_floats)
+            self.tracker.sync_cycle("edge_cloud")
+            acc_w /= self.m_edges         # Eq. (5): global model
+            self.w = acc_w
             if acc_ckpt is not None:
-                acc_ckpt += w_e_ckpt
-            # Edge uploads its round-final model (and its checkpoint model).
-            self.tracker.record("edge_cloud", "up", count=1, floats=upload_floats)
-        self.tracker.sync_cycle("edge_cloud")
-        acc_w /= self.m_edges         # Eq. (5): global model
-        self.w = acc_w
-        if acc_ckpt is not None:
-            acc_ckpt /= self.m_edges  # Eq. (6): checkpoint model
-            w_checkpoint = acc_ckpt
-        else:
-            # Ablation variant: probe losses at the round-final global model.
-            w_checkpoint = self.w
+                acc_ckpt /= self.m_edges  # Eq. (6): checkpoint model
+                w_checkpoint = acc_ckpt
+            else:
+                # Ablation variant: probe losses at the round-final global model.
+                w_checkpoint = self.w
 
         # ---- Phase 2: uniform re-sample, loss estimation at the checkpoint model.
-        probed = sample_uniform_subset(self.dataset.num_edges, self.m_edges, self.rng)
-        self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
-        losses: dict[int, float] = {}
-        for e in probed:
-            losses[int(e)] = self.edges[int(e)].estimate_loss(
-                self.engine, w_checkpoint, tracker=self.tracker)
-            self.tracker.record("edge_cloud", "up", count=1, floats=1)
-        self.tracker.sync_cycle("edge_cloud")
-        v = self.cloud.build_loss_vector(losses)
-        self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
-                                           tau1=self.tau1, tau2=self.tau2)
+        with obs.span("phase2_weight_update", round=round_index):
+            probed = sample_uniform_subset(self.dataset.num_edges, self.m_edges,
+                                           self.rng)
+            self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
+            losses: dict[int, float] = {}
+            for e in probed:
+                losses[int(e)] = self.edges[int(e)].estimate_loss(
+                    self.engine, w_checkpoint, tracker=self.tracker)
+                self.tracker.record("edge_cloud", "up", count=1, floats=1)
+            self.tracker.sync_cycle("edge_cloud")
+            obs.gauge("worst_edge_loss", max(losses.values()))
+            v = self.cloud.build_loss_vector(losses)
+            self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                               tau1=self.tau1, tau2=self.tau2)

@@ -4,12 +4,16 @@
 federated dataset with the same slot budget and returns their
 :class:`~repro.core.base.RunResult` objects keyed by algorithm name.  The runner is
 the single choke point used by figures, tables, ablations, examples, and benches.
+
+Pass ``obs=Tracer(...)`` to collect per-phase wall-clock attribution, a metrics
+snapshot, and (with a :class:`~repro.obs.TraceWriter`) a JSONL run record — all
+exposed on the returned :class:`ExperimentOutput`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -19,6 +23,7 @@ from repro.data.dataset import FederatedDataset
 from repro.data.registry import make_federated_dataset
 from repro.experiments.presets import ExperimentPreset
 from repro.nn.models import ModelFactory, make_model_factory
+from repro.obs import NULL_TRACER
 from repro.utils.timers import TimerBank
 
 __all__ = ["ExperimentOutput", "build_preset_dataset", "build_preset_model", "run_experiment"]
@@ -26,11 +31,33 @@ __all__ = ["ExperimentOutput", "build_preset_dataset", "build_preset_model", "ru
 
 @dataclass(frozen=True)
 class ExperimentOutput:
-    """All results of one preset execution."""
+    """All results of one preset execution.
+
+    Attributes
+    ----------
+    preset / results:
+        The configuration and the per-algorithm :class:`RunResult` objects.
+    timings:
+        Algorithm → total training wall-clock seconds (one number per run).
+    phase_times:
+        Algorithm → span name → accumulated seconds, from the ``obs`` tracer
+        (``phase1_model_update``, ``phase2_weight_update``, ``evaluate``,
+        ``edge_block``, …).  Empty when no tracer was supplied — this is what
+        lets benchmarks report per-phase attribution instead of a single
+        wall-clock number.
+    metrics:
+        The tracer's final metrics snapshot (counters / gauges / histograms);
+        empty without a tracer.
+    setup_times:
+        Non-training phases of the experiment itself (``data_gen``).
+    """
 
     preset: ExperimentPreset
     results: Mapping[str, RunResult]
     timings: Mapping[str, float]
+    phase_times: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    setup_times: Mapping[str, float] = field(default_factory=dict)
 
     def histories(self) -> dict[str, "object"]:
         """Algorithm → :class:`~repro.metrics.history.TrainingHistory`."""
@@ -55,7 +82,7 @@ def build_preset_model(preset: ExperimentPreset,
 
 def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    algorithms: tuple[str, ...] | None = None,
-                   logger=None) -> ExperimentOutput:
+                   logger=None, obs=None) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -66,24 +93,46 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         Optional roster override (default: ``preset.algorithms``).
     logger:
         Optional structured-event callback forwarded to each algorithm.
+    obs:
+        Optional :class:`~repro.obs.Tracer` shared by the runner (``data_gen``
+        span) and every algorithm; per-algorithm span-time deltas land in
+        :attr:`ExperimentOutput.phase_times`.
     """
-    dataset = build_preset_dataset(preset, seed=seed)
-    model_factory = build_preset_model(preset, dataset)
+    obs = obs if obs is not None else NULL_TRACER
+    setup = TimerBank()
+    with setup("data_gen"), obs.span("data_gen", dataset=preset.dataset,
+                                     scale=preset.scale, seed=seed):
+        dataset = build_preset_dataset(preset, seed=seed)
+        model_factory = build_preset_model(preset, dataset)
     roster = algorithms if algorithms is not None else preset.algorithms
     timers = TimerBank()
     results: dict[str, RunResult] = {}
+    phase_times: dict[str, dict[str, float]] = {}
     for name in roster:
         algo = make_algorithm(
             name, dataset, model_factory,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
-            seed=seed, logger=logger)
+            seed=seed, logger=logger, obs=obs)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
+        before = obs.span_totals() if obs.enabled else {}
         with timers(name):
             results[name] = algo.run(rounds=rounds, eval_every=eval_every)
+        if obs.enabled:
+            after = obs.span_totals()
+            phase_times[name] = {
+                span: after[span]["total_s"]
+                - before.get(span, {}).get("total_s", 0.0)
+                for span in after
+                if after[span]["total_s"]
+                - before.get(span, {}).get("total_s", 0.0) > 0.0
+            }
     return ExperimentOutput(preset=preset, results=results,
-                            timings=timers.summary())
+                            timings=timers.summary(),
+                            phase_times=phase_times,
+                            metrics=obs.snapshot() if obs.enabled else {},
+                            setup_times=setup.summary())
 
 
 def monotone_envelope(y: np.ndarray) -> np.ndarray:

@@ -75,10 +75,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  projection_p: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None) -> None:
+                 logger=None, obs=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
-                         logger=logger)
+                         logger=logger, obs=obs)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -136,12 +136,17 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         when this invocation is outside the checkpoint path).
         """
         depth = self.tree.depth
+        obs = self.obs
         if level == depth:
             # Leaf: taus[-1] local SGD steps; snapshot after (leaf digit + 1).
             c_leaf = None if ckpt_digits is None else ckpt_digits[depth - 1] + 1
-            return self.clients[node].local_sgd(
-                self.engine, w_start, steps=self.taus[depth - 1], lr=self.eta_w,
-                projection=self.projection_w, checkpoint_after=c_leaf)
+            steps = self.taus[depth - 1]
+            with obs.span("client_local_steps", client=node, steps=steps):
+                out = self.clients[node].local_sgd(
+                    self.engine, w_start, steps=steps, lr=self.eta_w,
+                    projection=self.projection_w, checkpoint_after=c_leaf)
+            obs.count("sgd_steps_total", steps)
+            return out
         kids = self.tree.children_of(level, node)
         link = f"level_{level + 1}"
         d = w_start.size
@@ -151,21 +156,22 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         w_ckpt: np.ndarray | None = None
         for t in range(tau_here):
             on_ckpt_path = c_here is not None and t == c_here
-            self.tracker.record(link, "down", count=len(kids), floats=d)
-            acc = np.zeros(d)
-            ckpt_acc = np.zeros(d) if on_ckpt_path else None
-            for k in kids:
-                w_k, w_kc = self._subtree_update(
-                    level + 1, k, w, ckpt_digits if on_ckpt_path else None)
-                acc += w_k
+            with obs.span("edge_block", level=level, node=node, block=t):
+                self.tracker.record(link, "down", count=len(kids), floats=d)
+                acc = np.zeros(d)
+                ckpt_acc = np.zeros(d) if on_ckpt_path else None
+                for k in kids:
+                    w_k, w_kc = self._subtree_update(
+                        level + 1, k, w, ckpt_digits if on_ckpt_path else None)
+                    acc += w_k
+                    if ckpt_acc is not None:
+                        ckpt_acc += w_kc
+                    self.tracker.record(link, "up", count=1,
+                                        floats=d * (2 if on_ckpt_path else 1))
+                self.tracker.sync_cycle(link)
+                w = acc / len(kids)
                 if ckpt_acc is not None:
-                    ckpt_acc += w_kc
-                self.tracker.record(link, "up", count=1,
-                                    floats=d * (2 if on_ckpt_path else 1))
-            self.tracker.sync_cycle(link)
-            w = acc / len(kids)
-            if ckpt_acc is not None:
-                w_ckpt = ckpt_acc / len(kids)
+                    w_ckpt = ckpt_acc / len(kids)
         return w, w_ckpt
 
     def _subtree_loss(self, level: int, node: int, w: np.ndarray) -> float:
@@ -188,37 +194,43 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
     def run_round(self, round_index: int) -> None:
         """One generalized Algorithm-1 round over the tree."""
         d = self.w.size
+        obs = self.obs
         # Phase 1: sample level-1 subtrees by p; sample the checkpoint digits.
         sampled = sample_by_weight(self.p, self.m_top, self.rng)
         slot = int(self.rng.integers(0, self.slots_per_round))
         ckpt_digits = self._decode_checkpoint(slot)
-        self.tracker.record("level_1", "down", count=len(np.unique(sampled)),
-                            floats=d + len(self.taus))
-        acc_w = np.zeros(d)
-        acc_ckpt = np.zeros(d)
-        for a in sampled:
-            top = self._top_nodes[int(a)]
-            # The cloud itself performs exactly one "iteration" per round, so the
-            # level-1 digit is consumed by sampling: the subtree is always on the
-            # checkpoint path at the top.
-            w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits)
-            acc_w += w_a
-            acc_ckpt += w_ac
-            self.tracker.record("level_1", "up", count=1, floats=2 * d)
-        self.tracker.sync_cycle("level_1")
-        self.w = acc_w / self.m_top
-        w_checkpoint = acc_ckpt / self.m_top
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_areas=len(sampled), checkpoint_slot=slot):
+            self.tracker.record("level_1", "down", count=len(np.unique(sampled)),
+                                floats=d + len(self.taus))
+            acc_w = np.zeros(d)
+            acc_ckpt = np.zeros(d)
+            for a in sampled:
+                top = self._top_nodes[int(a)]
+                # The cloud itself performs exactly one "iteration" per round, so
+                # the level-1 digit is consumed by sampling: the subtree is always
+                # on the checkpoint path at the top.
+                w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits)
+                acc_w += w_a
+                acc_ckpt += w_ac
+                self.tracker.record("level_1", "up", count=1, floats=2 * d)
+            self.tracker.sync_cycle("level_1")
+            self.w = acc_w / self.m_top
+            w_checkpoint = acc_ckpt / self.m_top
 
         # Phase 2: uniform re-sample; recursive loss estimation; ascent on p.
-        probed = sample_uniform_subset(len(self._top_nodes), self.m_top, self.rng)
-        self.tracker.record("level_1", "down", count=len(probed), floats=d)
-        losses: dict[int, float] = {}
-        for a in probed:
-            losses[int(a)] = self._subtree_loss(1, self._top_nodes[int(a)],
-                                                w_checkpoint)
-            self.tracker.record("level_1", "up", count=1, floats=1)
-        self.tracker.sync_cycle("level_1")
-        v = self.cloud.build_loss_vector(losses)
-        # Ascent step scaled by the Π_l τ_l slots each update stands in for.
-        self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
-                                           tau1=self.slots_per_round, tau2=1)
+        with obs.span("phase2_weight_update", round=round_index):
+            probed = sample_uniform_subset(len(self._top_nodes), self.m_top,
+                                           self.rng)
+            self.tracker.record("level_1", "down", count=len(probed), floats=d)
+            losses: dict[int, float] = {}
+            for a in probed:
+                losses[int(a)] = self._subtree_loss(1, self._top_nodes[int(a)],
+                                                    w_checkpoint)
+                self.tracker.record("level_1", "up", count=1, floats=1)
+            self.tracker.sync_cycle("level_1")
+            obs.gauge("worst_edge_loss", max(losses.values()))
+            v = self.cloud.build_loss_vector(losses)
+            # Ascent step scaled by the Π_l τ_l slots each update stands in for.
+            self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                               tau1=self.slots_per_round, tau2=1)

@@ -1,0 +1,53 @@
+"""repro.obs — the telemetry layer of the training stack.
+
+Three cooperating parts (see DESIGN.md §"Observability"):
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` with nestable context-manager
+  spans (``run`` → ``cloud_round`` → ``phase1_model_update`` /
+  ``phase2_weight_update`` → ``edge_block`` → ``client_local_steps``, plus
+  ``evaluate`` and ``data_gen``) and the no-op :class:`NullTracer` default;
+* :mod:`repro.obs.metrics` — named counters / gauges / histograms with a
+  ``snapshot()`` API;
+* :mod:`repro.obs.events` + :mod:`repro.obs.report` — the JSONL run-record
+  schema, the :class:`TraceWriter` sink, and the offline ``trace-report``
+  analyzer.
+
+Every algorithm, actor, and the experiment runner accept an ``obs=`` keyword
+(default :data:`NULL_TRACER`); hot loops pay ~zero cost when tracing is off and
+results are bit-identical either way, because the tracer never touches an RNG.
+"""
+
+from repro.obs.events import EVENT_KINDS, TraceWriter, format_event
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    RoundRecord,
+    TraceReport,
+    analyze_trace,
+    format_trace_report,
+    load_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceWriter",
+    "format_event",
+    "EVENT_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceReport",
+    "RoundRecord",
+    "load_trace",
+    "analyze_trace",
+    "format_trace_report",
+]

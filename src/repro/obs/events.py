@@ -1,0 +1,132 @@
+"""Event schema and JSONL trace writer of the observability layer.
+
+Every record a :class:`~repro.obs.tracer.Tracer` emits is one JSON object per
+line ("JSONL"), self-describing via its ``ev`` field.  The schema, stable across
+the repo (the offline analyzer in :mod:`repro.obs.report` and any external
+tooling parse exactly these shapes):
+
+``trace_start``
+    ``{"ev": "trace_start", "t": 0.0, "meta": {...}}`` — first record of a
+    trace; ``meta`` carries free-form run metadata supplied by the caller.
+``span``
+    ``{"ev": "span", "t": <float>, "name": <str>, "path": <str>,
+    "depth": <int>, "dur_s": <float>, "attrs": {...}}`` — one *closed* span.
+    ``t`` is the span's start offset in seconds from trace start, ``path`` the
+    ``/``-joined names of the enclosing spans (e.g.
+    ``"run/cloud_round/phase1_model_update"``), ``depth`` the nesting level
+    (0 for a root span), and ``attrs`` its structured attributes (round index,
+    edge id, communication deltas, …).  Spans are written at *close* time, so
+    children precede their parents in the file.
+``log``
+    ``{"ev": "log", "t": <float>, "kind": <str>, "fields": {...}}`` — a
+    point-in-time progress event (the schema the
+    :class:`~repro.utils.logging.RunLogger` events are routed through).
+``metrics``
+    ``{"ev": "metrics", "t": <float>, "data": {"counters": {...},
+    "gauges": {...}, "histograms": {...}}}`` — a full
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, emitted on
+    ``Tracer.close()``.
+``trace_end``
+    ``{"ev": "trace_end", "t": <float>, "span_totals": {name:
+    {"count": <int>, "total_s": <float>}}}`` — last record; accumulated
+    wall-clock per span name.
+
+All values are JSON-native; NumPy scalars and small arrays are coerced on
+write.  Timestamps are ``time.perf_counter`` offsets (monotonic, not
+wall-clock-of-day), which is what per-phase attribution needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["TraceWriter", "format_event", "json_default", "EVENT_KINDS"]
+
+#: The record types of the trace schema, in the order they typically appear.
+EVENT_KINDS = ("trace_start", "span", "log", "metrics", "trace_end")
+
+
+def json_default(obj: Any) -> Any:
+    """Coerce non-JSON-native values (NumPy scalars/arrays, tuples) on encode."""
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return obj.item()  # NumPy scalar
+    if hasattr(obj, "tolist"):
+        return obj.tolist()  # NumPy array
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__} into a trace event")
+
+
+class TraceWriter:
+    """Append-only JSONL sink for trace events.
+
+    Parameters
+    ----------
+    target:
+        File path (opened for writing, parents created) or an open text
+        file-like object (left open on :meth:`close` when supplied by the
+        caller).
+    flush_every:
+        Flush the underlying stream every ``flush_every`` records (1 = always;
+        larger values amortize syscalls for hot traces).
+    """
+
+    def __init__(self, target: str | Path | IO[str], *, flush_every: int = 64,
+                 ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._flush_every = int(flush_every)
+        self._pending = 0
+        self._records = 0
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh: IO[str] = path.open("w")
+            self._owns_fh = True
+            self.path: Path | None = path
+        else:
+            self._fh = target
+            self._owns_fh = False
+            self.path = None
+
+    @property
+    def records_written(self) -> int:
+        """Number of events written so far."""
+        return self._records
+
+    def write(self, event: dict) -> None:
+        """Serialize ``event`` as one JSON line."""
+        self._fh.write(json.dumps(event, default=json_default,
+                                  separators=(",", ":")))
+        self._fh.write("\n")
+        self._records += 1
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush and (when this writer opened the file) close the stream."""
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+
+def format_event(event: dict, *, elapsed: float | None = None) -> str:
+    """Render a progress event as the canonical one-line ``kind: k=v …`` form.
+
+    Shared by :class:`~repro.utils.logging.RunLogger` (human-readable stream)
+    and trace tooling, so both surfaces agree on field formatting.
+    """
+    kind = event.get("event", "info")
+    fields = " ".join(f"{k}={_fmt(v)}" for k, v in event.items() if k != "event")
+    prefix = f"[{elapsed:9.2f}s] " if elapsed is not None else ""
+    return f"{prefix}{kind}: {fields}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,168 @@
+"""Named counters, gauges, and histograms for run telemetry.
+
+A :class:`MetricsRegistry` is the numeric half of the observability layer
+(:mod:`repro.obs`): algorithms and actors increment counters
+(``sgd_steps_total``, ``edge_cloud_bytes``), set gauges (``worst_edge_loss``),
+and observe histogram samples (per-round step time) through their
+:class:`~repro.obs.tracer.Tracer`; the registry's :meth:`snapshot` is a plain
+JSON-ready dict the :class:`~repro.metrics.history.TrainingHistory` consumers,
+benchmarks, and the JSONL trace can all share.
+
+Everything here is in-process and allocation-light — no locks, no label sets —
+because the simulator is single-threaded and hot loops must not pay for
+instrumentation machinery.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds: decades from 1 µs to 1000 s, built for
+#: the step/round wall-clock times this repo observes.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 4))
+
+
+class Counter:
+    """Monotonically increasing count (e.g. total SGD steps, bytes sent)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be nonnegative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. the current worst edge loss)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Parameters
+    ----------
+    buckets:
+        Sorted upper bounds of the finite buckets; samples above the last bound
+        land in the implicit ``+inf`` bucket.  Defaults to
+        :data:`DEFAULT_BUCKETS`.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (bucket bounds are stringified keys)."""
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {f"{b:g}": c for b, c in zip(self.buckets, self.counts)},
+        }
+        out["buckets"]["+inf"] = self.counts[-1]
+        return out
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics.
+
+    A name may hold only one metric type; asking for the same name with a
+    different type raises, which catches instrument-naming typos early.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}")
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_unique(name, "counter")
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Return (creating if needed) the gauge called ``name``."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_unique(name, "gauge")
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        """Return (creating if needed) the histogram called ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_unique(name, "histogram")
+            h = self._histograms[name] = Histogram(buckets)
+        return h
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every metric: the ``metrics`` event payload."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.as_dict() for k, h in self._histograms.items()},
+        }
+
+    def reset(self) -> None:
+        """Drop every registered metric (between repetitions)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

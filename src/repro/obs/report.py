@@ -1,0 +1,274 @@
+"""Offline trace analysis: reconstruct a run from its JSONL trace.
+
+``python -m repro trace-report run.trace.jsonl`` (or
+:func:`analyze_trace` / :func:`format_trace_report` programmatically) replays a
+trace written by :class:`~repro.obs.tracer.Tracer` and reports
+
+* the per-phase wall-clock breakdown (``phase1_model_update``,
+  ``phase2_weight_update``, ``evaluate``, ``data_gen``) and what fraction of
+  the measured ``run`` spans those phases cover,
+* communication totals replayed from the per-round deltas and the run-final
+  snapshot the instrumented :class:`~repro.core.base.FederatedAlgorithm`
+  attaches to its spans — these must match the live
+  :class:`~repro.topology.comm.CommSnapshot` of the run,
+* the round timeline (duration and traffic of each cloud round), and
+* the final metrics snapshot (counters / gauges / histograms).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["TraceReport", "RoundRecord", "load_trace", "analyze_trace",
+           "format_trace_report", "PHASE_SPANS"]
+
+#: Span names treated as "phases" in the breakdown, in display order.
+PHASE_SPANS = ("data_gen", "phase1_model_update", "phase2_weight_update",
+               "evaluate")
+
+#: Phase spans nested inside ``run`` (data_gen happens outside algorithm runs).
+_RUN_PHASES = ("phase1_model_update", "phase2_weight_update", "evaluate")
+
+_BYTES_PER_FLOAT = 8
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One ``cloud_round`` span replayed from a trace."""
+
+    algorithm: str
+    round_index: int
+    start_s: float
+    duration_s: float
+    floats: float          # payload floats moved during the round (all links)
+    cycles: int            # sync cycles completed during the round
+
+    @property
+    def bytes(self) -> float:
+        """Wire bytes of the round (floats are float64-equivalent units)."""
+        return self.floats * _BYTES_PER_FLOAT
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Everything :func:`analyze_trace` reconstructs from one trace file."""
+
+    events: int
+    span_totals: Mapping[str, Mapping[str, float]]
+    run_total_s: float
+    phase_times: Mapping[str, float]
+    phase_coverage: float          # (phase1+phase2+evaluate) / run wall-clock
+    rounds: tuple[RoundRecord, ...]
+    comm_cycles: Mapping[str, int]
+    comm_messages: Mapping[str, int]
+    comm_floats: Mapping[str, float]
+    replay_consistent: bool        # per-round deltas sum to the final snapshot
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        """Replayed traffic volume in wire bytes."""
+        return sum(self.comm_floats.values()) * _BYTES_PER_FLOAT
+
+    @property
+    def total_cycles(self) -> int:
+        """Replayed sync-cycle total across links."""
+        return sum(self.comm_cycles.values())
+
+    @property
+    def edge_cloud_cycles(self) -> int:
+        """Replayed cycles on the cloud-facing links (the theory's measure)."""
+        return sum(v for k, v in self.comm_cycles.items()
+                   if k in ("edge_cloud", "client_cloud", "level_1"))
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON trace record: {exc}") from exc
+    return events
+
+
+def _merge_numeric(into: dict, frm: Mapping, cast=float) -> None:
+    for k, v in frm.items():
+        into[k] = cast(into.get(k, 0)) + cast(v)
+
+
+def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
+    """Replay ``source`` (a path or parsed event stream) into a report."""
+    events = (load_trace(source) if isinstance(source, (str, Path))
+              else list(source))
+    span_totals: dict[str, dict] = {}
+    rounds: list[RoundRecord] = []
+    delta_cycles: dict[str, int] = {}
+    delta_messages: dict[str, int] = {}
+    delta_floats: dict[str, float] = {}
+    final_cycles: dict[str, int] = {}
+    final_messages: dict[str, int] = {}
+    final_floats: dict[str, float] = {}
+    have_final = False
+    metrics: Mapping[str, Any] = {}
+    meta: Mapping[str, Any] = {}
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "trace_start":
+            meta = ev.get("meta", {})
+        elif kind == "metrics":
+            metrics = ev.get("data", metrics)
+        elif kind == "span":
+            name = ev.get("name", "?")
+            slot = span_totals.setdefault(name, {"count": 0, "total_s": 0.0})
+            slot["count"] += 1
+            slot["total_s"] += float(ev.get("dur_s", 0.0))
+            attrs = ev.get("attrs", {})
+            if name == "cloud_round":
+                comm = attrs.get("comm", {})
+                _merge_numeric(delta_cycles, comm.get("cycles", {}), int)
+                _merge_numeric(delta_messages, comm.get("messages", {}), int)
+                _merge_numeric(delta_floats, comm.get("floats", {}), float)
+                rounds.append(RoundRecord(
+                    algorithm=str(attrs.get("algorithm", "?")),
+                    round_index=int(attrs.get("round", -1)),
+                    start_s=float(ev.get("t", 0.0)),
+                    duration_s=float(ev.get("dur_s", 0.0)),
+                    floats=float(sum(comm.get("floats", {}).values())),
+                    cycles=int(sum(comm.get("cycles", {}).values())),
+                ))
+            elif name == "run" and "comm_total" in attrs:
+                # Run-final snapshots accumulate across the trace's runs.
+                have_final = True
+                total = attrs["comm_total"]
+                _merge_numeric(final_cycles, total.get("cycles", {}), int)
+                _merge_numeric(final_messages, total.get("messages", {}), int)
+                _merge_numeric(final_floats, total.get("floats", {}), float)
+    # Prefer the exact run-final snapshots; fall back to summed round deltas.
+    cycles = final_cycles if have_final else delta_cycles
+    messages = final_messages if have_final else delta_messages
+    floats = final_floats if have_final else delta_floats
+    replay_consistent = (not have_final) or _consistent(
+        delta_cycles, final_cycles) and _consistent(
+        delta_floats, final_floats, rel=1e-9)
+    run_total = span_totals.get("run", {}).get("total_s", 0.0)
+    phase_times = {p: span_totals.get(p, {}).get("total_s", 0.0)
+                   for p in PHASE_SPANS}
+    in_run = sum(phase_times[p] for p in _RUN_PHASES)
+    coverage = (in_run / run_total) if run_total > 0 else 0.0
+    return TraceReport(
+        events=len(events),
+        span_totals=span_totals,
+        run_total_s=run_total,
+        phase_times=phase_times,
+        phase_coverage=coverage,
+        rounds=tuple(rounds),
+        comm_cycles=dict(cycles),
+        comm_messages=dict(messages),
+        comm_floats=dict(floats),
+        replay_consistent=replay_consistent,
+        metrics=metrics,
+        meta=meta,
+    )
+
+
+def _consistent(deltas: Mapping, finals: Mapping, *, rel: float = 0.0) -> bool:
+    """Do summed per-round deltas agree with the run-final snapshot?
+
+    Cycle counts must match exactly; float volumes up to ``rel`` relative
+    error (per-round deltas are floating-point differences).  A trace without
+    per-round records (``write_max_depth=0``) is vacuously consistent.
+    """
+    if not deltas:
+        return True
+    for key in set(deltas) | set(finals):
+        a, b = float(deltas.get(key, 0)), float(finals.get(key, 0))
+        if abs(a - b) > rel * max(abs(a), abs(b), 1.0):
+            return False
+    return True
+
+
+def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
+    """Human-readable rendering of a :class:`TraceReport`.
+
+    Parameters
+    ----------
+    timeline:
+        Show at most this many rounds from the start and end of the timeline
+        (0 hides the timeline section).
+    """
+    lines: list[str] = []
+    algos = sorted({r.algorithm for r in report.rounds})
+    lines.append(f"trace: {report.events} events, {len(report.rounds)} rounds"
+                 + (f", algorithms: {', '.join(algos)}" if algos else ""))
+    if report.meta:
+        lines.append(f"meta : {json.dumps(dict(report.meta), sort_keys=True)}")
+    lines.append("")
+    lines.append(f"run wall-clock        : {report.run_total_s:.3f} s "
+                 f"(phases cover {report.phase_coverage:.1%})")
+    lines.append("per-phase breakdown:")
+    for phase in PHASE_SPANS:
+        t = report.phase_times.get(phase, 0.0)
+        slot = report.span_totals.get(phase, {})
+        share = t / report.run_total_s if report.run_total_s > 0 else 0.0
+        lines.append(f"  {phase:<22s} {t:10.3f} s  {share:6.1%}  "
+                     f"({int(slot.get('count', 0))} spans)")
+    other = {n: s for n, s in report.span_totals.items()
+             if n not in PHASE_SPANS + ("run", "cloud_round")}
+    for name in sorted(other, key=lambda n: -other[n]["total_s"])[:4]:
+        s = other[name]
+        lines.append(f"  {name:<22s} {s['total_s']:10.3f} s   (nested; "
+                     f"{int(s['count'])} spans)")
+    lines.append("")
+    lines.append("communication (replayed"
+                 + ("" if report.replay_consistent
+                    else "; WARNING: deltas disagree with final snapshot")
+                 + "):")
+    lines.append(f"  total cycles          : {report.total_cycles}")
+    lines.append(f"  edge-cloud cycles     : {report.edge_cloud_cycles}")
+    lines.append(f"  total traffic         : {report.total_bytes / 1e6:.3f} MB")
+    for key in sorted(report.comm_floats):
+        mb = report.comm_floats[key] * _BYTES_PER_FLOAT / 1e6
+        msgs = report.comm_messages.get(key, 0)
+        lines.append(f"    {key:<20s} {mb:10.3f} MB  ({msgs} messages)")
+    if timeline > 0 and report.rounds:
+        lines.append("")
+        lines.append("round timeline:")
+        shown = list(report.rounds)
+        if len(shown) > 2 * timeline:
+            head, tail = shown[:timeline], shown[-timeline:]
+            gap = len(shown) - 2 * timeline
+        else:
+            head, tail, gap = shown, [], 0
+        for r in head:
+            lines.append(_round_line(r))
+        if gap:
+            lines.append(f"  … {gap} rounds elided …")
+            for r in tail:
+                lines.append(_round_line(r))
+    counters = report.metrics.get("counters", {}) if report.metrics else {}
+    gauges = report.metrics.get("gauges", {}) if report.metrics else {}
+    if counters or gauges:
+        lines.append("")
+        lines.append("metrics:")
+        for k in sorted(counters):
+            lines.append(f"  {k:<22s} {counters[k]:g}")
+        for k in sorted(gauges):
+            lines.append(f"  {k:<22s} {gauges[k]:g}  (gauge)")
+    return "\n".join(lines)
+
+
+def _round_line(r: RoundRecord) -> str:
+    return (f"  [{r.algorithm}] round {r.round_index:>5d}  "
+            f"{r.duration_s * 1e3:8.2f} ms  {r.bytes / 1e3:10.1f} kB  "
+            f"{r.cycles:4d} cycles")

@@ -1,0 +1,263 @@
+"""Span tracing: nestable, context-manager timers with structured attributes.
+
+The :class:`Tracer` is the single object threaded through the training stack
+(``obs=`` keyword on every algorithm, actor, and the experiment runner).  It
+provides
+
+* **spans** — ``with obs.span("phase1_model_update", round=k):`` measures a
+  nested region and, when a :class:`~repro.obs.events.TraceWriter` is attached,
+  streams one ``span`` event per close.  The canonical hierarchy is
+  ``run`` → ``cloud_round`` → ``phase1_model_update`` / ``phase2_weight_update``
+  → ``edge_block`` → ``client_local_steps``, plus ``evaluate`` and ``data_gen``;
+* **metrics** — :meth:`count` / :meth:`gauge` / :meth:`observe` delegate to a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* **events** — :meth:`event` emits free-form point-in-time records.
+
+The default throughout the repo is the :class:`NullTracer`, whose every method
+is a no-op returning shared singletons — hot loops pay one method call per
+instrumentation point and nothing else, and tracing never touches any RNG, so
+results are bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.events import TraceWriter
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+_TIME = time.perf_counter
+
+
+class Span:
+    """One live measured region; created by :meth:`Tracer.span`.
+
+    Use as a context manager.  Attributes passed at creation or added with
+    :meth:`set` *before the block exits* are included in the span's trace
+    event; :attr:`duration` is available after exit.
+    """
+
+    __slots__ = ("name", "attrs", "depth", "path", "start", "duration",
+                 "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self.depth = 0
+        self.path = name
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach additional structured attributes to this span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        """Start timing and push onto the tracer's span stack."""
+        stack = self._tracer._stack
+        self.depth = len(stack)
+        self.path = (f"{stack[-1].path}/{self.name}" if stack else self.name)
+        stack.append(self)
+        self.start = _TIME()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop timing, pop the stack, and emit the span-close event."""
+        self.duration = _TIME() - self.start
+        self._tracer._close_span(self)
+
+
+class _NullSpan:
+    """Shared no-op span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes."""
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """No-op."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that does nothing — the default ``obs=`` hook.
+
+    Every method is a no-op; :meth:`span` returns a shared singleton span.
+    ``enabled`` is ``False`` so callers can guard work (e.g. snapshot diffs)
+    that would be wasted without a real tracer.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Discard a counter increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard a gauge write."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard a histogram sample."""
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Discard a point-in-time event."""
+
+    def snapshot(self) -> dict:
+        """Empty metrics snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def span_totals(self) -> dict:
+        """Empty span accumulation."""
+        return {}
+
+    def close(self) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "NullTracer":
+        """No-op context manager support (mirrors :class:`Tracer`)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """No-op."""
+
+
+#: Process-wide shared no-op tracer; what ``obs=None`` resolves to.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Live tracer: nested spans, a metrics registry, optional JSONL output.
+
+    Parameters
+    ----------
+    writer:
+        Optional :class:`~repro.obs.events.TraceWriter` (or a path accepted by
+        its constructor) receiving the event stream.  ``None`` keeps everything
+        in memory (span totals + metrics only).
+    metrics:
+        Registry to record into; a fresh one by default.
+    meta:
+        Free-form metadata written in the ``trace_start`` record.
+    write_max_depth:
+        When set, spans nested deeper than this are still *timed* (they appear
+        in :meth:`span_totals`) but not written to the trace file — a knob to
+        keep long runs' traces compact (e.g. ``3`` drops the per-client
+        ``client_local_steps`` records).
+    """
+
+    enabled = True
+
+    def __init__(self, writer: TraceWriter | str | None = None, *,
+                 metrics: MetricsRegistry | None = None,
+                 meta: dict | None = None,
+                 write_max_depth: int | None = None) -> None:
+        if writer is not None and not isinstance(writer, TraceWriter):
+            writer = TraceWriter(writer)
+        self.writer = writer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: list[Span] = []
+        self._totals: dict[str, list] = {}  # name -> [count, total_seconds]
+        self._t0 = _TIME()
+        self._write_max_depth = write_max_depth
+        self._closed = False
+        if self.writer is not None:
+            self.writer.write({"ev": "trace_start", "t": 0.0,
+                               "meta": dict(meta or {})})
+
+    # ----------------------------------------------------------------- spans
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a new span named ``name`` carrying ``attrs``."""
+        return Span(self, name, attrs)
+
+    def _close_span(self, span: Span) -> None:
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misuse guard (overlapping span exits)
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        slot = self._totals.get(span.name)
+        if slot is None:
+            self._totals[span.name] = [1, span.duration]
+        else:
+            slot[0] += 1
+            slot[1] += span.duration
+        if self.writer is not None and (self._write_max_depth is None
+                                        or span.depth <= self._write_max_depth):
+            self.writer.write({
+                "ev": "span", "t": span.start - self._t0, "name": span.name,
+                "path": span.path, "depth": span.depth, "dur_s": span.duration,
+                "attrs": span.attrs,
+            })
+
+    def span_totals(self) -> dict:
+        """Accumulated wall-clock per span name: ``{name: {count, total_s}}``."""
+        return {name: {"count": c, "total_s": t}
+                for name, (c, t) in self._totals.items()}
+
+    # --------------------------------------------------------------- metrics
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.metrics.histogram(name).observe(value)
+
+    def snapshot(self) -> dict:
+        """The metrics registry's current snapshot."""
+        return self.metrics.snapshot()
+
+    # ---------------------------------------------------------------- events
+    def event(self, kind: str, **fields: Any) -> None:
+        """Write a point-in-time ``log`` event (no-op without a writer)."""
+        if self.writer is not None:
+            self.writer.write({"ev": "log", "t": _TIME() - self._t0,
+                               "kind": kind, "fields": fields})
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        """Emit the final ``metrics`` and ``trace_end`` records; close the file.
+
+        Idempotent; also invoked by the context-manager protocol.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.writer is not None:
+            t = _TIME() - self._t0
+            self.writer.write({"ev": "metrics", "t": t,
+                               "data": self.metrics.snapshot()})
+            self.writer.write({"ev": "trace_end", "t": t,
+                               "span_totals": self.span_totals()})
+            self.writer.close()
+
+    def __enter__(self) -> "Tracer":
+        """Context-manager support: ``with Tracer(path) as obs: ...``."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the trace on block exit."""
+        self.close()

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.nn.network import NeuralNetwork
+from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
 from repro.sim.client import Client
 from repro.topology.comm import CommunicationTracker
@@ -62,6 +63,7 @@ class EdgeServer:
                      weight_by_data: bool = False,
                      compressor=None,
                      comp_rng: np.random.Generator | None = None,
+                     obs=None,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -85,6 +87,11 @@ class EdgeServer:
             uploads — each client transmits a compressed *delta* against the
             block's broadcast model (the Hier-Local-QSGD extension).  Tracker
             float counts use the compressor's payload size.
+        obs:
+            Optional :class:`~repro.obs.Tracer`: each aggregation block is an
+            ``edge_block`` span and each client invocation a
+            ``client_local_steps`` span; local steps feed the
+            ``sgd_steps_total`` counter.
 
         Returns
         -------
@@ -110,42 +117,49 @@ class EdgeServer:
             agg_weights /= agg_weights.sum()
         else:
             agg_weights = np.full(n0, 1.0 / n0)
+        obs = obs if obs is not None else NULL_TRACER
         w_edge = np.array(w_start, dtype=np.float64, copy=True)
         w_ckpt: np.ndarray | None = None
         acc = np.empty(d, dtype=np.float64)
         for t2 in range(tau2):
             is_ckpt_block = c2 is not None and t2 == c2
-            if tracker is not None:
-                # Edge broadcasts w_edge to its clients (model-sized, down).
-                tracker.record("client_edge", "down", count=n0, floats=d)
-            acc.fill(0.0)
-            ckpt_acc = np.zeros(d, dtype=np.float64) if is_ckpt_block else None
-            upload_floats = float(d) if compressor is None else \
-                compressor.payload_floats(d)
-            for weight, client in zip(agg_weights, self.clients):
-                w_end, w_c = client.local_sgd(
-                    engine, w_edge, steps=tau1, lr=lr, projection=projection,
-                    checkpoint_after=c1 if is_ckpt_block else None)
-                if compressor is not None:
-                    # Transmit compressed deltas against the broadcast model.
-                    w_end = w_edge + _compress(compressor, client.client_id,
-                                               w_end - w_edge, comp_rng)
-                    if w_c is not None:
-                        w_c = w_edge + _compress(compressor, client.client_id,
-                                                 w_c - w_edge, comp_rng)
-                acc += weight * w_end
-                if ckpt_acc is not None:
-                    ckpt_acc += weight * w_c
+            with obs.span("edge_block", edge=self.edge_id, block=t2):
                 if tracker is not None:
-                    # Client uploads its model (+ checkpoint model when captured).
-                    tracker.record("client_edge", "up", count=1,
-                                   floats=upload_floats * (2 if is_ckpt_block
-                                                           else 1))
-            if tracker is not None:
-                tracker.sync_cycle("client_edge")
-            w_edge[:] = acc
-            if ckpt_acc is not None:
-                w_ckpt = ckpt_acc
+                    # Edge broadcasts w_edge to its clients (model-sized, down).
+                    tracker.record("client_edge", "down", count=n0, floats=d)
+                acc.fill(0.0)
+                ckpt_acc = np.zeros(d, dtype=np.float64) if is_ckpt_block else None
+                upload_floats = float(d) if compressor is None else \
+                    compressor.payload_floats(d)
+                for weight, client in zip(agg_weights, self.clients):
+                    with obs.span("client_local_steps",
+                                  client=client.client_id, steps=tau1):
+                        w_end, w_c = client.local_sgd(
+                            engine, w_edge, steps=tau1, lr=lr,
+                            projection=projection,
+                            checkpoint_after=c1 if is_ckpt_block else None)
+                    obs.count("sgd_steps_total", tau1)
+                    if compressor is not None:
+                        # Transmit compressed deltas against the broadcast model.
+                        w_end = w_edge + _compress(compressor, client.client_id,
+                                                   w_end - w_edge, comp_rng)
+                        if w_c is not None:
+                            w_c = w_edge + _compress(
+                                compressor, client.client_id, w_c - w_edge,
+                                comp_rng)
+                    acc += weight * w_end
+                    if ckpt_acc is not None:
+                        ckpt_acc += weight * w_c
+                    if tracker is not None:
+                        # Client uploads its model (+ checkpoint when captured).
+                        tracker.record("client_edge", "up", count=1,
+                                       floats=upload_floats * (2 if is_ckpt_block
+                                                               else 1))
+                if tracker is not None:
+                    tracker.sync_cycle("client_edge")
+                w_edge[:] = acc
+                if ckpt_acc is not None:
+                    w_ckpt = ckpt_acc
         return w_edge, w_ckpt
 
     def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray, *,

@@ -14,9 +14,18 @@ enough raw information to report both (and more):
   links, the convention under which one client-server exchange of a two-layer
   method and one client-edge aggregation of a hierarchical method each cost 1.
 
-Derived views: per-link message/float totals, bytes (8 bytes per float64 scalar),
-edge-cloud-only cycles (the theory's complexity measure), and immutable snapshots
-for time series.
+Derived views: per-link message/float totals, bytes, edge-cloud-only cycles (the
+theory's complexity measure), and immutable snapshots for time series.
+
+**Payload-unit convention.**  The ``floats`` argument of :meth:`record` is the
+*encoded payload size in float64 equivalents* (wire bytes ÷ 8), not the logical
+vector length.  Full-precision messages record their dimension ``d``; compressed
+uploads must record ``Compressor.payload_floats(d)`` — e.g. a 4-bit quantizer
+reports ``1 + d·4/64`` for a ``d``-vector — so that ``total_bytes = floats × 8``
+is the true wire volume for compressed and uncompressed runs alike.  (Downlink
+broadcasts are always full precision in this repo; only uploads are compressed.)
+Every instrumented call site follows this convention, and the compression tests
+assert that quantized runs report proportionally fewer bytes.
 """
 
 from __future__ import annotations
@@ -42,7 +51,9 @@ class CommSnapshot:
     messages:
         Message count per (link, direction) pair, keyed ``f"{link}:{direction}"``.
     floats:
-        Scalar volume per (link, direction) pair.
+        Payload volume per (link, direction) pair, in float64-equivalent units
+        (see the module docstring: compressed uploads are recorded at their
+        encoded size, so ``× 8`` is wire bytes).
     """
 
     cycles: Dict[str, int]
@@ -75,8 +86,38 @@ class CommSnapshot:
 
     @property
     def total_bytes(self) -> float:
-        """Traffic volume assuming float64 payloads."""
+        """True wire bytes: ``floats`` are payload units of 8 bytes each.
+
+        Compressed uploads were recorded via ``Compressor.payload_floats``, so
+        this is the *compressed* volume, not ``8 × vector length``.
+        """
         return self.total_floats * _BYTES_PER_FLOAT
+
+    @property
+    def edge_cloud_bytes(self) -> float:
+        """Wire bytes on the cloud-facing links (``edge_cloud_cycles``'s twin)."""
+        total = 0.0
+        for key, value in self.floats.items():
+            link = key.split(":", 1)[0]
+            if link in ("edge_cloud", "client_cloud", "level_1"):
+                total += value
+        return total * _BYTES_PER_FLOAT
+
+    def diff(self, earlier: "CommSnapshot") -> "CommSnapshot":
+        """The traffic performed between ``earlier`` and this snapshot.
+
+        Used by the observability layer to attach per-round communication
+        deltas to ``cloud_round`` trace spans.
+        """
+        cycles = {k: v - earlier.cycles.get(k, 0)
+                  for k, v in self.cycles.items()}
+        messages = {k: v - earlier.messages.get(k, 0)
+                    for k, v in self.messages.items()
+                    if v != earlier.messages.get(k, 0)}
+        floats = {k: v - earlier.floats.get(k, 0.0)
+                  for k, v in self.floats.items()
+                  if v != earlier.floats.get(k, 0.0)}
+        return CommSnapshot(cycles=cycles, messages=messages, floats=floats)
 
 
 class CommunicationTracker:
@@ -98,7 +139,12 @@ class CommunicationTracker:
 
     def record(self, link: str, direction: str, *, count: int = 1,
                floats: float = 0.0) -> None:
-        """Log ``count`` messages of ``floats`` scalars each on ``link``/``direction``."""
+        """Log ``count`` messages of ``floats`` payload units each.
+
+        ``floats`` follows the payload-unit convention of the module docstring:
+        pass the vector dimension for full-precision messages and
+        ``Compressor.payload_floats(dim)`` for compressed uploads.
+        """
         if link not in self._links:
             raise ValueError(f"unknown link {link!r}; options: {self._links}")
         if direction not in DIRECTIONS:
@@ -137,7 +183,7 @@ class CommunicationTracker:
 
     @property
     def total_bytes(self) -> float:
-        """Total traffic volume in bytes (float64 payloads)."""
+        """Total wire bytes (compressed sizes; see the payload convention)."""
         return sum(self._floats.values()) * _BYTES_PER_FLOAT
 
     def reset(self) -> None:

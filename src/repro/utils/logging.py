@@ -4,13 +4,20 @@ The library does not print from inside algorithm code; instead, algorithms accep
 optional :class:`RunLogger` (or any callable) that receives structured progress
 events.  This keeps hot loops free of I/O unless the caller opts in, in line with
 the profile-first HPC guidance followed throughout the repo.
+
+Events are plain dicts with at least ``{"event": str}`` — the same shape the
+observability layer's ``log`` records carry (see :mod:`repro.obs.events`), and
+formatting is shared with it via :func:`repro.obs.events.format_event` so the
+human-readable stream and JSONL traces agree on field rendering.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Any, Callable, TextIO
+from typing import Callable, TextIO
+
+from repro.obs.events import format_event
 
 __all__ = ["RunLogger", "NullLogger", "ProgressEvent"]
 
@@ -33,7 +40,10 @@ class RunLogger:
         File-like target; defaults to ``sys.stderr``.
     every:
         Only emit one out of ``every`` ``"round"`` events (other event types always
-        pass through).  Use this to keep long runs readable.
+        pass through).  Use this to keep long runs readable.  The most recent
+        suppressed round is kept pending and flushed before the next non-round
+        event (or via :meth:`flush`), so the *final* round of a run is always
+        shown even when it does not land on the thinning stride.
     """
 
     def __init__(self, stream: TextIO | None = None, *, every: int = 1) -> None:
@@ -42,25 +52,32 @@ class RunLogger:
         self._stream = stream if stream is not None else sys.stderr
         self._every = every
         self._round_count = 0
+        self._pending: tuple[ProgressEvent, float] | None = None
         self._t0 = time.perf_counter()
 
     def __call__(self, event: ProgressEvent) -> None:
         """Format and emit ``event`` subject to the round-thinning policy."""
-        kind = event.get("event", "info")
-        if kind == "round":
+        elapsed = time.perf_counter() - self._t0
+        if event.get("event", "info") == "round":
             self._round_count += 1
             if (self._round_count - 1) % self._every != 0:
+                self._pending = (event, elapsed)
                 return
-        elapsed = time.perf_counter() - self._t0
-        fields = " ".join(f"{k}={_fmt(v)}" for k, v in event.items() if k != "event")
-        self._stream.write(f"[{elapsed:9.2f}s] {kind}: {fields}\n")
+            self._pending = None
+        else:
+            self.flush()
+        self._emit(event, elapsed)
+
+    def flush(self) -> None:
+        """Emit the most recently suppressed round event, if any."""
+        if self._pending is not None:
+            event, elapsed = self._pending
+            self._pending = None
+            self._emit(event, elapsed)
+
+    def _emit(self, event: ProgressEvent, elapsed: float) -> None:
+        self._stream.write(format_event(event, elapsed=elapsed) + "\n")
         self._stream.flush()
-
-
-def _fmt(value: Any) -> str:
-    if isinstance(value, float):
-        return f"{value:.6g}"
-    return str(value)
 
 
 LoggerLike = Callable[[ProgressEvent], None]

@@ -19,7 +19,7 @@ _PACKAGES = [
     "repro", "repro.core", "repro.baselines", "repro.nn", "repro.data",
     "repro.topology", "repro.sim", "repro.metrics", "repro.theory",
     "repro.experiments", "repro.ops", "repro.utils", "repro.multilayer",
-    "repro.compression", "repro.plotting",
+    "repro.compression", "repro.plotting", "repro.obs",
 ]
 
 

@@ -1,0 +1,341 @@
+"""Tests for repro.obs: span tracing, metrics, JSONL traces, and the analyzer.
+
+The contract under test is the one DESIGN.md's Observability section states:
+tracing is opt-in through the ``obs=`` hook, bit-identical to untraced runs,
+and a written trace replays to the same communication totals the live
+:class:`~repro.topology.comm.CommunicationTracker` reports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.hierminimax import HierMinimax
+from repro.data.registry import make_federated_dataset
+from repro.nn.models import make_model_factory
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    TraceWriter,
+    analyze_trace,
+    format_trace_report,
+)
+from repro.obs.metrics import Histogram
+from repro.utils.logging import RunLogger
+
+
+def tiny_algo(obs=None, seed=0):
+    data = make_federated_dataset("emnist_digits", seed=seed, scale="tiny")
+    factory = make_model_factory("logistic", data.input_dim, data.num_classes)
+    return HierMinimax(data, factory, tau1=2, tau2=2, m_edges=5, batch_size=8,
+                       eta_w=0.05, eta_p=2e-3, seed=seed, obs=obs)
+
+
+# --------------------------------------------------------------------- spans
+class TestSpans:
+    def test_nesting_paths_and_depths(self):
+        obs = Tracer()
+        with obs.span("run") as outer:
+            with obs.span("cloud_round", round=0) as mid:
+                with obs.span("phase1_model_update") as inner:
+                    pass
+        assert outer.depth == 0 and outer.path == "run"
+        assert mid.depth == 1 and mid.path == "run/cloud_round"
+        assert inner.depth == 2
+        assert inner.path == "run/cloud_round/phase1_model_update"
+
+    def test_totals_accumulate_counts_and_time(self):
+        obs = Tracer()
+        for _ in range(3):
+            with obs.span("work"):
+                pass
+        totals = obs.span_totals()
+        assert totals["work"]["count"] == 3
+        assert totals["work"]["total_s"] >= 0.0
+
+    def test_duration_measured(self):
+        obs = Tracer()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                x = 0.0
+                for i in range(1000):
+                    x += i
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_set_attaches_attrs(self):
+        buf = io.StringIO()
+        with Tracer(TraceWriter(buf, flush_every=1)) as obs:
+            with obs.span("cloud_round", round=3) as span:
+                span.set(comm={"cycles": {"edge_cloud": 2}})
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        span_ev = next(e for e in events if e["ev"] == "span")
+        assert span_ev["attrs"]["round"] == 3
+        assert span_ev["attrs"]["comm"]["cycles"]["edge_cloud"] == 2
+
+    def test_write_max_depth_drops_deep_spans_but_times_them(self):
+        buf = io.StringIO()
+        obs = Tracer(TraceWriter(buf, flush_every=1), write_max_depth=0)
+        with obs.span("run"):
+            with obs.span("cloud_round"):
+                pass
+        obs.close()
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        written = [e["name"] for e in events if e["ev"] == "span"]
+        assert written == ["run"]
+        assert obs.span_totals()["cloud_round"]["count"] == 1
+
+
+# ------------------------------------------------------------------- metrics
+class TestMetrics:
+    def test_counter_gauge_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("steps").inc(5)
+        reg.counter("steps").inc()
+        reg.gauge("worst_loss").set(2.5)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        reg.histogram("lat").observe(50.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["steps"] == 6
+        assert snap["gauges"]["worst_loss"] == 2.5
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 2
+        assert hist["buckets"]["0.1"] == 1 and hist["buckets"]["+inf"] == 1
+        assert hist["min"] == 0.05 and hist["max"] == 50.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_name_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_histogram_mean_and_unsorted_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert h.mean == 0.0
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean == 2.0
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_tracer_delegates(self):
+        obs = Tracer()
+        obs.count("sgd_steps_total", 4)
+        obs.gauge("worst_edge_loss", 1.25)
+        obs.observe("round_time_s", 0.01)
+        snap = obs.snapshot()
+        assert snap["counters"]["sgd_steps_total"] == 4
+        assert snap["gauges"]["worst_edge_loss"] == 1.25
+        assert snap["histograms"]["round_time_s"]["count"] == 1
+
+
+# ---------------------------------------------------------------- JSONL I/O
+class TestTraceWriter:
+    def test_numpy_values_serialize(self):
+        buf = io.StringIO()
+        w = TraceWriter(buf, flush_every=1)
+        w.write({"ev": "log", "t": np.float64(0.5), "kind": "x",
+                 "fields": {"arr": np.arange(3), "n": np.int64(7)}})
+        rec = json.loads(buf.getvalue())
+        assert rec["t"] == 0.5 and rec["fields"]["arr"] == [0, 1, 2]
+        assert rec["fields"]["n"] == 7 and w.records_written == 1
+
+    def test_file_target_and_trace_lifecycle(self, tmp_path):
+        path = tmp_path / "sub" / "run.trace.jsonl"
+        with Tracer(str(path), meta={"note": "unit"}) as obs:
+            with obs.span("run"):
+                obs.event("hello", round=0)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [e["ev"] for e in events]
+        assert kinds[0] == "trace_start" and kinds[-1] == "trace_end"
+        assert "metrics" in kinds and "log" in kinds and "span" in kinds
+        assert events[0]["meta"] == {"note": "unit"}
+
+    def test_close_idempotent(self, tmp_path):
+        obs = Tracer(str(tmp_path / "t.jsonl"))
+        obs.close()
+        obs.close()  # must not raise or duplicate trace_end
+        events = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert sum("trace_end" in line for line in events) == 1
+
+
+# ----------------------------------------------------------------- replaying
+class TestTraceRoundTrip:
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "run.trace.jsonl"
+        obs = Tracer(str(path))
+        algo = tiny_algo(obs=obs)
+        result = algo.run(rounds=12, eval_every=4)
+        obs.close()
+        return path, result, obs
+
+    def test_replayed_comm_matches_live_snapshot(self, traced_run):
+        path, result, _ = traced_run
+        report = analyze_trace(path)
+        assert report.replay_consistent
+        assert report.comm_cycles == dict(result.comm.cycles)
+        assert report.comm_messages == dict(result.comm.messages)
+        for link, floats in result.comm.floats.items():
+            assert report.comm_floats[link] == pytest.approx(floats, rel=1e-9)
+        assert report.edge_cloud_cycles == result.comm.edge_cloud_cycles
+
+    def test_round_timeline_reconstructed(self, traced_run):
+        path, result, _ = traced_run
+        report = analyze_trace(path)
+        assert len(report.rounds) == result.rounds_run
+        assert [r.round_index for r in report.rounds] == list(range(12))
+        assert all(r.algorithm == "hierminimax" for r in report.rounds)
+        assert all(r.duration_s >= 0 and r.cycles > 0 for r in report.rounds)
+
+    def test_phase_times_cover_run_wallclock(self, traced_run):
+        path, _, obs = traced_run
+        report = analyze_trace(path)
+        assert report.run_total_s > 0
+        # Phases must account for nearly all of the measured run span: the
+        # instrumentation would be lying about attribution otherwise.
+        assert report.phase_coverage > 0.8
+        assert report.phase_coverage <= 1.0 + 1e-9
+        # The trace's span totals agree with the in-memory accumulation.
+        for name, slot in obs.span_totals().items():
+            assert report.span_totals[name]["count"] == slot["count"]
+
+    def test_metrics_round_trip(self, traced_run):
+        path, result, obs = traced_run
+        report = analyze_trace(path)
+        counters = report.metrics["counters"]
+        assert counters["rounds_total"] == result.rounds_run
+        # 12 rounds x 5 edges x tau2=2 blocks x 3 clients x tau1=2 steps
+        assert counters["sgd_steps_total"] == 12 * 5 * 2 * 3 * 2
+        assert counters["edge_cloud_bytes"] == pytest.approx(
+            result.comm.edge_cloud_bytes, rel=1e-9)
+        assert report.metrics["histograms"]["round_time_s"]["count"] == 12
+
+    def test_format_report_mentions_key_sections(self, traced_run):
+        path, _, _ = traced_run
+        text = format_trace_report(analyze_trace(path), timeline=3)
+        for needle in ("per-phase breakdown", "phase1_model_update",
+                       "edge-cloud cycles", "round timeline",
+                       "sgd_steps_total"):
+            assert needle in text
+        assert "WARNING" not in text
+
+    def test_analyze_accepts_parsed_events(self, traced_run):
+        path, _, _ = traced_run
+        from repro.obs import load_trace
+
+        events = load_trace(path)
+        assert analyze_trace(events).events == len(events)
+
+
+# ------------------------------------------------------------- determinism
+class TestDeterminism:
+    def test_traced_run_bit_identical_to_untraced(self, tmp_path):
+        plain = tiny_algo(obs=None).run(rounds=6, eval_every=3)
+        obs = Tracer(str(tmp_path / "paired.trace.jsonl"))
+        traced = tiny_algo(obs=obs).run(rounds=6, eval_every=3)
+        obs.close()
+        assert np.array_equal(plain.final_params, traced.final_params)
+        assert np.array_equal(plain.final_weights, traced.final_weights)
+        assert plain.comm.cycles == traced.comm.cycles
+        assert plain.comm.floats == traced.comm.floats
+
+    def test_null_tracer_is_inert(self):
+        obs = NullTracer()
+        assert obs is not NULL_TRACER  # constructible, but
+        with obs.span("anything", k=1) as span:
+            span.set(more=2)
+        assert span is obs.span("other")  # shared singleton span
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 1.0)
+        obs.event("e", x=1)
+        assert obs.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+        assert obs.span_totals() == {}
+        with obs:
+            pass  # context-manager protocol mirrors Tracer
+
+
+# ---------------------------------------------------------------- RunLogger
+class TestRunLoggerFlush:
+    def test_last_round_flushed_before_run_end(self):
+        buf = io.StringIO()
+        log = RunLogger(stream=buf, every=5)
+        for k in range(7):
+            log({"event": "round", "round": k})
+        log({"event": "run_end", "rounds": 7})
+        lines = buf.getvalue().splitlines()
+        # rounds 0 and 5 pass the stride; round 6 flushes before run_end.
+        assert [l.split("] ")[1].split(":")[0] for l in lines] == [
+            "round", "round", "round", "run_end"]
+        assert "round=6" in lines[2]
+
+    def test_explicit_flush(self):
+        buf = io.StringIO()
+        log = RunLogger(stream=buf, every=10)
+        log({"event": "round", "round": 0})
+        log({"event": "round", "round": 1})
+        log.flush()
+        log.flush()  # idempotent
+        assert buf.getvalue().count("round:") == 2
+
+    def test_algorithm_emits_run_end(self):
+        buf = io.StringIO()
+        data = make_federated_dataset("emnist_digits", seed=0, scale="tiny")
+        factory = make_model_factory("logistic", data.input_dim,
+                                     data.num_classes)
+        algo = HierMinimax(data, factory, tau1=2, tau2=2, m_edges=5,
+                           batch_size=8, seed=0,
+                           logger=RunLogger(stream=buf, every=4))
+        algo.run(rounds=5, eval_every=1)
+        text = buf.getvalue()
+        assert "run_end" in text
+        # the final round (index 4) reaches the stream despite every=4.
+        assert "round=4" in text
+
+
+# ---------------------------------------------------------------------- CLI
+class TestTraceReportCLI:
+    def test_reports_trace(self, tmp_path, capsys):
+        path = tmp_path / "cli.trace.jsonl"
+        obs = Tracer(str(path))
+        tiny_algo(obs=obs).run(rounds=3, eval_every=3)
+        obs.close()
+        assert cli.main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown" in out and "3 rounds" in out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        rc = cli.main(["trace-report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such trace" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------ runner wiring
+class TestRunnerIntegration:
+    def test_experiment_phase_attribution(self):
+        from repro.experiments.presets import fig3_preset
+        from repro.experiments.runner import run_experiment
+
+        preset = fig3_preset(scale="tiny").with_overrides(
+            slots=48, eval_points=2, algorithms=("fedavg", "hierminimax"))
+        obs = Tracer()
+        out = run_experiment(preset, seed=0, obs=obs)
+        assert set(out.phase_times) == {"fedavg", "hierminimax"}
+        for phases in out.phase_times.values():
+            assert phases["phase1_model_update"] > 0
+            assert phases["evaluate"] > 0
+        assert out.phase_times["hierminimax"]["phase2_weight_update"] > 0
+        assert out.metrics["counters"]["sgd_steps_total"] > 0
+        assert out.setup_times["data_gen"] > 0

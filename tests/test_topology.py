@@ -123,6 +123,43 @@ class TestCommunicationTracker:
         with pytest.raises(ValueError):
             t.sync_cycle("lan")
 
+    def test_payload_unit_convention(self):
+        # floats are float64-equivalents: a compressed upload recorded via
+        # payload_floats must shrink total_bytes by the compression ratio.
+        from repro.compression import QSGDQuantizer
+
+        q = QSGDQuantizer(levels=7)  # ceil(log2(15)) = 4 bits per coordinate
+        t = CommunicationTracker()
+        t.record("edge_cloud", "up", count=1, floats=q.payload_floats(1000))
+        snap = t.snapshot()
+        assert snap.total_bytes == pytest.approx(
+            (1.0 + 1000 * 4 / 64) * 8)
+        assert snap.total_bytes < 1000 * 8  # cheaper than full precision
+
+    def test_edge_cloud_bytes_sums_cloud_facing_links(self):
+        t = CommunicationTracker()
+        t.record("edge_cloud", "down", count=1, floats=10)
+        t.record("client_cloud", "up", count=1, floats=5)
+        t.record("client_edge", "up", count=1, floats=100)
+        snap = t.snapshot()
+        assert snap.edge_cloud_bytes == (10 + 5) * 8
+        assert snap.total_bytes == (10 + 5 + 100) * 8
+
+    def test_snapshot_diff(self):
+        t = CommunicationTracker()
+        t.record("edge_cloud", "up", count=2, floats=20)
+        t.sync_cycle("edge_cloud")
+        before = t.snapshot()
+        t.record("edge_cloud", "up", count=1, floats=7)
+        t.record("client_edge", "down", count=3, floats=30)
+        t.sync_cycle("client_edge")
+        delta = t.snapshot().diff(before)
+        assert delta.messages["edge_cloud:up"] == 1
+        assert delta.floats["edge_cloud:up"] == 7
+        assert delta.messages["client_edge:down"] == 3
+        assert delta.cycles["client_edge"] == 1
+        assert delta.cycles["edge_cloud"] == 0  # cycles keep the full key set
+
 
 class TestSampleByWeight:
     def test_shape_and_range(self):
