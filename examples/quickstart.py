@@ -7,10 +7,18 @@ fairness metrics and communication totals.
 
 Run:
     python examples/quickstart.py [--scale tiny|small] [--rounds N] \
-        [--trace run.trace.jsonl]
+        [--trace run.trace.jsonl] [--faults SPEC] \
+        [--checkpoint run.ckpt.json [--checkpoint-every N] [--resume]] \
+        [--stop-after K]
 
 With ``--trace`` the run also streams a JSONL span/metric record; inspect it
 afterwards with ``python -m repro trace-report run.trace.jsonl``.
+
+``--faults 'client_dropout=0.2,edge_outage=0.05,seed=1'`` trains through the
+seeded fault plan (see ``repro.faults.FaultPlan``).  Checkpoint/resume demo::
+
+    python examples/quickstart.py --checkpoint /tmp/qs.ckpt.json --stop-after 100
+    python examples/quickstart.py --checkpoint /tmp/qs.ckpt.json --resume
 """
 
 from __future__ import annotations
@@ -19,8 +27,8 @@ import argparse
 
 import numpy as np
 
-from repro import HierMinimax, NullTracer, Tracer, make_federated_dataset, \
-    make_model_factory
+from repro import FaultPlan, HierMinimax, NullTracer, Tracer, \
+    make_federated_dataset, make_model_factory
 from repro.utils.logging import RunLogger
 
 
@@ -33,7 +41,20 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL trace of the run here")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault plan, e.g. 'client_dropout=0.2,seed=1'")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="checkpoint file to write (and resume from)")
+    parser.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                        help="rounds between checkpoint writes")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore --checkpoint before training")
+    parser.add_argument("--stop-after", type=int, default=None, metavar="K",
+                        help="stop after K rounds (simulated kill; rerun "
+                             "with --resume to finish)")
     args = parser.parse_args()
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
 
     rounds = args.rounds if args.rounds is not None else (
         300 if args.scale == "tiny" else 1500)
@@ -50,6 +71,9 @@ def main() -> None:
     obs = (Tracer(args.trace, meta={"example": "quickstart"},
                   write_max_depth=2)
            if args.trace else NullTracer())
+    plan = FaultPlan.parse(args.faults) if args.faults else None
+    if plan is not None:
+        print(f"faults : {args.faults}")
     algo = HierMinimax(
         data, model,
         tau1=2, tau2=2, m_edges=5,
@@ -57,9 +81,35 @@ def main() -> None:
         seed=args.seed,
         logger=RunLogger(every=max(1, rounds // 10)),
         obs=obs,
+        faults=plan,
     )
 
-    result = algo.run(rounds=rounds, eval_every=max(1, rounds // 10))
+    # 4. Optional checkpoint/resume: restore, then run only what is left.
+    done = 0
+    if args.resume:
+        done = algo.load_checkpoint(args.checkpoint)
+        print(f"resumed from {args.checkpoint} at round {done}")
+    run_rounds = rounds - done
+    if args.stop_after is not None:
+        run_rounds = min(run_rounds, args.stop_after)
+    if run_rounds <= 0:
+        print("checkpoint already covers the requested rounds; nothing to do")
+        obs.close()
+        return
+
+    result = algo.run(
+        rounds=run_rounds, eval_every=max(1, rounds // 10),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else None)
+    if args.checkpoint:
+        # Always leave a checkpoint at the exact final round, so --resume (or
+        # a post-mortem) sees the state the run actually reached.
+        algo.save_checkpoint(args.checkpoint)
+        if algo.rounds_completed < rounds:
+            print(f"\nstopped after round {algo.rounds_completed}; checkpoint "
+                  f"saved to {args.checkpoint} (finish with --resume)")
+        else:
+            print(f"\nfinal checkpoint saved to {args.checkpoint}")
     obs.close()
     if args.trace:
         print(f"\ntrace written to {args.trace} "

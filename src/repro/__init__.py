@@ -35,6 +35,14 @@ from repro.data import (
     make_federated_dataset,
 )
 from repro.compression import IdentityCompressor, QSGDQuantizer, TopKSparsifier
+from repro.faults import (
+    CheckpointError,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    load_checkpoint_file,
+    save_checkpoint_file,
+)
 from repro.metrics import EvaluationRecord, TrainingHistory, evaluate_record
 from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
 from repro.obs import (
@@ -69,6 +77,12 @@ __all__ = [
     "IdentityCompressor",
     "QSGDQuantizer",
     "TopKSparsifier",
+    "CheckpointError",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "load_checkpoint_file",
+    "save_checkpoint_file",
     "EvaluationRecord",
     "TrainingHistory",
     "evaluate_record",

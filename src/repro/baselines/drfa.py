@@ -50,10 +50,10 @@ class DRFA(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs)
+                         obs=obs, faults=faults)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -66,6 +66,7 @@ class DRFA(FederatedAlgorithm):
             n, weight_projection=projection_q if projection_q is not None
             else project_simplex)
         self.q: np.ndarray = self.cloud.initial_weights()
+        self._last_losses: dict[int, float] = {}
 
     @property
     def slots_per_round(self) -> int:
@@ -76,10 +77,23 @@ class DRFA(FederatedAlgorithm):
         """The per-client mixing weights ``q^(k)``."""
         return self.q
 
+    # ---------------------------------------------------------- checkpointing
+    def _extra_state(self) -> dict:
+        return {"q": self.q,
+                "last_losses": {str(k): v
+                                for k, v in self._last_losses.items()}}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.q = np.asarray(extra["q"], dtype=np.float64)
+        self._last_losses = {int(k): float(v)
+                             for k, v in extra.get("last_losses", {}).items()}
+
     def run_round(self, round_index: int) -> None:
         """One DRFA round: τ1 local steps with a random checkpoint, then q ascent."""
         d = self.w.size
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         sampled = sample_by_weight(self.q, self.m_clients, self.rng)
         # Checkpoint step t' uniform in {1, ..., tau1}.
         t_prime = int(self.rng.integers(1, self.tau1 + 1))
@@ -89,19 +103,52 @@ class DRFA(FederatedAlgorithm):
                                 count=len(np.unique(sampled)), floats=d + 1)
             acc = np.zeros(d)
             acc_ckpt = np.zeros(d)
+            n_contrib = 0
+            n_ckpt = 0
             for i in sampled:
+                client = self.clients[int(i)]
+                steps = self.tau1 if not injecting else faults.client_steps(
+                    round_index, client.client_id, self.tau1)
+                if steps < 1:
+                    continue
+                takes_ckpt = t_prime <= steps
                 with obs.span("client_local_steps", client=int(i),
-                              steps=self.tau1):
-                    w_end, w_ckpt = self.clients[int(i)].local_sgd(
-                        self.engine, self.w, steps=self.tau1, lr=self.eta_w,
-                        projection=self.projection_w, checkpoint_after=t_prime)
-                obs.count("sgd_steps_total", self.tau1)
+                              steps=steps):
+                    w_end, w_ckpt = client.local_sgd(
+                        self.engine, self.w, steps=steps, lr=self.eta_w,
+                        projection=self.projection_w,
+                        checkpoint_after=t_prime if takes_ckpt else None)
+                obs.count("sgd_steps_total", steps)
+                self.tracker.record("client_cloud", "up", count=1,
+                                    floats=(2 if takes_ckpt else 1) * d)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "client_cloud",
+                        f"client:{client.client_id}", w_end, w_ckpt,
+                        floats=(2 if takes_ckpt else 1) * d,
+                        tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    w_end, w_ckpt = delivered
                 acc += w_end
-                acc_ckpt += w_ckpt
-                self.tracker.record("client_cloud", "up", count=1, floats=2 * d)
+                n_contrib += 1
+                if w_ckpt is not None:
+                    acc_ckpt += w_ckpt
+                    n_ckpt += 1
             self.tracker.sync_cycle("client_cloud")
-            self.w = acc / self.m_clients
-            w_checkpoint = acc_ckpt / self.m_clients
+            if n_contrib == len(sampled):
+                self.w = acc / self.m_clients
+            elif n_contrib > 0:
+                self.w = acc / n_contrib
+            else:
+                faults.degraded_round(round_index, "phase1_model_update")
+            if n_ckpt == len(sampled):
+                w_checkpoint = acc_ckpt / self.m_clients
+            elif n_ckpt > 0:
+                w_checkpoint = acc_ckpt / n_ckpt
+            else:
+                faults.checkpoint_fallback(round_index, "phase1_model_update")
+                w_checkpoint = self.w
 
         # Weight ascent phase at the checkpoint model, scaled by tau1.
         with obs.span("phase2_weight_update", round=round_index):
@@ -111,11 +158,30 @@ class DRFA(FederatedAlgorithm):
                                 floats=d)
             losses: dict[int, float] = {}
             for i in probed:
-                losses[int(i)] = self.clients[int(i)].estimate_loss(
-                    self.engine, w_checkpoint)
-                self.tracker.record("client_cloud", "up", count=1, floats=1)
+                cid = int(i)
+                client = self.clients[cid]
+                est: float | None = None
+                if not injecting or faults.client_available(round_index, cid):
+                    est = client.estimate_loss(self.engine, w_checkpoint)
+                    self.tracker.record("client_cloud", "up", count=1, floats=1)
+                    if injecting:
+                        delivered = faults.receive(
+                            round_index, "client_cloud", f"client:{cid}", est,
+                            floats=1.0, tracker=self.tracker)
+                        est = None if delivered is None else delivered[0]
+                if est is None:
+                    stale = self._last_losses.get(cid)
+                    if stale is not None:
+                        faults.stale_loss(round_index, f"client:{cid}", stale)
+                        losses[cid] = stale
+                    continue
+                losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
-            obs.gauge("worst_client_loss", max(losses.values()))
-            v = self.cloud.build_loss_vector(losses)
-            self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q,
-                                               tau1=self.tau1)
+            if losses:
+                self._last_losses.update(losses)
+                obs.gauge("worst_client_loss", max(losses.values()))
+                v = self.cloud.build_loss_vector(losses)
+                self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q,
+                                                   tau1=self.tau1)
+            else:
+                faults.degraded_round(round_index, "phase2_weight_update")

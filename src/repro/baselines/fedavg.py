@@ -45,10 +45,10 @@ class FedAvg(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs)
+                         obs=obs, faults=faults)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -66,6 +66,8 @@ class FedAvg(FederatedAlgorithm):
         """One FedAvg round: uniform sample, τ1 local steps, weighted average."""
         d = self.w.size
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         sampled = sample_uniform_subset(len(self.clients), self.m_clients, self.rng)
         with obs.span("phase1_model_update", round=round_index,
                       sampled_clients=len(sampled)):
@@ -75,15 +77,32 @@ class FedAvg(FederatedAlgorithm):
             total_weight = 0.0
             for i in sampled:
                 client = self.clients[int(i)]
+                steps = self.tau1 if not injecting else faults.client_steps(
+                    round_index, client.client_id, self.tau1)
+                if steps < 1:
+                    continue
                 with obs.span("client_local_steps", client=int(i),
-                              steps=self.tau1):
+                              steps=steps):
                     w_end, _ = client.local_sgd(
-                        self.engine, self.w, steps=self.tau1, lr=self.eta_w,
+                        self.engine, self.w, steps=steps, lr=self.eta_w,
                         projection=self.projection_w)
-                obs.count("sgd_steps_total", self.tau1)
+                obs.count("sgd_steps_total", steps)
+                self.tracker.record("client_cloud", "up", count=1, floats=d)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "client_cloud",
+                        f"client:{client.client_id}", w_end, floats=d,
+                        tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    (w_end,) = delivered
                 weight = float(client.num_samples) if self.weight_by_data else 1.0
                 acc += weight * w_end
                 total_weight += weight
-                self.tracker.record("client_cloud", "up", count=1, floats=d)
             self.tracker.sync_cycle("client_cloud")
-            self.w = acc / total_weight
+            if total_weight > 0.0:
+                # Survivor-weighted average: dropped clients simply leave the
+                # denominator, which is the weighted-mean renormalization.
+                self.w = acc / total_weight
+            else:
+                faults.degraded_round(round_index, "model_update")

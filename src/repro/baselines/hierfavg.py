@@ -47,10 +47,10 @@ class HierFAVG(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs)
+                         obs=obs, faults=faults)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
         n_e = dataset.num_edges
@@ -69,6 +69,8 @@ class HierFAVG(FederatedAlgorithm):
         """One HierFAVG round: uniform edge sample, hierarchical update, average."""
         d = self.w.size
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         sampled = sample_uniform_subset(self.dataset.num_edges, self.m_edges, self.rng)
         with obs.span("phase1_model_update", round=round_index,
                       sampled_edges=len(sampled)):
@@ -78,14 +80,27 @@ class HierFAVG(FederatedAlgorithm):
             total_weight = 0.0
             for e in sampled:
                 edge = self.edges[int(e)]
+                if injecting and faults.edge_dark(round_index, edge.edge_id):
+                    continue
                 w_e, _ = edge.model_update(
                     self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
                     lr=self.eta_w, projection=self.projection_w, checkpoint=None,
                     tracker=self.tracker, weight_by_data=self.weight_by_data,
-                    obs=obs)
+                    obs=obs, faults=faults, round_index=round_index)
+                self.tracker.record("edge_cloud", "up", count=1, floats=d)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "edge_cloud", f"edge:{edge.edge_id}", w_e,
+                        floats=d, tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    (w_e,) = delivered
                 weight = float(edge.num_samples) if self.weight_by_data else 1.0
                 acc += weight * w_e
                 total_weight += weight
-                self.tracker.record("edge_cloud", "up", count=1, floats=d)
             self.tracker.sync_cycle("edge_cloud")
-            self.w = acc / total_weight
+            if total_weight > 0.0:
+                # Survivor-weighted average (dark edges leave the denominator).
+                self.w = acc / total_weight
+            else:
+                faults.degraded_round(round_index, "model_update")

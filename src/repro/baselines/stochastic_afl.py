@@ -46,10 +46,10 @@ class StochasticAFL(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs)
+                         obs=obs, faults=faults)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -62,6 +62,7 @@ class StochasticAFL(FederatedAlgorithm):
             n, weight_projection=projection_q if projection_q is not None
             else project_simplex)
         self.q: np.ndarray = self.cloud.initial_weights()
+        self._last_losses: dict[int, float] = {}
 
     @property
     def slots_per_round(self) -> int:
@@ -72,10 +73,23 @@ class StochasticAFL(FederatedAlgorithm):
         """The per-client mixing weights ``q^(k)``."""
         return self.q
 
+    # ---------------------------------------------------------- checkpointing
+    def _extra_state(self) -> dict:
+        return {"q": self.q,
+                "last_losses": {str(k): v
+                                for k, v in self._last_losses.items()}}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.q = np.asarray(extra["q"], dtype=np.float64)
+        self._last_losses = {int(k): float(v)
+                             for k, v in extra.get("last_losses", {}).items()}
+
     def run_round(self, round_index: int) -> None:
         """One AFL round: q-sampled single-step model update, then q ascent."""
         d = self.w.size
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         # Model update phase.
         sampled = sample_by_weight(self.q, self.m_clients, self.rng)
         with obs.span("phase1_model_update", round=round_index,
@@ -83,16 +97,38 @@ class StochasticAFL(FederatedAlgorithm):
             self.tracker.record("client_cloud", "down",
                                 count=len(np.unique(sampled)), floats=d)
             acc = np.zeros(d)
+            n_contrib = 0
             for i in sampled:
+                client = self.clients[int(i)]
+                # Single-step rounds: a straggler that cannot finish its one
+                # step within the round is a dropout.
+                steps = 1 if not injecting else faults.client_steps(
+                    round_index, client.client_id, 1)
+                if steps < 1:
+                    continue
                 with obs.span("client_local_steps", client=int(i), steps=1):
-                    w_end, _ = self.clients[int(i)].local_sgd(
+                    w_end, _ = client.local_sgd(
                         self.engine, self.w, steps=1, lr=self.eta_w,
                         projection=self.projection_w)
                 obs.count("sgd_steps_total", 1)
-                acc += w_end
                 self.tracker.record("client_cloud", "up", count=1, floats=d)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "client_cloud",
+                        f"client:{client.client_id}", w_end, floats=d,
+                        tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    (w_end,) = delivered
+                acc += w_end
+                n_contrib += 1
             self.tracker.sync_cycle("client_cloud")
-            self.w = acc / self.m_clients
+            if n_contrib == len(sampled):
+                self.w = acc / self.m_clients
+            elif n_contrib > 0:
+                self.w = acc / n_contrib
+            else:
+                faults.degraded_round(round_index, "phase1_model_update")
 
         # Weight update phase: loss estimation at the fresh global model.
         with obs.span("phase2_weight_update", round=round_index):
@@ -102,10 +138,28 @@ class StochasticAFL(FederatedAlgorithm):
                                 floats=d)
             losses: dict[int, float] = {}
             for i in probed:
-                losses[int(i)] = self.clients[int(i)].estimate_loss(self.engine,
-                                                                    self.w)
-                self.tracker.record("client_cloud", "up", count=1, floats=1)
+                cid = int(i)
+                est: float | None = None
+                if not injecting or faults.client_available(round_index, cid):
+                    est = self.clients[cid].estimate_loss(self.engine, self.w)
+                    self.tracker.record("client_cloud", "up", count=1, floats=1)
+                    if injecting:
+                        delivered = faults.receive(
+                            round_index, "client_cloud", f"client:{cid}", est,
+                            floats=1.0, tracker=self.tracker)
+                        est = None if delivered is None else delivered[0]
+                if est is None:
+                    stale = self._last_losses.get(cid)
+                    if stale is not None:
+                        faults.stale_loss(round_index, f"client:{cid}", stale)
+                        losses[cid] = stale
+                    continue
+                losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
-            obs.gauge("worst_client_loss", max(losses.values()))
-            v = self.cloud.build_loss_vector(losses)
-            self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q)
+            if losses:
+                self._last_losses.update(losses)
+                obs.gauge("worst_client_loss", max(losses.values()))
+                v = self.cloud.build_loss_vector(losses)
+                self.q = self.cloud.update_weights(self.q, v, eta_p=self.eta_q)
+            else:
+                faults.degraded_round(round_index, "phase2_weight_update")

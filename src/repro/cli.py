@@ -8,6 +8,7 @@ Usage::
     python -m repro table2 --scale small --datasets adult synthetic
     python -m repro tradeoff --horizon 512
     python -m repro trace-report run.trace.jsonl
+    python -m repro degradation --scale tiny --faults client_dropout=0.2,seed=1
     python -m repro info
 
 Every subcommand prints the same reports the benchmark harness archives; ``--out``
@@ -66,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("trace", help="path to a .trace.jsonl file")
     p_trace.add_argument("--timeline", type=int, default=5,
                          help="rounds to show at each end of the timeline")
+
+    p_deg = sub.add_parser(
+        "degradation",
+        help="graceful-degradation demo: fault-free vs faulted HierMinimax")
+    p_deg.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    p_deg.add_argument("--rounds", type=int, default=80)
+    p_deg.add_argument("--seed", type=int, default=0)
+    p_deg.add_argument("--faults", default="client_dropout=0.2,seed=1",
+                       help="FaultPlan spec, e.g. "
+                            "'client_dropout=0.2,edge_outage=0.05,seed=1'")
+    p_deg.add_argument("--tolerance", type=float, default=0.10,
+                       help="max tolerated worst-edge accuracy drop")
 
     sub.add_parser("info", help="version and system inventory")
     return parser
@@ -169,6 +182,60 @@ def _cmd_trace_report(args) -> int:
     return 0 if report.replay_consistent else 1
 
 
+def _cmd_degradation(args) -> int:
+    """Run HierMinimax with and without a fault plan on the same data.
+
+    This is the acceptance demo of the fault-injection layer: the faulted run
+    must still converge, with a worst-edge accuracy within ``--tolerance`` of
+    the fault-free run.  Exit code 1 signals the tolerance was exceeded.
+    """
+    from repro.core.hierminimax import HierMinimax
+    from repro.data.registry import make_federated_dataset
+    from repro.faults import FaultPlan
+    from repro.nn.models import make_model_factory
+    from repro.obs import Tracer
+
+    plan = FaultPlan.parse(args.faults)
+    dataset = make_federated_dataset("emnist_digits", seed=args.seed,
+                                     scale=args.scale)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    print(f"dataset : {dataset}")
+    print(f"plan    : {args.faults}")
+
+    def run(faults, obs=None):
+        algo = HierMinimax(dataset, factory, batch_size=8, eta_w=0.05,
+                           eta_p=2e-3, tau1=2, tau2=2, m_edges=5,
+                           seed=args.seed, obs=obs, faults=faults)
+        res = algo.run(rounds=args.rounds,
+                       eval_every=max(1, args.rounds // 10))
+        return res.history.final().record
+
+    clean = run(None)
+    obs = Tracer(None)  # metrics-only: collect the fault counters
+    faulted = run(plan, obs=obs)
+    counters = obs.snapshot()["counters"]
+
+    drop = clean.worst_accuracy - faulted.worst_accuracy
+    print(f"\n{'':24s} {'fault-free':>12s} {'faulted':>12s} {'delta':>9s}")
+    for label, attr in (("worst edge accuracy", "worst_accuracy"),
+                        ("average accuracy", "average_accuracy")):
+        a, b = getattr(clean, attr), getattr(faulted, attr)
+        print(f"{label:<24s} {a:12.4f} {b:12.4f} {b - a:+9.4f}")
+    print("\nfault counters (faulted run):")
+    for key in ("clients_dropped_total", "stragglers_total",
+                "edge_outages_total", "messages_lost_total",
+                "messages_corrupted_total", "retries_total",
+                "stale_loss_fallbacks_total", "rounds_degraded",
+                "quarantined_senders"):
+        if key in counters:
+            print(f"  {key:<28s} {counters[key]:g}")
+    ok = drop <= args.tolerance
+    print(f"\nworst-edge accuracy drop {drop:+.4f} "
+          f"{'within' if ok else 'EXCEEDS'} tolerance {args.tolerance:.2f}")
+    return 0 if ok else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -192,4 +259,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_tradeoff(args)
     if args.command == "trace-report":
         return _cmd_trace_report(args)
+    if args.command == "degradation":
+        return _cmd_degradation(args)
     return _cmd_info()

@@ -19,8 +19,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import FederatedDataset
+from repro.faults.checkpoint import load_checkpoint_file, save_checkpoint_file
+from repro.faults.injector import resolve_injector
 from repro.metrics.evaluation import evaluate_record
-from repro.metrics.history import HistoryPoint, TrainingHistory
+from repro.metrics.history import HistoryPoint, TrainingHistory, \
+    history_from_state, history_state
 from repro.nn.models import ModelFactory
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
@@ -30,6 +33,17 @@ from repro.utils.rng import RngFactory
 from repro.utils.validation import check_positive_float, check_positive_int
 
 __all__ = ["FederatedAlgorithm", "RunResult"]
+
+
+def _restore_generator(target: np.random.Generator,
+                       source: np.random.Generator) -> None:
+    """Copy ``source``'s bit-generator state into ``target`` in place.
+
+    In-place restoration keeps every alias to ``target`` (clients hold their
+    sampler's generator, algorithms hold named streams) pointing at the
+    restored stream.
+    """
+    target.bit_generator.state = source.bit_generator.state
 
 
 @dataclass(frozen=True)
@@ -88,6 +102,13 @@ class FederatedAlgorithm(ABC):
         (``run`` → ``cloud_round`` → phases), metrics, and trace events.
         Defaults to the no-op :data:`~repro.obs.NULL_TRACER`; tracing never
         touches an RNG, so results are bit-identical either way.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or a pre-built
+        :class:`~repro.faults.FaultInjector`) injecting client dropouts,
+        stragglers, edge outages, and message loss/corruption into the run.
+        ``None`` or ``FaultPlan.none()`` disables every fault path — the
+        injector has its own RNG streams, so outputs are bit-identical to a
+        run without the fault layer.
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -100,7 +121,7 @@ class FederatedAlgorithm(ABC):
     def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -111,8 +132,11 @@ class FederatedAlgorithm(ABC):
         self.tracker = CommunicationTracker()
         self.logger = logger if logger is not None else NullLogger()
         self.obs = obs if obs is not None else NULL_TRACER
+        self.faults = resolve_injector(faults, obs=self.obs)
         self.w: np.ndarray = self.engine.get_params()
         self.rounds_completed = 0
+        self._history: TrainingHistory | None = None
+        self._resume_history: TrainingHistory | None = None
 
     # ------------------------------------------------------------------ hooks
     @property
@@ -130,7 +154,9 @@ class FederatedAlgorithm(ABC):
 
     # ------------------------------------------------------------------ driver
     def run(self, rounds: int, *, eval_every: int = 1,
-            eval_at_start: bool = True) -> RunResult:
+            eval_at_start: bool = True,
+            checkpoint_path=None, checkpoint_every: int | None = None,
+            ) -> RunResult:
         """Train for ``rounds`` cloud rounds with periodic evaluation.
 
         Parameters
@@ -139,11 +165,28 @@ class FederatedAlgorithm(ABC):
             Evaluate after every ``eval_every``-th round (the final round is always
             evaluated).
         eval_at_start:
-            Also record the untrained model as round ``-1``.
+            Also record the untrained model as round ``-1`` (skipped
+            automatically when continuing from a restored checkpoint, whose
+            history already holds that point).
+        checkpoint_path / checkpoint_every:
+            When both are set, :meth:`save_checkpoint` is called after every
+            ``checkpoint_every``-th round, so a killed process can resume via
+            :meth:`load_checkpoint` and reproduce the uninterrupted run
+            exactly.  Checkpoints are written atomically; a kill mid-write
+            leaves the previous checkpoint intact.
         """
         rounds = check_positive_int(rounds, "rounds")
         eval_every = check_positive_int(eval_every, "eval_every")
-        history = TrainingHistory(self.name)
+        if checkpoint_every is not None:
+            checkpoint_every = check_positive_int(checkpoint_every,
+                                                  "checkpoint_every")
+        if self._resume_history is not None:
+            history = self._resume_history
+            self._resume_history = None
+            eval_at_start = False
+        else:
+            history = TrainingHistory(self.name)
+        self._history = history
         obs = self.obs
         with obs.span("run", algorithm=self.name, rounds=rounds) as run_span:
             if eval_at_start:
@@ -160,6 +203,7 @@ class FederatedAlgorithm(ABC):
                         round_span.set(comm={"cycles": delta.cycles,
                                              "messages": delta.messages,
                                              "floats": delta.floats})
+                self.rounds_completed = k + 1
                 if obs.enabled:
                     obs.count("rounds_total")
                     obs.count("edge_cloud_bytes", delta.edge_cloud_bytes)
@@ -174,12 +218,19 @@ class FederatedAlgorithm(ABC):
                         "worst_acc": point.record.worst_accuracy,
                         "comm": point.comm.edge_cloud_cycles,
                     })
-            self.rounds_completed += rounds
+                if (checkpoint_path is not None and checkpoint_every
+                        and (k + 1) % checkpoint_every == 0):
+                    with obs.span("checkpoint", round=k):
+                        self.save_checkpoint(checkpoint_path)
             if obs.enabled:
                 snap = self.tracker.snapshot()
                 run_span.set(comm_total={"cycles": snap.cycles,
                                          "messages": snap.messages,
                                          "floats": snap.floats})
+        return self._build_result(history)
+
+    def _build_result(self, history: TrainingHistory) -> RunResult:
+        """Assemble the :class:`RunResult` for the current state + history."""
         final = history.final() if len(history) else None
         self.logger({
             "event": "run_end", "algorithm": self.name,
@@ -198,6 +249,97 @@ class FederatedAlgorithm(ABC):
             rounds_run=self.rounds_completed,
             slots_run=self.rounds_completed * self.slots_per_round,
         )
+
+    # ---------------------------------------------------------- checkpointing
+    def _client_actors(self) -> list:
+        """Every client actor of the run, in a stable (edge-major) order."""
+        edges = getattr(self, "edges", None)
+        if edges is not None:
+            return [client for edge in edges for client in edge.clients]
+        return list(getattr(self, "clients", []))
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: algorithm-specific checkpoint state (``p``, aux RNGs)."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: inverse of :meth:`_extra_state`."""
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume this run bit-identically.
+
+        Serializable via :mod:`repro.utils.serialization`; written to disk by
+        :meth:`save_checkpoint`.
+        """
+        clients = {}
+        for client in self._client_actors():
+            sampler = client.sampler
+            clients[str(client.client_id)] = {
+                "rng": sampler._rng,
+                "order": np.asarray(sampler._order),
+                "cursor": sampler._cursor,
+                "batches_drawn": sampler.batches_drawn,
+                "sgd_steps_taken": client.sgd_steps_taken,
+            }
+        snap = self.tracker.snapshot()
+        return {
+            "algorithm": self.name,
+            "round": self.rounds_completed,
+            "w": self.w,
+            "rng": self.rng,
+            "clients": clients,
+            "comm": {"cycles": dict(snap.cycles),
+                     "messages": dict(snap.messages),
+                     "floats": dict(snap.floats)},
+            "history": (history_state(self._history)
+                        if self._history is not None else None),
+            "faults": self.faults.state_dict(),
+            "extra": self._extra_state(),
+        }
+
+    def save_checkpoint(self, path) -> None:
+        """Atomically write :meth:`state_dict` to ``path``."""
+        save_checkpoint_file(path, self.state_dict())
+
+    def load_checkpoint(self, path) -> int:
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        Must be called on a freshly-constructed algorithm with the *same*
+        configuration (dataset, seeds, hyperparameters) as the run that wrote
+        the checkpoint.  The next :meth:`run` call continues from the restored
+        round and appends to the restored history, reproducing the
+        uninterrupted run bit-for-bit.
+
+        Returns the number of rounds already completed.
+        """
+        state = load_checkpoint_file(path, expect_algorithm=self.name)
+        self.w = np.asarray(state["w"], dtype=np.float64)
+        self.rounds_completed = int(state["round"])
+        _restore_generator(self.rng, state["rng"])
+        client_states = state["clients"]
+        for client in self._client_actors():
+            try:
+                cs = client_states[str(client.client_id)]
+            except KeyError as exc:
+                raise RuntimeError(
+                    f"checkpoint has no state for client {client.client_id}; "
+                    f"was it written with a different dataset?") from exc
+            sampler = client.sampler
+            _restore_generator(sampler._rng, cs["rng"])
+            sampler._order = np.asarray(cs["order"], dtype=np.int64)
+            sampler._cursor = int(cs["cursor"])
+            sampler.batches_drawn = int(cs["batches_drawn"])
+            client.sgd_steps_taken = int(cs["sgd_steps_taken"])
+        comm = state["comm"]
+        self.tracker.restore(CommSnapshot(
+            cycles={k: int(v) for k, v in comm["cycles"].items()},
+            messages={k: int(v) for k, v in comm["messages"].items()},
+            floats={k: float(v) for k, v in comm["floats"].items()}))
+        if state.get("history") is not None:
+            self._resume_history = history_from_state(state["history"])
+        self.faults.load_state_dict(state.get("faults", {}))
+        self._restore_extra(state.get("extra", {}))
+        return self.rounds_completed
 
     # ---------------------------------------------------------------- helpers
     def _evaluation_point(self, round_index: int) -> HistoryPoint:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FederatedAlgorithm
+from repro.core.base import FederatedAlgorithm, _restore_generator
 from repro.data.dataset import FederatedDataset
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
@@ -92,10 +92,10 @@ class HierMinimax(FederatedAlgorithm):
                  compressor=None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs)
+                         obs=obs, faults=faults)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -112,6 +112,9 @@ class HierMinimax(FederatedAlgorithm):
         self.compressor = compressor
         self._comp_rng = self.rng_factory.stream("compression")
         self._dim = self.w.size
+        # Last loss estimate seen per edge — Phase 2's stale fallback when an
+        # edge is dark or its probe reply is lost.
+        self._last_losses: dict[int, float] = {}
 
     @property
     def slots_per_round(self) -> int:
@@ -122,11 +125,25 @@ class HierMinimax(FederatedAlgorithm):
         """The current edge weight vector ``p^(k)``."""
         return self.p
 
+    # ---------------------------------------------------------- checkpointing
+    def _extra_state(self) -> dict:
+        return {"p": self.p, "comp_rng": self._comp_rng,
+                "last_losses": {str(k): v
+                                for k, v in self._last_losses.items()}}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.p = np.asarray(extra["p"], dtype=np.float64)
+        _restore_generator(self._comp_rng, extra["comp_rng"])
+        self._last_losses = {int(k): float(v)
+                             for k, v in extra.get("last_losses", {}).items()}
+
     # ------------------------------------------------------------------ round
     def run_round(self, round_index: int) -> None:
         """One training round: Phase 1 (model + checkpoint) then Phase 2 (weights)."""
         d = self._dim
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         # ---- Phase 1: sample edges by p, sample the checkpoint slot.
         sampled = sample_by_weight(self.p, self.m_edges, self.rng)
         c1, c2 = sample_checkpoint_slot(self.tau1, self.tau2, self.rng)
@@ -141,13 +158,18 @@ class HierMinimax(FederatedAlgorithm):
             unit_floats = (float(d) if self.compressor is None
                            else self.compressor.payload_floats(d))
             upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
+            n_contrib = 0
+            n_ckpt = 0
             for e in sampled:
-                w_e, w_e_ckpt = self.edges[int(e)].model_update(
+                eid = int(e)
+                if injecting and faults.edge_dark(round_index, eid):
+                    continue
+                w_e, w_e_ckpt = self.edges[eid].model_update(
                     self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
                     lr=self.eta_w, projection=self.projection_w,
                     checkpoint=checkpoint, tracker=self.tracker,
                     compressor=self.compressor, comp_rng=self._comp_rng,
-                    obs=obs)
+                    obs=obs, faults=faults, round_index=round_index)
                 if self.compressor is not None:
                     # Edge transmits compressed deltas against the broadcast w^(k).
                     w_e = self.w + self.compressor.compress(w_e - self.w,
@@ -155,20 +177,44 @@ class HierMinimax(FederatedAlgorithm):
                     if w_e_ckpt is not None:
                         w_e_ckpt = self.w + self.compressor.compress(
                             w_e_ckpt - self.w, self._comp_rng)
-                acc_w += w_e
-                if acc_ckpt is not None:
-                    acc_ckpt += w_e_ckpt
                 # Edge uploads its round-final model (and its checkpoint model).
                 self.tracker.record("edge_cloud", "up", count=1,
                                     floats=upload_floats)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "edge_cloud", f"edge:{eid}", w_e, w_e_ckpt,
+                        floats=upload_floats, tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    w_e, w_e_ckpt = delivered
+                acc_w += w_e
+                n_contrib += 1
+                if acc_ckpt is not None and w_e_ckpt is not None:
+                    acc_ckpt += w_e_ckpt
+                    n_ckpt += 1
             self.tracker.sync_cycle("edge_cloud")
-            acc_w /= self.m_edges         # Eq. (5): global model
-            self.w = acc_w
-            if acc_ckpt is not None:
+            if n_contrib == len(sampled):
+                acc_w /= self.m_edges     # Eq. (5): global model
+                self.w = acc_w
+            elif n_contrib > 0:
+                # Degraded Eq. (5): renormalize over the surviving edges.
+                acc_w /= n_contrib
+                self.w = acc_w
+            else:
+                # Every sampled edge dark/lost: the round makes no model step.
+                faults.degraded_round(round_index, "phase1_model_update")
+            if acc_ckpt is not None and n_ckpt == len(sampled):
                 acc_ckpt /= self.m_edges  # Eq. (6): checkpoint model
                 w_checkpoint = acc_ckpt
+            elif acc_ckpt is not None and n_ckpt > 0:
+                acc_ckpt /= n_ckpt        # degraded Eq. (6)
+                w_checkpoint = acc_ckpt
             else:
-                # Ablation variant: probe losses at the round-final global model.
+                # Ablation variant (or zero surviving checkpoints): probe
+                # losses at the current global model instead.
+                if self.use_checkpoint:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
                 w_checkpoint = self.w
 
         # ---- Phase 2: uniform re-sample, loss estimation at the checkpoint model.
@@ -178,11 +224,36 @@ class HierMinimax(FederatedAlgorithm):
             self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
             losses: dict[int, float] = {}
             for e in probed:
-                losses[int(e)] = self.edges[int(e)].estimate_loss(
-                    self.engine, w_checkpoint, tracker=self.tracker)
-                self.tracker.record("edge_cloud", "up", count=1, floats=1)
+                eid = int(e)
+                est: float | None = None
+                if not (injecting and faults.edge_dark(round_index, eid)):
+                    est = self.edges[eid].estimate_loss(
+                        self.engine, w_checkpoint, tracker=self.tracker,
+                        faults=faults, round_index=round_index)
+                    if est is not None:
+                        self.tracker.record("edge_cloud", "up", count=1,
+                                            floats=1)
+                        if injecting:
+                            delivered = faults.receive(
+                                round_index, "edge_cloud", f"edge:{eid}", est,
+                                floats=1.0, tracker=self.tracker)
+                            est = None if delivered is None else delivered[0]
+                if est is None:
+                    # Dark edge or lost probe: fall back to the last loss the
+                    # cloud saw for this edge, if any.
+                    stale = self._last_losses.get(eid)
+                    if stale is not None:
+                        faults.stale_loss(round_index, f"edge:{eid}", stale)
+                        losses[eid] = stale
+                    continue
+                losses[eid] = est
             self.tracker.sync_cycle("edge_cloud")
-            obs.gauge("worst_edge_loss", max(losses.values()))
-            v = self.cloud.build_loss_vector(losses)
-            self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
-                                               tau1=self.tau1, tau2=self.tau2)
+            if losses:
+                self._last_losses.update(losses)
+                obs.gauge("worst_edge_loss", max(losses.values()))
+                v = self.cloud.build_loss_vector(losses)
+                self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                                   tau1=self.tau1, tau2=self.tau2)
+            else:
+                # No loss information at all this round: keep p^(k) as is.
+                faults.degraded_round(round_index, "phase2_weight_update")

@@ -13,12 +13,14 @@ exposed on the returned :class:`ExperimentOutput`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.baselines.registry import make_algorithm
 from repro.core.base import RunResult
+from repro.faults import FaultPlan, resolve_injector
 from repro.data.dataset import FederatedDataset
 from repro.data.registry import make_federated_dataset
 from repro.experiments.presets import ExperimentPreset
@@ -82,7 +84,9 @@ def build_preset_model(preset: ExperimentPreset,
 
 def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    algorithms: tuple[str, ...] | None = None,
-                   logger=None, obs=None) -> ExperimentOutput:
+                   logger=None, obs=None, faults=None,
+                   checkpoint_dir=None, checkpoint_every: int | None = None,
+                   resume: bool = False) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -97,8 +101,23 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         Optional :class:`~repro.obs.Tracer` shared by the runner (``data_gen``
         span) and every algorithm; per-algorithm span-time deltas land in
         :attr:`ExperimentOutput.phase_times`.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` forwarded to every
+        algorithm.  Each algorithm gets its *own* injector (bound to ``obs``),
+        so fault decisions stay a pure function of ``(plan.seed, round,
+        entity)`` and are identical across the roster.
+    checkpoint_dir / checkpoint_every:
+        When both are set, each algorithm writes
+        ``<checkpoint_dir>/<name>.ckpt.json`` every ``checkpoint_every``
+        rounds (atomic writes; see :mod:`repro.faults.checkpoint`).
+    resume:
+        Restore each algorithm from its checkpoint file before running, when
+        one exists — the run then completes only the remaining rounds and its
+        history is bit-identical to an uninterrupted run.
     """
     obs = obs if obs is not None else NULL_TRACER
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     setup = TimerBank()
     with setup("data_gen"), obs.span("data_gen", dataset=preset.dataset,
                                      scale=preset.scale, seed=seed):
@@ -109,16 +128,41 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
     results: dict[str, RunResult] = {}
     phase_times: dict[str, dict[str, float]] = {}
     for name in roster:
+        injector = None
+        if faults is not None:
+            plan = faults if isinstance(faults, FaultPlan) else None
+            if plan is None:
+                raise TypeError("run_experiment takes a FaultPlan (one fresh "
+                                "injector is built per algorithm)")
+            injector = resolve_injector(plan, obs=obs)
         algo = make_algorithm(
             name, dataset, model_factory,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
-            seed=seed, logger=logger, obs=obs)
+            seed=seed, logger=logger, obs=obs, faults=injector)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
+        ckpt_path = None
+        if checkpoint_dir is not None:
+            ckpt_path = Path(checkpoint_dir) / f"{name}.ckpt.json"
+        if resume and ckpt_path is not None and ckpt_path.exists():
+            done = algo.load_checkpoint(ckpt_path)
+            rounds = max(0, rounds - done)
         before = obs.span_totals() if obs.enabled else {}
         with timers(name):
-            results[name] = algo.run(rounds=rounds, eval_every=eval_every)
+            if rounds > 0:
+                results[name] = algo.run(
+                    rounds=rounds, eval_every=eval_every,
+                    checkpoint_path=ckpt_path, checkpoint_every=checkpoint_every)
+            else:
+                # Checkpoint already covers the full budget: report as-is.
+                history = (algo._resume_history
+                           if algo._resume_history is not None
+                           else algo._history)
+                if history is None:
+                    from repro.metrics.history import TrainingHistory
+                    history = TrainingHistory(algo.name)
+                results[name] = algo._build_result(history)
         if obs.enabled:
             after = obs.span_totals()
             phase_times[name] = {

@@ -1,0 +1,48 @@
+"""repro.faults — fault injection, graceful degradation, and checkpoint/resume.
+
+Three cooperating parts (see DESIGN.md §"Fault model"):
+
+* :mod:`repro.faults.plan` — the declarative, seeded :class:`FaultPlan`
+  (client dropouts, stragglers, edge outages, message loss/corruption) and the
+  :class:`RetryPolicy` for bounded, comm-charged retransmissions;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that turns a plan
+  into per-round decisions that are pure functions of
+  ``(seed, round, entity)``, plus the quarantine/degradation bookkeeping and
+  the fault metrics/events routed through :mod:`repro.obs`;
+* :mod:`repro.faults.checkpoint` — versioned, atomically-written checkpoint
+  files that let a killed run resume bit-identically
+  (``--checkpoint``/``--resume`` on the examples and
+  ``checkpoint_dir=``/``resume=`` on :func:`repro.experiments.run_experiment`).
+
+Every algorithm accepts a ``faults=`` keyword (``None`` → no injection, the
+exact pre-existing code paths); degradation semantics — aggregation-weight
+renormalization over survivors, NaN/Inf quarantine, stale-loss fallback for
+dark edges — live at the aggregation points of the algorithms themselves.
+"""
+
+from repro.faults.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    load_checkpoint_file,
+    save_checkpoint_file,
+)
+from repro.faults.injector import (
+    INJECTED_KINDS,
+    RECOVERY_KINDS,
+    FaultInjector,
+    resolve_injector,
+)
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "RetryPolicy",
+    "FaultInjector",
+    "resolve_injector",
+    "INJECTED_KINDS",
+    "RECOVERY_KINDS",
+    "CheckpointError",
+    "CHECKPOINT_FORMAT",
+    "save_checkpoint_file",
+    "load_checkpoint_file",
+]

@@ -1,0 +1,69 @@
+"""Experiment checkpoint files: periodic snapshots that make killed runs resumable.
+
+A checkpoint captures everything a :class:`~repro.core.base.FederatedAlgorithm`
+needs to continue *bit-identically*: the round counter, the model ``w`` and the
+mixing weights ``λ`` (``p``/``q``), every RNG state (the cloud sampler, each
+client's minibatch stream, auxiliary streams like the compression RNG), the
+communication-tracker totals, the evaluation history so far, and the fault
+layer's quarantine set.  Files are JSON via :mod:`repro.utils.serialization`
+(NumPy arrays and ``np.random.Generator`` states round-trip exactly), so a
+checkpoint is portable and diffable like every other artifact in this repo.
+
+The format is versioned; :func:`load_checkpoint_file` refuses files written by
+an incompatible layout or for a different algorithm with a clear error instead
+of mis-restoring state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.serialization import load_json, save_json
+
+__all__ = ["CHECKPOINT_FORMAT", "save_checkpoint_file", "load_checkpoint_file",
+           "CheckpointError"]
+
+#: Bump when the checkpoint payload layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupted, or incompatible."""
+
+
+def save_checkpoint_file(path: str | Path, state: dict) -> Path:
+    """Write an algorithm ``state_dict`` atomically to ``path``.
+
+    The payload is written to a sibling temp file first and renamed into
+    place, so a kill mid-write never destroys the previous good checkpoint.
+    """
+    path = Path(path)
+    payload = {"format": CHECKPOINT_FORMAT, **state}
+    tmp = path.with_name(path.name + ".tmp")
+    save_json(tmp, payload)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint_file(path: str | Path, *,
+                         expect_algorithm: str | None = None) -> dict:
+    """Read and validate a checkpoint written by :func:`save_checkpoint_file`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint file at {path}")
+    try:
+        state = load_json(path)
+    except ValueError as exc:
+        raise CheckpointError(f"corrupted checkpoint {path}: {exc}") from exc
+    if not isinstance(state, dict) or "format" not in state:
+        raise CheckpointError(
+            f"{path} is not a checkpoint file (no 'format' field)")
+    if state["format"] != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} uses checkpoint format {state['format']}, "
+            f"this build reads format {CHECKPOINT_FORMAT}")
+    if expect_algorithm is not None and state.get("algorithm") != expect_algorithm:
+        raise CheckpointError(
+            f"{path} was written by algorithm {state.get('algorithm')!r}, "
+            f"cannot resume a {expect_algorithm!r} run from it")
+    return state

@@ -1,0 +1,294 @@
+"""Seeded fault injection and graceful-degradation bookkeeping.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan` into
+concrete per-round decisions.  Every decision is a pure function of
+``(plan.seed, round, kind, entity[, sequence])`` via dedicated
+:class:`numpy.random.SeedSequence` streams, so
+
+* the same plan + seed reproduce the same failures regardless of which
+  algorithm (or how much observability) is running,
+* decisions never touch the *algorithm's* RNG streams — a null plan is
+  bit-identical to no plan at all, and
+* a run killed and resumed from a checkpoint at a round boundary replays the
+  remaining rounds' faults exactly.
+
+The injector also owns the run-scoped degradation state: the quarantine set of
+senders caught shipping non-finite payloads, and the fault metrics/events that
+flow through the PR-1 observability layer (``clients_dropped_total``,
+``retries_total``, ``rounds_degraded``, ``quarantined_senders``, plus a
+``fault`` event per injected failure and per recovery).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.obs import NULL_TRACER
+from repro.utils.rng import stable_key
+
+__all__ = ["FaultInjector", "resolve_injector"]
+
+#: ``fault`` event kinds that are *injected* failures.
+INJECTED_KINDS = ("client_dropout", "client_straggler", "straggler_timeout",
+                  "edge_outage", "msg_lost", "msg_corrupt")
+#: ``fault`` event kinds that are *recoveries* (the run degraded gracefully).
+RECOVERY_KINDS = ("retry_success", "stale_loss_fallback",
+                  "checkpoint_fallback", "quarantine")
+
+
+class FaultInjector:
+    """Per-run fault oracle plus degradation state.
+
+    Parameters
+    ----------
+    plan:
+        The declarative fault configuration.  ``FaultPlan.none()`` yields a
+        disabled injector whose every query is a constant-time no-op.
+    obs:
+        Optional :class:`~repro.obs.Tracer` receiving fault events and the
+        fault metric counters; defaults to the shared no-op tracer.
+    """
+
+    def __init__(self, plan: FaultPlan, *, obs=None) -> None:
+        self.plan = plan
+        self.obs = obs if obs is not None else NULL_TRACER
+        self.enabled = not plan.is_null
+        self.quarantined: set[str] = set()
+        self.backoff_s_total = 0.0
+        # Per-round dedup of emitted events (a whole-round decision like an
+        # edge outage is queried by both phases) and the per-sender message
+        # sequence counter that makes repeated uploads within a round draw
+        # independent loss/corruption outcomes.
+        self._event_round: int | None = None
+        self._emitted: set[tuple] = set()
+        self._msg_seq: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------ rng plumbing
+    def _rng(self, round_index: int, kind: str, entity: str,
+             seq: int = 0) -> np.random.Generator:
+        """A generator that is a pure function of its arguments and the seed."""
+        ss = np.random.SeedSequence(
+            entropy=self.plan.seed,
+            spawn_key=(stable_key(kind), round_index, stable_key(entity), seq))
+        return np.random.default_rng(ss)
+
+    def _round_scope(self, round_index: int) -> None:
+        if self._event_round != round_index:
+            self._event_round = round_index
+            self._emitted.clear()
+            self._msg_seq.clear()
+
+    def _emit(self, round_index: int, kind: str, entity: str, *,
+              dedup: bool = True, **fields) -> bool:
+        """Emit a ``fault`` event; returns ``False`` when deduped away.
+
+        Callers increment the matching metric counter only on ``True``, so a
+        whole-round decision queried by both phases is counted exactly once.
+        """
+        if dedup:
+            key = (round_index, kind, entity)
+            if key in self._emitted:
+                return False
+            self._emitted.add(key)
+        self.obs.event("fault", round=round_index, fault=kind, entity=entity,
+                       recovery=kind in RECOVERY_KINDS, **fields)
+        return True
+
+    # ---------------------------------------------------------- availability
+    def edge_dark(self, round_index: int, edge_id: int) -> bool:
+        """Is this edge server (or level-1 subtree) dark for the whole round?
+
+        Quarantined edges are permanently dark.  The decision is identical for
+        every query in the round, so Phase 1 and Phase 2 agree on it.
+        """
+        if not self.enabled:
+            return False
+        self._round_scope(round_index)
+        entity = f"edge:{edge_id}"
+        if entity in self.quarantined:
+            return True
+        if self.plan.edge_outage <= 0.0:
+            return False
+        gen = self._rng(round_index, "edge_outage", entity)
+        if gen.random() < self.plan.edge_outage:
+            if self._emit(round_index, "edge_outage", entity):
+                self.obs.count("edge_outages_total")
+            return True
+        return False
+
+    def client_steps(self, round_index: int, client_id: int, tau1: int) -> int:
+        """Local steps the client completes this round.
+
+        ``tau1`` means healthy, ``0 < steps < tau1`` a straggler's truncated
+        update, and ``0`` a dropout (including stragglers converted by the
+        round timeout, and quarantined clients).  The answer is stable across
+        repeated queries within a round (one availability draw per client per
+        round), so every aggregation block of the round sees the same fate.
+        """
+        if not self.enabled:
+            return tau1
+        self._round_scope(round_index)
+        entity = f"client:{client_id}"
+        if entity in self.quarantined:
+            return 0
+        gen = self._rng(round_index, "client_fate", entity)
+        u = gen.random()
+        if u < self.plan.client_dropout:
+            if self._emit(round_index, "client_dropout", entity):
+                self.obs.count("clients_dropped_total")
+            return 0
+        if u < self.plan.client_dropout + self.plan.client_straggle:
+            steps = self.plan.straggler_steps(tau1)
+            if steps < 1:
+                if self._emit(round_index, "straggler_timeout", entity):
+                    self.obs.count("stragglers_timed_out")
+                    self.obs.count("clients_dropped_total")
+                return 0
+            if self._emit(round_index, "client_straggler", entity, steps=steps):
+                self.obs.count("stragglers_total")
+            return min(steps, tau1)
+        return tau1
+
+    def client_available(self, round_index: int, client_id: int) -> bool:
+        """Can this client answer a (tiny) loss probe this round?
+
+        Shares the availability draw with :meth:`client_steps`, so a client
+        that dropped out of the round's model update is also silent for the
+        round's loss estimation, while a straggler — slow but alive — still
+        replies.  Quarantined clients never reply.
+        """
+        if not self.enabled:
+            return True
+        self._round_scope(round_index)
+        entity = f"client:{client_id}"
+        if entity in self.quarantined:
+            return False
+        gen = self._rng(round_index, "client_fate", entity)
+        if gen.random() < self.plan.client_dropout:
+            if self._emit(round_index, "client_dropout", entity):
+                self.obs.count("clients_dropped_total")
+            return False
+        return True
+
+    # -------------------------------------------------------------- messaging
+    def receive(self, round_index: int, link: str, sender: str, *payloads,
+                floats: float = 0.0, tracker=None, direction: str = "up"):
+        """Deliver ``payloads`` (one logical upload) through the faulty link.
+
+        Applies message loss with the plan's :class:`RetryPolicy`
+        (retransmissions are re-charged to ``tracker`` and counted in
+        ``retries_total``), then corruption, then the receiver-side
+        finite-payload guard: a sender shipping NaN/Inf is quarantined for the
+        rest of the run (``quarantined_senders``) and its upload discarded.
+
+        Returns the tuple of delivered payloads, or ``None`` when the upload
+        was lost after all retries or failed validation — the caller treats
+        the sender as dropped for this aggregation and renormalizes.
+        """
+        if not self.enabled:
+            return payloads
+        self._round_scope(round_index)
+        seq_key = (link, sender)
+        seq = self._msg_seq.get(seq_key, 0)
+        self._msg_seq[seq_key] = seq + 1
+        gen = self._rng(round_index, "msg", f"{link}:{sender}", seq)
+        policy = self.plan.retry
+        if self.plan.msg_loss > 0.0:
+            delivered = False
+            lost_attempts = 0
+            for attempt in range(policy.max_retries + 1):
+                if gen.random() >= self.plan.msg_loss:
+                    delivered = True
+                    break
+                lost_attempts += 1
+                if attempt < policy.max_retries:
+                    # Retransmission: charged to the link so comm plots
+                    # reflect it, plus deterministic (simulated) backoff.
+                    if tracker is not None:
+                        tracker.record(link, direction, count=1, floats=floats)
+                    self.obs.count("retries_total")
+                    wait = policy.backoff_s(attempt)
+                    self.backoff_s_total += wait
+                    self.obs.count("retry_backoff_s_total", wait)
+            if not delivered:
+                self._emit(round_index, "msg_lost", sender, dedup=False,
+                           link=link)
+                self.obs.count("messages_lost_total")
+                return None
+            if lost_attempts:
+                self._emit(round_index, "retry_success", sender, dedup=False,
+                           link=link, retries=lost_attempts)
+        if self.plan.msg_corrupt > 0.0 and gen.random() < self.plan.msg_corrupt:
+            self._emit(round_index, "msg_corrupt", sender, dedup=False,
+                       link=link)
+            self.obs.count("messages_corrupted_total")
+            payloads = tuple(None if p is None else _corrupt(p)
+                             for p in payloads)
+        if not all(_finite(p) for p in payloads if p is not None):
+            self.quarantine(round_index, sender, link=link)
+            return None
+        return payloads
+
+    def quarantine(self, round_index: int, sender: str, **fields) -> None:
+        """Ban a sender (non-finite payload) for the rest of the run."""
+        if sender not in self.quarantined:
+            self.quarantined.add(sender)
+            self._emit(round_index, "quarantine", sender, dedup=False, **fields)
+            self.obs.count("quarantined_senders")
+
+    # ------------------------------------------------------------ degradation
+    def stale_loss(self, round_index: int, entity: str, value: float) -> None:
+        """Record that the cloud fell back to a cached loss for ``entity``."""
+        self._emit(round_index, "stale_loss_fallback", entity, dedup=False,
+                   value=value)
+        self.obs.count("stale_loss_fallbacks_total")
+
+    def degraded_round(self, round_index: int, what: str) -> None:
+        """Record a round where a whole aggregation had zero survivors."""
+        self._emit(round_index, "degraded_round", what, dedup=False)
+        self.obs.count("rounds_degraded")
+
+    def checkpoint_fallback(self, round_index: int, what: str) -> None:
+        """Record a round where the Phase-2 probe model fell back to ``w``."""
+        self._emit(round_index, "checkpoint_fallback", what, dedup=False)
+        self.obs.count("checkpoint_fallbacks_total")
+
+    # ------------------------------------------------------------ persistence
+    def state_dict(self) -> dict:
+        """Serializable run-scoped state (the decisions themselves are pure)."""
+        return {"quarantined": sorted(self.quarantined),
+                "backoff_s_total": self.backoff_s_total}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (checkpoint resume)."""
+        self.quarantined = set(state.get("quarantined", ()))
+        self.backoff_s_total = float(state.get("backoff_s_total", 0.0))
+
+
+def _corrupt(payload):
+    """NaN-poison a payload (array: every 8th entry; scalar: entirely)."""
+    if isinstance(payload, np.ndarray):
+        out = payload.copy()
+        out[:: max(1, out.size // 8)] = np.nan
+        return out
+    return float("nan")
+
+
+def _finite(payload) -> bool:
+    if isinstance(payload, np.ndarray):
+        return bool(np.all(np.isfinite(payload)))
+    return bool(np.isfinite(payload))
+
+
+def resolve_injector(faults, *, obs=None) -> FaultInjector:
+    """Coerce ``faults`` (``None`` | :class:`FaultPlan` | injector) into an
+    injector bound to ``obs``."""
+    if isinstance(faults, FaultInjector):
+        return faults
+    if faults is None:
+        faults = FaultPlan.none()
+    if not isinstance(faults, FaultPlan):
+        raise TypeError(f"faults must be a FaultPlan or FaultInjector, "
+                        f"got {type(faults).__name__}")
+    return FaultInjector(faults, obs=obs)

@@ -16,7 +16,8 @@ import numpy as np
 from repro.metrics.evaluation import EvaluationRecord
 from repro.topology.comm import CommSnapshot
 
-__all__ = ["HistoryPoint", "TrainingHistory"]
+__all__ = ["HistoryPoint", "TrainingHistory", "history_state",
+           "history_from_state"]
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,10 @@ class TrainingHistory:
         values = [getattr(pt.record, field) for pt in self.points]
         return self.points[int(np.argmax(values))]
 
+    def state_dict(self) -> dict:
+        """Full lossless state (checkpoints); see :func:`history_from_state`."""
+        return history_state(self)
+
     def as_dict(self) -> dict:
         """Serializable summary (used by the benchmark harness)."""
         return {
@@ -134,3 +139,63 @@ class TrainingHistory:
                 for pt in self.points
             ],
         }
+
+
+def history_state(history: TrainingHistory) -> dict:
+    """Lossless, serialization-ready form of a history (checkpoint payloads).
+
+    Unlike :meth:`TrainingHistory.as_dict` (a reporting summary), this keeps
+    every field — per-edge arrays, full communication snapshots, weight
+    vectors — so :func:`history_from_state` reconstructs the history exactly.
+    """
+    return {
+        "algorithm": history.algorithm,
+        "points": [
+            {
+                "round_index": pt.round_index,
+                "slots": pt.slots,
+                "comm": {"cycles": dict(pt.comm.cycles),
+                         "messages": dict(pt.comm.messages),
+                         "floats": dict(pt.comm.floats)},
+                "record": pt.record.as_dict() if not pt.record.extra
+                else {**pt.record.as_dict(), "__extra_keys__":
+                      sorted(pt.record.extra)},
+                "weights": pt.weights,
+            }
+            for pt in history.points
+        ],
+    }
+
+
+def history_from_state(state: dict) -> TrainingHistory:
+    """Inverse of :func:`history_state` (after a serialization round-trip)."""
+    history = TrainingHistory(str(state.get("algorithm", "")))
+    for raw in state.get("points", []):
+        comm = raw["comm"]
+        record_fields = dict(raw["record"])
+        extra_keys = record_fields.pop("__extra_keys__", [])
+        extra = {k: record_fields.pop(k) for k in extra_keys}
+        record = EvaluationRecord(
+            per_edge_accuracy=np.asarray(record_fields["per_edge_accuracy"],
+                                         dtype=np.float64),
+            per_edge_loss=np.asarray(record_fields["per_edge_loss"],
+                                     dtype=np.float64),
+            average_accuracy=float(record_fields["average_accuracy"]),
+            worst_accuracy=float(record_fields["worst_accuracy"]),
+            worst10_accuracy=float(record_fields["worst10_accuracy"]),
+            variance_x1e4=float(record_fields["variance_x1e4"]),
+            extra=extra,
+        )
+        weights = raw.get("weights")
+        history.append(HistoryPoint(
+            round_index=int(raw["round_index"]),
+            slots=int(raw["slots"]),
+            comm=CommSnapshot(
+                cycles={k: int(v) for k, v in comm["cycles"].items()},
+                messages={k: int(v) for k, v in comm["messages"].items()},
+                floats={k: float(v) for k, v in comm["floats"].items()}),
+            record=record,
+            weights=None if weights is None
+            else np.asarray(weights, dtype=np.float64),
+        ))
+    return history

@@ -75,10 +75,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  projection_p: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None) -> None:
+                 logger=None, obs=None, faults=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
-                         logger=logger, obs=obs)
+                         logger=logger, obs=obs, faults=faults)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -108,6 +108,18 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         # Replace the base tracker with one that knows the per-level links.
         self.tracker = CommunicationTracker(extra_links=tuple(tree.link_names()))
         self._top_nodes = tree.children_of(0, 0)
+        self._last_losses: dict[int, float] = {}
+
+    # ---------------------------------------------------------- checkpointing
+    def _extra_state(self) -> dict:
+        return {"p": self.p,
+                "last_losses": {str(k): v
+                                for k, v in self._last_losses.items()}}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.p = np.asarray(extra["p"], dtype=np.float64)
+        self._last_losses = {int(k): float(v)
+                             for k, v in extra.get("last_losses", {}).items()}
 
     @property
     def slots_per_round(self) -> int:
@@ -128,23 +140,34 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         return tuple(digits)
 
     def _subtree_update(self, level: int, node: int, w_start: np.ndarray,
-                        ckpt_digits: tuple[int, ...] | None,
-                        ) -> tuple[np.ndarray, np.ndarray | None]:
+                        ckpt_digits: tuple[int, ...] | None, round_index: int,
+                        ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Recursive ModelUpdate of the subtree rooted at (level, node).
 
         Returns the subtree's final model and its checkpoint aggregate (``None``
-        when this invocation is outside the checkpoint path).
+        when this invocation is outside the checkpoint path).  A dropped-out
+        leaf returns ``(None, None)``; interior nodes average over surviving
+        children, so a whole-subtree failure surfaces as an unchanged model.
         """
         depth = self.tree.depth
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         if level == depth:
             # Leaf: taus[-1] local SGD steps; snapshot after (leaf digit + 1).
+            steps_full = self.taus[depth - 1]
+            client = self.clients[node]
+            steps = steps_full if not injecting else faults.client_steps(
+                round_index, client.client_id, steps_full)
+            if steps < 1:
+                return None, None
             c_leaf = None if ckpt_digits is None else ckpt_digits[depth - 1] + 1
-            steps = self.taus[depth - 1]
+            takes_ckpt = c_leaf is not None and c_leaf <= steps
             with obs.span("client_local_steps", client=node, steps=steps):
-                out = self.clients[node].local_sgd(
+                out = client.local_sgd(
                     self.engine, w_start, steps=steps, lr=self.eta_w,
-                    projection=self.projection_w, checkpoint_after=c_leaf)
+                    projection=self.projection_w,
+                    checkpoint_after=c_leaf if takes_ckpt else None)
             obs.count("sgd_steps_total", steps)
             return out
         kids = self.tree.children_of(level, node)
@@ -160,41 +183,104 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                 self.tracker.record(link, "down", count=len(kids), floats=d)
                 acc = np.zeros(d)
                 ckpt_acc = np.zeros(d) if on_ckpt_path else None
+                n_live = 0
+                n_ckpt = 0
+                ckpt_faulted = False
                 for k in kids:
                     w_k, w_kc = self._subtree_update(
-                        level + 1, k, w, ckpt_digits if on_ckpt_path else None)
+                        level + 1, k, w, ckpt_digits if on_ckpt_path else None,
+                        round_index)
+                    if w_k is None:
+                        ckpt_faulted = ckpt_faulted or on_ckpt_path
+                        continue
+                    uploads = 2 if on_ckpt_path and w_kc is not None else 1
+                    self.tracker.record(link, "up", count=1, floats=d * uploads)
+                    if injecting:
+                        sender = (f"client:{k}" if level + 1 == depth
+                                  else f"node:{level + 1}:{k}")
+                        delivered = faults.receive(
+                            round_index, link, sender, w_k, w_kc,
+                            floats=d * uploads, tracker=self.tracker)
+                        if delivered is None:
+                            ckpt_faulted = ckpt_faulted or on_ckpt_path
+                            continue
+                        w_k, w_kc = delivered
                     acc += w_k
+                    n_live += 1
                     if ckpt_acc is not None:
-                        ckpt_acc += w_kc
-                    self.tracker.record(link, "up", count=1,
-                                        floats=d * (2 if on_ckpt_path else 1))
+                        if w_kc is not None:
+                            ckpt_acc += w_kc
+                            n_ckpt += 1
+                        else:
+                            ckpt_faulted = True
                 self.tracker.sync_cycle(link)
-                w = acc / len(kids)
+                if n_live == len(kids):
+                    w = acc / len(kids)
+                elif n_live > 0:
+                    # Renormalize over surviving children.
+                    w = acc / n_live
+                else:
+                    faults.degraded_round(
+                        round_index, f"node:{level}:{node}:block:{t}")
                 if ckpt_acc is not None:
-                    w_ckpt = ckpt_acc / len(kids)
+                    if n_ckpt == len(kids):
+                        w_ckpt = ckpt_acc / len(kids)
+                    elif n_ckpt > 0:
+                        w_ckpt = ckpt_acc / n_ckpt
+                    else:
+                        faults.checkpoint_fallback(
+                            round_index, f"node:{level}:{node}:block:{t}")
+                        w_ckpt = w.copy()
         return w, w_ckpt
 
-    def _subtree_loss(self, level: int, node: int, w: np.ndarray) -> float:
-        """Recursive LossEstimation: mean of minibatch losses over leaf clients."""
+    def _subtree_loss(self, level: int, node: int, w: np.ndarray,
+                      round_index: int) -> float | None:
+        """Recursive LossEstimation: mean of minibatch losses over leaf clients.
+
+        Returns ``None`` when no leaf of the subtree replied (fault runs only).
+        """
         depth = self.tree.depth
+        faults = self.faults
+        injecting = faults.enabled
         if level == depth:
-            return self.clients[node].estimate_loss(self.engine, w)
+            client = self.clients[node]
+            if injecting and not faults.client_available(round_index,
+                                                         client.client_id):
+                return None
+            return client.estimate_loss(self.engine, w)
         kids = self.tree.children_of(level, node)
         link = f"level_{level + 1}"
         d = w.size
         self.tracker.record(link, "down", count=len(kids), floats=d)
         total = 0.0
+        replied = 0
         for k in kids:
-            total += self._subtree_loss(level + 1, k, w)
+            sub = self._subtree_loss(level + 1, k, w, round_index)
+            if sub is None:
+                continue
             self.tracker.record(link, "up", count=1, floats=1)
+            if injecting:
+                sender = (f"client:{k}" if level + 1 == depth
+                          else f"node:{level + 1}:{k}")
+                delivered = faults.receive(round_index, link, sender, sub,
+                                           floats=1.0, tracker=self.tracker)
+                if delivered is None:
+                    continue
+                (sub,) = delivered
+            total += sub
+            replied += 1
         self.tracker.sync_cycle(link)
-        return total / len(kids)
+        if replied == 0:
+            return None
+        return total / replied
 
     # ------------------------------------------------------------------ round
     def run_round(self, round_index: int) -> None:
         """One generalized Algorithm-1 round over the tree."""
         d = self.w.size
         obs = self.obs
+        faults = self.faults
+        injecting = faults.enabled
         # Phase 1: sample level-1 subtrees by p; sample the checkpoint digits.
         sampled = sample_by_weight(self.p, self.m_top, self.rng)
         slot = int(self.rng.integers(0, self.slots_per_round))
@@ -205,18 +291,49 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                                 floats=d + len(self.taus))
             acc_w = np.zeros(d)
             acc_ckpt = np.zeros(d)
+            n_contrib = 0
+            n_ckpt = 0
             for a in sampled:
-                top = self._top_nodes[int(a)]
+                aid = int(a)
+                top = self._top_nodes[aid]
+                # Top areas are the generalization of edge servers: an edge
+                # outage blacks out the whole level-1 subtree for the round.
+                if injecting and faults.edge_dark(round_index, aid):
+                    continue
                 # The cloud itself performs exactly one "iteration" per round, so
                 # the level-1 digit is consumed by sampling: the subtree is always
                 # on the checkpoint path at the top.
-                w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits)
-                acc_w += w_a
-                acc_ckpt += w_ac
+                w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits,
+                                                 round_index)
+                if w_a is None:
+                    continue
                 self.tracker.record("level_1", "up", count=1, floats=2 * d)
+                if injecting:
+                    delivered = faults.receive(
+                        round_index, "level_1", f"area:{aid}", w_a, w_ac,
+                        floats=2 * d, tracker=self.tracker)
+                    if delivered is None:
+                        continue
+                    w_a, w_ac = delivered
+                acc_w += w_a
+                n_contrib += 1
+                if w_ac is not None:
+                    acc_ckpt += w_ac
+                    n_ckpt += 1
             self.tracker.sync_cycle("level_1")
-            self.w = acc_w / self.m_top
-            w_checkpoint = acc_ckpt / self.m_top
+            if n_contrib == len(sampled):
+                self.w = acc_w / self.m_top
+            elif n_contrib > 0:
+                self.w = acc_w / n_contrib
+            else:
+                faults.degraded_round(round_index, "phase1_model_update")
+            if n_ckpt == len(sampled):
+                w_checkpoint = acc_ckpt / self.m_top
+            elif n_ckpt > 0:
+                w_checkpoint = acc_ckpt / n_ckpt
+            else:
+                faults.checkpoint_fallback(round_index, "phase1_model_update")
+                w_checkpoint = self.w
 
         # Phase 2: uniform re-sample; recursive loss estimation; ascent on p.
         with obs.span("phase2_weight_update", round=round_index):
@@ -225,12 +342,33 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
             self.tracker.record("level_1", "down", count=len(probed), floats=d)
             losses: dict[int, float] = {}
             for a in probed:
-                losses[int(a)] = self._subtree_loss(1, self._top_nodes[int(a)],
-                                                    w_checkpoint)
-                self.tracker.record("level_1", "up", count=1, floats=1)
+                aid = int(a)
+                est: float | None = None
+                if not (injecting and faults.edge_dark(round_index, aid)):
+                    est = self._subtree_loss(1, self._top_nodes[aid],
+                                             w_checkpoint, round_index)
+                    if est is not None:
+                        self.tracker.record("level_1", "up", count=1, floats=1)
+                        if injecting:
+                            delivered = faults.receive(
+                                round_index, "level_1", f"area:{aid}", est,
+                                floats=1.0, tracker=self.tracker)
+                            est = None if delivered is None else delivered[0]
+                if est is None:
+                    stale = self._last_losses.get(aid)
+                    if stale is not None:
+                        faults.stale_loss(round_index, f"area:{aid}", stale)
+                        losses[aid] = stale
+                    continue
+                losses[aid] = est
             self.tracker.sync_cycle("level_1")
-            obs.gauge("worst_edge_loss", max(losses.values()))
-            v = self.cloud.build_loss_vector(losses)
-            # Ascent step scaled by the Π_l τ_l slots each update stands in for.
-            self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
-                                               tau1=self.slots_per_round, tau2=1)
+            if losses:
+                self._last_losses.update(losses)
+                obs.gauge("worst_edge_loss", max(losses.values()))
+                v = self.cloud.build_loss_vector(losses)
+                # Ascent step scaled by the Π_l τ_l slots each update stands in for.
+                self.p = self.cloud.update_weights(self.p, v, eta_p=self.eta_p,
+                                                   tau1=self.slots_per_round,
+                                                   tau2=1)
+            else:
+                faults.degraded_round(round_index, "phase2_weight_update")

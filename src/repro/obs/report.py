@@ -11,7 +11,10 @@ trace written by :class:`~repro.obs.tracer.Tracer` and reports
   snapshot the instrumented :class:`~repro.core.base.FederatedAlgorithm`
   attaches to its spans — these must match the live
   :class:`~repro.topology.comm.CommSnapshot` of the run,
-* the round timeline (duration and traffic of each cloud round), and
+* the round timeline (duration and traffic of each cloud round),
+* the fault ledger replayed from ``fault`` events written by
+  :class:`~repro.faults.FaultInjector` — injected failures versus the
+  recoveries the run survived, in total and per round, and
 * the final metrics snapshot (counters / gauges / histograms).
 """
 
@@ -68,6 +71,9 @@ class TraceReport:
     replay_consistent: bool        # per-round deltas sum to the final snapshot
     metrics: Mapping[str, Any] = field(default_factory=dict)
     meta: Mapping[str, Any] = field(default_factory=dict)
+    fault_totals: Mapping[str, int] = field(default_factory=dict)
+    faults_by_round: Mapping[int, Mapping[str, int]] = field(
+        default_factory=dict)
 
     @property
     def total_bytes(self) -> float:
@@ -84,6 +90,17 @@ class TraceReport:
         """Replayed cycles on the cloud-facing links (the theory's measure)."""
         return sum(v for k, v in self.comm_cycles.items()
                    if k in ("edge_cloud", "client_cloud", "level_1"))
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected failures (dropouts, outages, lost/corrupt messages)."""
+        return sum(n for k, n in self.fault_totals.items()
+                   if not _is_recovery(k))
+
+    @property
+    def faults_recovered(self) -> int:
+        """Total recovery actions (retries that succeeded, fallbacks, bans)."""
+        return sum(n for k, n in self.fault_totals.items() if _is_recovery(k))
 
 
 def load_trace(path: str | Path) -> list[dict]:
@@ -107,6 +124,16 @@ def _merge_numeric(into: dict, frm: Mapping, cast=float) -> None:
         into[k] = cast(into.get(k, 0)) + cast(v)
 
 
+def _is_recovery(kind: str) -> bool:
+    """Is this ``fault`` event kind a recovery (vs an injected failure)?
+
+    Imported lazily: :mod:`repro.faults` depends on :mod:`repro.obs` for its
+    event plumbing, so the reverse import must not happen at module load.
+    """
+    from repro.faults.injector import RECOVERY_KINDS
+    return kind in RECOVERY_KINDS
+
+
 def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     """Replay ``source`` (a path or parsed event stream) into a report."""
     events = (load_trace(source) if isinstance(source, (str, Path))
@@ -122,12 +149,25 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     have_final = False
     metrics: Mapping[str, Any] = {}
     meta: Mapping[str, Any] = {}
+    fault_totals: dict[str, int] = {}
+    faults_by_round: dict[int, dict[str, int]] = {}
     for ev in events:
         kind = ev.get("ev")
         if kind == "trace_start":
             meta = ev.get("meta", {})
         elif kind == "metrics":
             metrics = ev.get("data", metrics)
+        elif kind == "log" and ev.get("kind") == "fault":
+            fields = ev.get("fields", {})
+            fault = str(fields.get("fault", "?"))
+            fault_totals[fault] = fault_totals.get(fault, 0) + 1
+            rnd = int(fields.get("round", -1))
+            slot = faults_by_round.setdefault(
+                rnd, {"injected": 0, "recovered": 0})
+            recovery = fields.get("recovery")
+            if recovery is None:
+                recovery = _is_recovery(fault)
+            slot["recovered" if recovery else "injected"] += 1
         elif kind == "span":
             name = ev.get("name", "?")
             slot = span_totals.setdefault(name, {"count": 0, "total_s": 0.0})
@@ -179,6 +219,8 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         replay_consistent=replay_consistent,
         metrics=metrics,
         meta=meta,
+        fault_totals=fault_totals,
+        faults_by_round=faults_by_round,
     )
 
 
@@ -256,6 +298,30 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
             lines.append(f"  … {gap} rounds elided …")
             for r in tail:
                 lines.append(_round_line(r))
+    if report.fault_totals:
+        lines.append("")
+        lines.append(f"faults: {report.faults_injected} injected, "
+                     f"{report.faults_recovered} recovery actions, "
+                     f"{len(report.faults_by_round)} rounds affected")
+        for label, pick in (("injected", lambda k: not _is_recovery(k)),
+                            ("recovery", _is_recovery)):
+            for kind in sorted(k for k in report.fault_totals if pick(k)):
+                lines.append(f"  {kind:<22s} {report.fault_totals[kind]:6d}  "
+                             f"({label})")
+        by_round = sorted(report.faults_by_round.items())
+        if timeline > 0 and by_round:
+            lines.append("fault timeline:")
+            if len(by_round) > 2 * timeline:
+                head, tail = by_round[:timeline], by_round[-timeline:]
+                gap = len(by_round) - 2 * timeline
+            else:
+                head, tail, gap = by_round, [], 0
+            for rnd, slot in head:
+                lines.append(_fault_round_line(rnd, slot))
+            if gap:
+                lines.append(f"  … {gap} rounds elided …")
+                for rnd, slot in tail:
+                    lines.append(_fault_round_line(rnd, slot))
     counters = report.metrics.get("counters", {}) if report.metrics else {}
     gauges = report.metrics.get("gauges", {}) if report.metrics else {}
     if counters or gauges:
@@ -266,6 +332,11 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
         for k in sorted(gauges):
             lines.append(f"  {k:<22s} {gauges[k]:g}  (gauge)")
     return "\n".join(lines)
+
+
+def _fault_round_line(rnd: int, slot: Mapping[str, int]) -> str:
+    return (f"  round {rnd:>5d}  {slot.get('injected', 0):4d} injected  "
+            f"{slot.get('recovered', 0):4d} recovered")
 
 
 def _round_line(r: RoundRecord) -> str:

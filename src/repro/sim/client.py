@@ -16,6 +16,7 @@ from repro.data.batching import MinibatchSampler
 from repro.data.dataset import Dataset
 from repro.nn.network import NeuralNetwork
 from repro.ops.projections import Projection, identity_projection
+from repro.utils.validation import check_positive_float, check_positive_int
 
 __all__ = ["Client"]
 
@@ -67,10 +68,8 @@ class Client:
         (w_end, w_checkpoint):
             Final local model (copy) and the checkpoint snapshot (copy) or ``None``.
         """
-        if steps < 1:
-            raise ValueError(f"steps must be >= 1, got {steps}")
-        if lr <= 0:
-            raise ValueError(f"learning rate must be positive, got {lr}")
+        steps = check_positive_int(steps, "steps")
+        lr = check_positive_float(lr, "lr")
         if checkpoint_after is not None and not 1 <= checkpoint_after <= steps:
             raise ValueError(
                 f"checkpoint_after must be in [1, {steps}], got {checkpoint_after}")

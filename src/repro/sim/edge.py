@@ -23,6 +23,7 @@ from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
 from repro.sim.client import Client
 from repro.topology.comm import CommunicationTracker
+from repro.utils.validation import check_positive_float, check_positive_int
 
 __all__ = ["EdgeServer"]
 
@@ -30,10 +31,14 @@ __all__ = ["EdgeServer"]
 def _compress(compressor, sender: int, delta: np.ndarray,
               rng: np.random.Generator | None) -> np.ndarray:
     """Apply a compressor to an upload delta, with sender attribution if supported."""
-    gen = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        # A fixed fallback generator would silently re-seed on every call,
+        # making "random" quantization identical across all uploads — require
+        # the caller to thread a real stream instead.
+        raise ValueError("compression requires an explicit comp_rng generator")
     if hasattr(compressor, "compress_from"):
-        return compressor.compress_from(sender, delta, gen)
-    return compressor.compress(delta, gen)
+        return compressor.compress_from(sender, delta, rng)
+    return compressor.compress(delta, rng)
 
 
 class EdgeServer:
@@ -64,6 +69,7 @@ class EdgeServer:
                      compressor=None,
                      comp_rng: np.random.Generator | None = None,
                      obs=None,
+                     faults=None, round_index: int = 0,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -92,6 +98,16 @@ class EdgeServer:
             ``edge_block`` span and each client invocation a
             ``client_local_steps`` span; local steps feed the
             ``sgd_steps_total`` counter.
+        faults / round_index:
+            Optional :class:`~repro.faults.FaultInjector` plus the cloud round
+            it should be queried at.  Dropped clients (and uploads lost or
+            quarantined in transit) are excluded from each block's aggregate,
+            whose weights are renormalized over the survivors; stragglers
+            contribute truncated updates (and miss the checkpoint snapshot
+            when they time out before step ``c1``).  A block with zero
+            survivors leaves the edge model unchanged.  With a disabled (or
+            absent) injector every code path and floating-point operation is
+            identical to the pre-fault implementation.
 
         Returns
         -------
@@ -99,8 +115,10 @@ class EdgeServer:
             The edge model after τ2 blocks, and the aggregated checkpoint model
             (``None`` when ``checkpoint`` is ``None``).
         """
-        if tau1 < 1 or tau2 < 1:
-            raise ValueError(f"tau1 and tau2 must be >= 1, got ({tau1}, {tau2})")
+        tau1 = check_positive_int(tau1, "tau1")
+        tau2 = check_positive_int(tau2, "tau2")
+        lr = check_positive_float(lr, "lr")
+        injecting = faults is not None and faults.enabled
         c1: int | None = None
         c2: int | None = None
         if checkpoint is not None:
@@ -131,14 +149,26 @@ class EdgeServer:
                 ckpt_acc = np.zeros(d, dtype=np.float64) if is_ckpt_block else None
                 upload_floats = float(d) if compressor is None else \
                     compressor.payload_floats(d)
+                live_weight = 0.0
+                ckpt_weight = 0.0
+                block_faulted = False
+                ckpt_faulted = False
                 for weight, client in zip(agg_weights, self.clients):
+                    steps = tau1 if not injecting else faults.client_steps(
+                        round_index, client.client_id, tau1)
+                    if steps < 1:
+                        # Dropout (or timed-out straggler): no upload at all.
+                        block_faulted = True
+                        ckpt_faulted = ckpt_faulted or is_ckpt_block
+                        continue
+                    takes_ckpt = is_ckpt_block and c1 <= steps
                     with obs.span("client_local_steps",
-                                  client=client.client_id, steps=tau1):
+                                  client=client.client_id, steps=steps):
                         w_end, w_c = client.local_sgd(
-                            engine, w_edge, steps=tau1, lr=lr,
+                            engine, w_edge, steps=steps, lr=lr,
                             projection=projection,
-                            checkpoint_after=c1 if is_ckpt_block else None)
-                    obs.count("sgd_steps_total", tau1)
+                            checkpoint_after=c1 if takes_ckpt else None)
+                    obs.count("sgd_steps_total", steps)
                     if compressor is not None:
                         # Transmit compressed deltas against the broadcast model.
                         w_end = w_edge + _compress(compressor, client.client_id,
@@ -147,35 +177,93 @@ class EdgeServer:
                             w_c = w_edge + _compress(
                                 compressor, client.client_id, w_c - w_edge,
                                 comp_rng)
-                    acc += weight * w_end
-                    if ckpt_acc is not None:
-                        ckpt_acc += weight * w_c
                     if tracker is not None:
                         # Client uploads its model (+ checkpoint when captured).
                         tracker.record("client_edge", "up", count=1,
-                                       floats=upload_floats * (2 if is_ckpt_block
+                                       floats=upload_floats * (2 if takes_ckpt
                                                                else 1))
+                    if injecting:
+                        delivered = faults.receive(
+                            round_index, "client_edge",
+                            f"client:{client.client_id}", w_end, w_c,
+                            floats=upload_floats * (2 if takes_ckpt else 1),
+                            tracker=tracker)
+                        if delivered is None:
+                            block_faulted = True
+                            ckpt_faulted = ckpt_faulted or is_ckpt_block
+                            continue
+                        w_end, w_c = delivered
+                    acc += weight * w_end
+                    live_weight += weight
+                    if ckpt_acc is not None:
+                        if w_c is not None:
+                            ckpt_acc += weight * w_c
+                            ckpt_weight += weight
+                        else:
+                            # Straggler that timed out before step c1.
+                            ckpt_faulted = True
                 if tracker is not None:
                     tracker.sync_cycle("client_edge")
-                w_edge[:] = acc
+                if live_weight > 0.0:
+                    if block_faulted:
+                        # Renormalize over the surviving aggregation weight —
+                        # only when a fault actually removed someone, so the
+                        # healthy path's arithmetic is untouched.
+                        acc /= live_weight
+                    w_edge[:] = acc
+                elif injecting:
+                    # Zero survivors: the edge model carries over unchanged.
+                    faults.degraded_round(round_index,
+                                          f"edge:{self.edge_id}:block:{t2}")
                 if ckpt_acc is not None:
-                    w_ckpt = ckpt_acc
+                    if ckpt_weight > 0.0:
+                        if ckpt_faulted:
+                            ckpt_acc /= ckpt_weight
+                        w_ckpt = ckpt_acc
+                    elif injecting:
+                        # Nobody could snapshot: fall back to the block result.
+                        faults.checkpoint_fallback(
+                            round_index, f"edge:{self.edge_id}:block:{t2}")
+                        w_ckpt = w_edge.copy()
         return w_edge, w_ckpt
 
     def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray, *,
-                      tracker: CommunicationTracker | None = None) -> float:
-        """LossEstimation: average the clients' minibatch losses at ``w``."""
+                      tracker: CommunicationTracker | None = None,
+                      faults=None, round_index: int = 0) -> float | None:
+        """LossEstimation: average the clients' minibatch losses at ``w``.
+
+        With an active fault injector the average runs over the clients that
+        actually replied (dropped-out clients stay silent; probe replies can be
+        lost or corrupted in transit).  Returns ``None`` when *no* client
+        replied — the caller falls back to a stale loss for this edge.
+        """
+        injecting = faults is not None and faults.enabled
         d = w.size
         if tracker is not None:
             tracker.record("client_edge", "down", count=self.num_clients, floats=d)
         total = 0.0
+        replied = 0
         for client in self.clients:
-            total += client.estimate_loss(engine, w)
+            if injecting and not faults.client_available(round_index,
+                                                         client.client_id):
+                continue
+            loss = client.estimate_loss(engine, w)
             if tracker is not None:
                 tracker.record("client_edge", "up", count=1, floats=1)
+            if injecting:
+                delivered = faults.receive(
+                    round_index, "client_edge", f"client:{client.client_id}",
+                    loss, floats=1.0, tracker=tracker)
+                if delivered is None:
+                    continue
+                (loss,) = delivered
+            total += loss
+            replied += 1
         if tracker is not None:
             tracker.sync_cycle("client_edge")
-        return total / self.num_clients
+        if replied == 0:
+            return None
+        return total / replied
 
     def full_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:
         """Exact edge loss ``f_e(w)`` over all the area's data (theory/diagnostics)."""

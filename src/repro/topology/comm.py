@@ -192,6 +192,19 @@ class CommunicationTracker:
         self._messages.clear()
         self._floats.clear()
 
+    def restore(self, snapshot: "CommSnapshot") -> None:
+        """Overwrite the totals with a snapshot (checkpoint resume).
+
+        Links present in the snapshot but unknown to this tracker are added,
+        so a tracker restored from a multi-layer run keeps its level links.
+        """
+        self._links = tuple(dict.fromkeys(
+            tuple(self._links) + tuple(snapshot.cycles)))
+        self._cycles = {link: 0 for link in self._links}
+        self._cycles.update({k: int(v) for k, v in snapshot.cycles.items()})
+        self._messages = {k: int(v) for k, v in snapshot.messages.items()}
+        self._floats = {k: float(v) for k, v in snapshot.floats.items()}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"CommunicationTracker(cycles={self._cycles}, "
                 f"bytes={self.total_bytes:.3g})")

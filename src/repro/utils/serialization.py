@@ -5,6 +5,12 @@ structures of dicts/lists/NumPy scalars/arrays.  These helpers convert them to a
 from portable JSON so benchmark runs can be archived and diffed.  Arrays are stored
 as ``{"__ndarray__": [...], "dtype": ..., "shape": [...]}`` envelopes, which keeps
 files human-readable for the modest sizes produced here.
+
+Checkpoint payloads (see :mod:`repro.faults.checkpoint`) additionally carry
+``np.random.Generator`` objects; these round-trip *exactly* through a
+``{"__bitgen__": <BitGenerator name>, "state": {...}}`` envelope — Python ints
+are arbitrary-precision, so even PCG64's 128-bit state survives JSON intact —
+which is what makes resumed runs bit-identical.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 __all__ = ["to_jsonable", "from_jsonable", "save_json", "load_json"]
 
 _ARRAY_KEY = "__ndarray__"
+_BITGEN_KEY = "__bitgen__"
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -34,6 +41,9 @@ def to_jsonable(obj: Any) -> Any:
         return value
     if isinstance(obj, np.ndarray):
         return {_ARRAY_KEY: obj.tolist(), "dtype": str(obj.dtype), "shape": list(obj.shape)}
+    if isinstance(obj, np.random.Generator):
+        state = obj.bit_generator.state
+        return {_BITGEN_KEY: state["bit_generator"], "state": to_jsonable(state)}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {k: to_jsonable(v) for k, v in dataclasses.asdict(obj).items()}
     if isinstance(obj, dict):
@@ -44,11 +54,21 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def from_jsonable(obj: Any) -> Any:
-    """Inverse of :func:`to_jsonable`; reconstructs ndarray envelopes."""
+    """Inverse of :func:`to_jsonable`; reconstructs ndarray/Generator envelopes."""
     if isinstance(obj, dict):
         if _ARRAY_KEY in obj:
             return np.asarray(obj[_ARRAY_KEY], dtype=obj.get("dtype", "float64")).reshape(
                 obj.get("shape", -1))
+        if _BITGEN_KEY in obj:
+            name = obj[_BITGEN_KEY]
+            try:
+                bitgen_cls = getattr(np.random, name)
+            except AttributeError as exc:
+                raise ValueError(f"unknown BitGenerator {name!r} in "
+                                 f"serialized state") from exc
+            gen = np.random.Generator(bitgen_cls())
+            gen.bit_generator.state = from_jsonable(obj["state"])
+            return gen
         return {k: from_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, list):
         return [from_jsonable(v) for v in obj]
@@ -64,5 +84,17 @@ def save_json(path: str | Path, obj: Any, *, indent: int = 2) -> Path:
 
 
 def load_json(path: str | Path) -> Any:
-    """Load a JSON file written by :func:`save_json`."""
-    return from_jsonable(json.loads(Path(path).read_text()))
+    """Load a JSON file written by :func:`save_json`.
+
+    Raises
+    ------
+    ValueError
+        When the file is not valid JSON (e.g. a truncated checkpoint from a
+        kill mid-write) — the message names the offending path.
+    """
+    path = Path(path)
+    try:
+        return from_jsonable(json.loads(path.read_text()))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON "
+                         f"(corrupted or truncated file): {exc}") from exc

@@ -66,3 +66,58 @@ class TestRoundTrip:
         path = tmp_path / "a" / "b" / "c.json"
         save_json(path, {"ok": 1})
         assert path.exists()
+
+
+class TestGeneratorRoundTrip:
+    """np.random.Generator state must survive JSON exactly (checkpoints)."""
+
+    def test_stream_continues_identically(self):
+        gen = np.random.default_rng(42)
+        gen.random(17)  # advance past the seed point
+        back = from_jsonable(to_jsonable(gen))
+        assert isinstance(back, np.random.Generator)
+        reference = np.random.default_rng(42)
+        reference.random(17)
+        np.testing.assert_array_equal(back.random(32), reference.random(32))
+
+    def test_state_survives_a_real_json_file(self, tmp_path):
+        gen = np.random.default_rng(7)
+        gen.integers(0, 100, size=5)
+        path = tmp_path / "gen.json"
+        save_json(path, {"rng": gen})
+        back = load_json(path)["rng"]
+        assert back.bit_generator.state == gen.bit_generator.state
+
+    def test_nested_checkpoint_shaped_payload(self, tmp_path):
+        from repro.topology.comm import CommSnapshot
+
+        payload = {
+            "round": 12,
+            "w": np.linspace(-1, 1, 9),
+            "rng": np.random.default_rng(3),
+            "comm": CommSnapshot(cycles={"edge_cloud": 24},
+                                 messages={"edge_cloud:up": 60},
+                                 floats={"edge_cloud:up": 540.0}),
+            "clients": {"0": {"rng": np.random.default_rng(5), "cursor": 3}},
+        }
+        path = tmp_path / "ckpt.json"
+        save_json(path, payload)
+        back = load_json(path)
+        assert back["round"] == 12
+        np.testing.assert_array_equal(back["w"], payload["w"])
+        assert back["comm"]["cycles"]["edge_cloud"] == 24
+        assert back["clients"]["0"]["cursor"] == 3
+        assert back["clients"]["0"]["rng"].bit_generator.state == \
+            payload["clients"]["0"]["rng"].bit_generator.state
+
+
+class TestLoadErrors:
+    def test_corrupted_file_names_the_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"truncated": [1, 2')
+        with pytest.raises(ValueError, match="broken.json"):
+            load_json(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_json(tmp_path / "nope.json")
