@@ -29,6 +29,7 @@ import numpy as np
 
 from repro import FaultPlan, HierMinimax, NullTracer, Tracer, \
     make_federated_dataset, make_model_factory
+from repro.exec import resolve_backend
 from repro.utils.logging import RunLogger
 
 
@@ -52,6 +53,12 @@ def main() -> None:
     parser.add_argument("--stop-after", type=int, default=None, metavar="K",
                         help="stop after K rounds (simulated kill; rerun "
                              "with --resume to finish)")
+    parser.add_argument("--backend", default=None,
+                        choices=("serial", "thread", "process", "vectorized"),
+                        help="execution backend for client local training "
+                             "(bit-identical results for every choice)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count for thread/process backends")
     args = parser.parse_args()
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
@@ -74,6 +81,9 @@ def main() -> None:
     plan = FaultPlan.parse(args.faults) if args.faults else None
     if plan is not None:
         print(f"faults : {args.faults}")
+    backend = resolve_backend(args.backend, args.workers)
+    if backend.name != "serial":
+        print(f"backend: {backend.name}")
     algo = HierMinimax(
         data, model,
         tau1=2, tau2=2, m_edges=5,
@@ -82,6 +92,7 @@ def main() -> None:
         logger=RunLogger(every=max(1, rounds // 10)),
         obs=obs,
         faults=plan,
+        backend=backend,
     )
 
     # 4. Optional checkpoint/resume: restore, then run only what is left.
@@ -94,6 +105,7 @@ def main() -> None:
         run_rounds = min(run_rounds, args.stop_after)
     if run_rounds <= 0:
         print("checkpoint already covers the requested rounds; nothing to do")
+        backend.close()
         obs.close()
         return
 
@@ -110,6 +122,7 @@ def main() -> None:
                   f"saved to {args.checkpoint} (finish with --resume)")
         else:
             print(f"\nfinal checkpoint saved to {args.checkpoint}")
+    backend.close()
     obs.close()
     if args.trace:
         print(f"\ntrace written to {args.trace} "

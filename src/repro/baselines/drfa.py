@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
 from repro.sim.builder import build_flat_clients
@@ -50,10 +51,10 @@ class DRFA(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults)
+                         obs=obs, faults=faults, backend=backend)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -105,20 +106,26 @@ class DRFA(FederatedAlgorithm):
             acc_ckpt = np.zeros(d)
             n_contrib = 0
             n_ckpt = 0
+            # Sampling is with replacement: the same client may appear twice;
+            # the dispatcher chains duplicate occurrences so its minibatch
+            # stream advances exactly as this loop used to advance it.
+            work: list[ClientWork] = []
             for i in sampled:
                 client = self.clients[int(i)]
                 steps = self.tau1 if not injecting else faults.client_steps(
                     round_index, client.client_id, self.tau1)
                 if steps < 1:
                     continue
-                takes_ckpt = t_prime <= steps
-                with obs.span("client_local_steps", client=int(i),
-                              steps=steps):
-                    w_end, w_ckpt = client.local_sgd(
-                        self.engine, self.w, steps=steps, lr=self.eta_w,
-                        projection=self.projection_w,
-                        checkpoint_after=t_prime if takes_ckpt else None)
-                obs.count("sgd_steps_total", steps)
+                work.append(ClientWork(
+                    client, steps,
+                    t_prime if t_prime <= steps else None))
+            results = run_local_steps(
+                self.backend, self.engine, self.w, work, lr=self.eta_w,
+                projection=self.projection_w, obs=obs) if work else []
+            for item, result in zip(work, results):
+                client = item.client
+                takes_ckpt = item.checkpoint_after is not None
+                w_end, w_ckpt = result.w_end, result.w_checkpoint
                 self.tracker.record("client_cloud", "up", count=1,
                                     floats=(2 if takes_ckpt else 1) * d)
                 if injecting:

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection
 from repro.sim.builder import build_flat_clients
@@ -45,10 +46,10 @@ class FedAvg(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults)
+                         obs=obs, faults=faults, backend=backend)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -75,18 +76,19 @@ class FedAvg(FederatedAlgorithm):
                                 floats=d)
             acc = np.zeros(d)
             total_weight = 0.0
+            work: list[ClientWork] = []
             for i in sampled:
                 client = self.clients[int(i)]
                 steps = self.tau1 if not injecting else faults.client_steps(
                     round_index, client.client_id, self.tau1)
                 if steps < 1:
                     continue
-                with obs.span("client_local_steps", client=int(i),
-                              steps=steps):
-                    w_end, _ = client.local_sgd(
-                        self.engine, self.w, steps=steps, lr=self.eta_w,
-                        projection=self.projection_w)
-                obs.count("sgd_steps_total", steps)
+                work.append(ClientWork(client, steps))
+            results = run_local_steps(
+                self.backend, self.engine, self.w, work, lr=self.eta_w,
+                projection=self.projection_w, obs=obs) if work else []
+            for item, result in zip(work, results):
+                client, w_end = item.client, result.w_end
                 self.tracker.record("client_cloud", "up", count=1, floats=d)
                 if injecting:
                     delivered = faults.receive(

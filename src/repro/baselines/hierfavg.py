@@ -47,10 +47,10 @@ class HierFAVG(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults)
+                         obs=obs, faults=faults, backend=backend)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
         n_e = dataset.num_edges
@@ -86,7 +86,8 @@ class HierFAVG(FederatedAlgorithm):
                     self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
                     lr=self.eta_w, projection=self.projection_w, checkpoint=None,
                     tracker=self.tracker, weight_by_data=self.weight_by_data,
-                    obs=obs, faults=faults, round_index=round_index)
+                    obs=obs, faults=faults, round_index=round_index,
+                    backend=self.backend)
                 self.tracker.record("edge_cloud", "up", count=1, floats=d)
                 if injecting:
                     delivered = faults.receive(

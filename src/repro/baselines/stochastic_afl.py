@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
 from repro.sim.builder import build_flat_clients
@@ -46,10 +47,10 @@ class StochasticAFL(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults)
+                         obs=obs, faults=faults, backend=backend)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -98,6 +99,8 @@ class StochasticAFL(FederatedAlgorithm):
                                 count=len(np.unique(sampled)), floats=d)
             acc = np.zeros(d)
             n_contrib = 0
+            # With-replacement sampling: duplicates chain in the dispatcher.
+            work: list[ClientWork] = []
             for i in sampled:
                 client = self.clients[int(i)]
                 # Single-step rounds: a straggler that cannot finish its one
@@ -106,11 +109,12 @@ class StochasticAFL(FederatedAlgorithm):
                     round_index, client.client_id, 1)
                 if steps < 1:
                     continue
-                with obs.span("client_local_steps", client=int(i), steps=1):
-                    w_end, _ = client.local_sgd(
-                        self.engine, self.w, steps=1, lr=self.eta_w,
-                        projection=self.projection_w)
-                obs.count("sgd_steps_total", 1)
+                work.append(ClientWork(client, 1))
+            results = run_local_steps(
+                self.backend, self.engine, self.w, work, lr=self.eta_w,
+                projection=self.projection_w, obs=obs) if work else []
+            for item, result in zip(work, results):
+                client, w_end = item.client, result.w_end
                 self.tracker.record("client_cloud", "up", count=1, floats=d)
                 if injecting:
                     delivered = faults.receive(

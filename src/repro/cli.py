@@ -29,6 +29,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HierMinimax (ICPP '24) reproduction toolkit")
+    parser.add_argument("--backend", default=None,
+                        choices=("serial", "thread", "process", "vectorized"),
+                        help="execution backend for client local training "
+                             "(default: REPRO_BACKEND env var or serial); "
+                             "results are bit-identical for every choice")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count for thread/process backends "
+                             "(default: REPRO_WORKERS env var or auto)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, *, seeds: bool = True):
@@ -249,6 +257,18 @@ def _cmd_info() -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.backend is not None or args.workers is not None:
+        # Subcommands build algorithms through several paths (figures, tables,
+        # degradation demo); the environment is the one channel they all
+        # consult via repro.exec.resolve_backend.
+        import os
+
+        from repro.exec import BACKEND_ENV, WORKERS_ENV
+
+        if args.backend is not None:
+            os.environ[BACKEND_ENV] = args.backend
+        if args.workers is not None:
+            os.environ[WORKERS_ENV] = str(args.workers)
     if args.command in ("fig3", "fig4"):
         return _cmd_figure(args, args.command)
     if args.command == "table1":

@@ -28,22 +28,17 @@ from repro.nn.models import ModelFactory
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
 from repro.topology.comm import CommSnapshot, CommunicationTracker
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.utils.logging import NullLogger
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, restore_generator
 from repro.utils.validation import check_positive_float, check_positive_int
 
 __all__ = ["FederatedAlgorithm", "RunResult"]
 
 
-def _restore_generator(target: np.random.Generator,
-                       source: np.random.Generator) -> None:
-    """Copy ``source``'s bit-generator state into ``target`` in place.
-
-    In-place restoration keeps every alias to ``target`` (clients hold their
-    sampler's generator, algorithms hold named streams) pointing at the
-    restored stream.
-    """
-    target.bit_generator.state = source.bit_generator.state
+# Retained name: the canonical implementation now lives in repro.utils.rng
+# (it also accepts generator_token snapshots); old importers keep working.
+_restore_generator = restore_generator
 
 
 @dataclass(frozen=True)
@@ -109,6 +104,14 @@ class FederatedAlgorithm(ABC):
         ``None`` or ``FaultPlan.none()`` disables every fault path — the
         injector has its own RNG streams, so outputs are bit-identical to a
         run without the fault layer.
+    backend:
+        Execution backend for the per-round client SGD loops: an
+        :class:`~repro.exec.ExecutionBackend` instance (shared with the
+        caller, who owns its lifecycle), a name (``"serial"``, ``"thread"``,
+        ``"process"``, ``"vectorized"`` — the algorithm owns the instance;
+        call :meth:`close` to release worker pools), or ``None`` (the
+        ``REPRO_BACKEND`` environment variable, default serial).  Every
+        backend produces bit-identical results (see :mod:`repro.exec`).
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -121,7 +124,7 @@ class FederatedAlgorithm(ABC):
     def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -133,6 +136,8 @@ class FederatedAlgorithm(ABC):
         self.logger = logger if logger is not None else NullLogger()
         self.obs = obs if obs is not None else NULL_TRACER
         self.faults = resolve_injector(faults, obs=self.obs)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
         self.w: np.ndarray = self.engine.get_params()
         self.rounds_completed = 0
         self._history: TrainingHistory | None = None
@@ -188,6 +193,9 @@ class FederatedAlgorithm(ABC):
             history = TrainingHistory(self.name)
         self._history = history
         obs = self.obs
+        # Let pooled backends ship the engine + full client roster to their
+        # workers once, up front, instead of lazily on the first dispatch.
+        self.backend.prepare(self.engine, self._client_actors())
         with obs.span("run", algorithm=self.name, rounds=rounds) as run_span:
             if eval_at_start:
                 with obs.span("evaluate", round=-1):
@@ -228,6 +236,21 @@ class FederatedAlgorithm(ABC):
                                          "messages": snap.messages,
                                          "floats": snap.floats})
         return self._build_result(history)
+
+    def close(self) -> None:
+        """Release worker pools of a backend this algorithm instantiated.
+
+        No-op for backend *instances* passed in by the caller (shared across
+        algorithms; the caller owns their lifecycle).  Safe to call twice.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "FederatedAlgorithm":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _build_result(self, history: TrainingHistory) -> RunResult:
         """Assemble the :class:`RunResult` for the current state + history."""

@@ -92,10 +92,10 @@ class HierMinimax(FederatedAlgorithm):
                  compressor=None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults)
+                         obs=obs, faults=faults, backend=backend)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -169,7 +169,8 @@ class HierMinimax(FederatedAlgorithm):
                     lr=self.eta_w, projection=self.projection_w,
                     checkpoint=checkpoint, tracker=self.tracker,
                     compressor=self.compressor, comp_rng=self._comp_rng,
-                    obs=obs, faults=faults, round_index=round_index)
+                    obs=obs, faults=faults, round_index=round_index,
+                    backend=self.backend)
                 if self.compressor is not None:
                     # Edge transmits compressed deltas against the broadcast w^(k).
                     w_e = self.w + self.compressor.compress(w_e - self.w,

@@ -1,0 +1,270 @@
+"""ProcessBackend — a persistent worker-process pool with shared-memory broadcast.
+
+True multi-core parallelism for workloads where the GIL (or BLAS thread
+contention) limits :class:`~repro.exec.threads.ThreadBackend`.  The design
+keeps the per-round wire cost minimal:
+
+* **Pool init (once per engine/roster):** the compute engine and every
+  client's shard (dataset + batch size) are pickled into the workers when the
+  pool is built, so they never travel again.
+* **Per dispatch:** the round's start weights are written once into a
+  :mod:`multiprocessing.shared_memory` block all workers read, and each task
+  ships only a small descriptor — client id, step counts, and the client's
+  minibatch-sampler state token (:func:`~repro.exec.dispatch.sampler_state_token`).
+  Workers rebuild the sampler, draw the batches exactly as the main process
+  would have, run the pure kernel, and ship back the resulting weights plus
+  the advanced sampler state (which the dispatcher restores main-side).
+
+Occurrences of the same client within one dispatch (with-replacement
+sampling) are chained into a single worker unit so their draws consume the
+client's stream in serial order — a bit-exactness requirement, not an
+optimization.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.data.batching import MinibatchSampler
+from repro.exec.base import (
+    ExecutionBackend,
+    LocalStepsResult,
+    LocalStepsTask,
+    run_local_steps_kernel,
+)
+from repro.exec.dispatch import restore_sampler_state, sampler_state_token
+from repro.exec.threads import default_worker_count
+from repro.nn.network import NeuralNetwork
+from repro.obs import NULL_TRACER
+from repro.ops.projections import identity_projection
+
+__all__ = ["ProcessBackend"]
+
+_CLOCK = time.monotonic  # system-wide on Linux: comparable across processes
+
+# Worker-process globals, populated once by the pool initializer.
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(engine_bytes: bytes, shards: dict) -> None:
+    _WORKER["engine"] = pickle.loads(engine_bytes)
+    _WORKER["shards"] = shards
+
+
+def _rebuild_sampler(dataset, batch_size: int, state: dict) -> MinibatchSampler:
+    """Reconstruct a sampler continuing bit-identically from ``state``."""
+    sampler = MinibatchSampler(dataset, batch_size, np.random.default_rng(0))
+    restore_sampler_state(sampler, state)
+    return sampler
+
+
+def _execute_unit(engine: NeuralNetwork, shards: dict, w_start: np.ndarray,
+                  unit: tuple) -> tuple:
+    """Run one client's chained occurrences; shared by workers and fallback."""
+    client_id, state, occurrences = unit
+    dataset, batch_size = shards[client_id]
+    sampler = _rebuild_sampler(dataset, batch_size, state)
+    outputs = []
+    for index, steps, lr, checkpoint_after, proj_bytes in occurrences:
+        projection = (identity_projection if proj_bytes is None
+                      else pickle.loads(proj_bytes))
+        batches = [sampler.next_batch() for _ in range(steps)]
+        w_end, w_ckpt = run_local_steps_kernel(
+            engine, w_start, batches, lr=lr, projection=projection,
+            checkpoint_after=checkpoint_after)
+        outputs.append((index, w_end, w_ckpt))
+    return client_id, sampler_state_token(sampler), outputs
+
+
+def _run_unit(payload: tuple) -> tuple:
+    """Pool entry point: attach the broadcast weights and run one unit."""
+    shm_name, dim, unit, submitted = payload
+    started = _CLOCK()
+    # Attaching would register the segment with the resource tracker
+    # (CPython < 3.13 has no track=False), but the *parent* owns and unlinks
+    # the block; a worker-side registration only produces spurious "leaked
+    # shared_memory" warnings (and, with several workers sharing one tracker
+    # under fork, KeyErrors on double-unregister).  Suppress registration for
+    # the duration of the attach instead.
+    from multiprocessing import resource_tracker
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original_register
+    try:
+        w_start = np.ndarray((dim,), dtype=np.float64, buffer=shm.buf).copy()
+    finally:
+        shm.close()
+    client_id, new_state, outputs = _execute_unit(
+        _WORKER["engine"], _WORKER["shards"], w_start, unit)
+    return (client_id, new_state, outputs,
+            _CLOCK() - started, started - submitted)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run tasks on a persistent :class:`multiprocessing.pool.Pool`.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to
+        :func:`~repro.exec.threads.default_worker_count`.
+    """
+
+    name = "process"
+    wants_sampler_state = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = int(workers) if workers else default_worker_count()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._pool = None
+        self._engine: NeuralNetwork | None = None
+        self._registry: dict[int, tuple[Any, int]] = {}
+        self._stale = True
+
+    # --------------------------------------------------------------- plumbing
+    def prepare(self, engine: NeuralNetwork, clients: Sequence[Any]) -> None:
+        """Record shards/engine to ship at (re)creation of the worker pool."""
+        for client in clients:
+            cid = client.client_id
+            if cid not in self._registry:
+                self._registry[cid] = (client.sampler.dataset,
+                                       client.sampler.batch_size)
+                self._stale = True
+        if self._engine is not engine:
+            self._engine = engine
+            self._stale = True
+
+    def _ensure_pool(self):
+        if self._pool is not None and not self._stale:
+            return self._pool
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+        self._pool = self._ctx.Pool(
+            processes=self.workers, initializer=_init_worker,
+            initargs=(pickle.dumps(self._engine), dict(self._registry)))
+        self._stale = False
+        return self._pool
+
+    @staticmethod
+    def _build_units(tasks: Sequence[LocalStepsTask]) -> list[tuple]:
+        """Chain same-client tasks (in task order) into one unit per client."""
+        units: dict[int, tuple] = {}
+        for task in tasks:
+            if task.batches is not None:
+                raise ValueError(
+                    "ProcessBackend draws batches worker-side; tasks must "
+                    "carry sampler_state, not pre-drawn batches "
+                    "(use the dispatcher)")
+            if task.sampler_state is None:
+                if task.client_id not in units:
+                    raise ValueError(
+                        "ProcessBackend tasks must carry sampler_state on the "
+                        "first occurrence of each client (use the dispatcher)")
+            elif task.client_id in units:
+                raise ValueError(
+                    f"duplicate sampler_state for client {task.client_id}; "
+                    "later occurrences must chain (sampler_state=None)")
+            proj_bytes = (None if task.projection is identity_projection
+                          else pickle.dumps(task.projection))
+            occurrence = (task.index, task.steps, task.lr,
+                          task.checkpoint_after, proj_bytes)
+            if task.client_id in units:
+                units[task.client_id][2].append(occurrence)
+            else:
+                units[task.client_id] = (task.client_id, task.sampler_state,
+                                         [occurrence])
+        return list(units.values())
+
+    # -------------------------------------------------------------- execution
+    def run_tasks(self, engine: NeuralNetwork, w_start: np.ndarray,
+                  tasks: Sequence[LocalStepsTask], *, obs=None,
+                  ) -> list[LocalStepsResult]:
+        """Broadcast ``w_start`` once, fan units out, gather in task order."""
+        obs = obs if obs is not None else NULL_TRACER
+        self.prepare(engine, [])
+        if any(cid not in self._registry
+               for cid in {t.client_id for t in tasks}):
+            raise RuntimeError(
+                "ProcessBackend.run_tasks called with unregistered clients; "
+                "call prepare(engine, clients) first (the dispatcher does)")
+        units = self._build_units(tasks)
+        try:
+            payload_ok = True
+            units_bytes = pickle.dumps(units)
+        except Exception:
+            # Unpicklable projection (e.g. a test lambda): run inline instead
+            # of crashing — same bits, no parallelism.
+            payload_ok = False
+            units_bytes = b""
+        with obs.span("exec_batch", backend=self.name, tasks=len(tasks),
+                      units=len(units), workers=self.workers,
+                      inline=not payload_ok):
+            if payload_ok:
+                unit_results = self._run_pooled(w_start, units, obs)
+            else:
+                unit_results = [(*_execute_unit(engine, self._registry,
+                                                np.asarray(w_start,
+                                                           dtype=np.float64),
+                                                unit), 0.0, 0.0)
+                                for unit in units]
+        del units_bytes
+        results: list[LocalStepsResult | None] = [None] * len(tasks)
+        position = {task.index: pos for pos, task in enumerate(tasks)}
+        for client_id, new_state, outputs, busy_s, wait_s in unit_results:
+            for j, (index, w_end, w_ckpt) in enumerate(outputs):
+                results[position[index]] = LocalStepsResult(
+                    index=index, client_id=client_id, w_end=w_end,
+                    w_checkpoint=w_ckpt,
+                    sampler_state=new_state if j == 0 else None,
+                    busy_s=busy_s if j == 0 else 0.0,
+                    queue_wait_s=wait_s if j == 0 else 0.0)
+        if obs.enabled:
+            obs.count("exec_tasks_total", len(tasks))
+            obs.observe("exec_worker_busy_s",
+                        sum(u[3] for u in unit_results))
+            for u in unit_results:
+                obs.observe("exec_queue_wait_s", max(0.0, u[4]))
+        return results  # type: ignore[return-value]
+
+    def _run_pooled(self, w_start: np.ndarray, units: list[tuple],
+                    obs) -> list[tuple]:
+        pool = self._ensure_pool()
+        w_start = np.ascontiguousarray(w_start, dtype=np.float64)
+        shm = shared_memory.SharedMemory(create=True, size=w_start.nbytes)
+        try:
+            np.ndarray(w_start.shape, dtype=np.float64,
+                       buffer=shm.buf)[:] = w_start
+            submitted = _CLOCK()
+            payloads = [(shm.name, w_start.size, unit, submitted)
+                        for unit in units]
+            unit_results = pool.map(_run_unit, payloads)
+        finally:
+            shm.close()
+            shm.unlink()
+        if obs.enabled:
+            obs.count("exec_broadcast_bytes", w_start.nbytes)
+        return unit_results
+
+    def close(self) -> None:
+        """Terminate the worker pool (registry survives for a later reopen)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._stale = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(workers={self.workers})"

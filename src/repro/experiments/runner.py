@@ -23,6 +23,7 @@ from repro.core.base import RunResult
 from repro.faults import FaultPlan, resolve_injector
 from repro.data.dataset import FederatedDataset
 from repro.data.registry import make_federated_dataset
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.experiments.presets import ExperimentPreset
 from repro.nn.models import ModelFactory, make_model_factory
 from repro.obs import NULL_TRACER
@@ -86,7 +87,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    algorithms: tuple[str, ...] | None = None,
                    logger=None, obs=None, faults=None,
                    checkpoint_dir=None, checkpoint_every: int | None = None,
-                   resume: bool = False) -> ExperimentOutput:
+                   resume: bool = False,
+                   backend=None, workers: int | None = None) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -114,10 +116,20 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         Restore each algorithm from its checkpoint file before running, when
         one exists — the run then completes only the remaining rounds and its
         history is bit-identical to an uninterrupted run.
+    backend / workers:
+        Execution backend for client local training, shared by every
+        algorithm of the roster: an
+        :class:`~repro.exec.ExecutionBackend` instance (caller owns its
+        lifecycle), a name (``serial``/``thread``/``process``/``vectorized``
+        — the runner closes the pool it creates when done), or ``None``
+        (``REPRO_BACKEND`` environment variable, default serial).  Results
+        are bit-identical for every choice (see :mod:`repro.exec`).
     """
     obs = obs if obs is not None else NULL_TRACER
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
+    owns_backend = not isinstance(backend, ExecutionBackend)
+    backend = resolve_backend(backend, workers)
     setup = TimerBank()
     with setup("data_gen"), obs.span("data_gen", dataset=preset.dataset,
                                      scale=preset.scale, seed=seed):
@@ -127,6 +139,26 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
     timers = TimerBank()
     results: dict[str, RunResult] = {}
     phase_times: dict[str, dict[str, float]] = {}
+    try:
+        _run_roster(preset, roster, dataset, model_factory, results, phase_times,
+                    timers, seed=seed, logger=logger, obs=obs, faults=faults,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every, resume=resume,
+                    backend=backend)
+    finally:
+        if owns_backend:
+            backend.close()
+    return ExperimentOutput(preset=preset, results=results,
+                            timings=timers.summary(),
+                            phase_times=phase_times,
+                            metrics=obs.snapshot() if obs.enabled else {},
+                            setup_times=setup.summary())
+
+
+def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
+                timers, *, seed, logger, obs, faults, checkpoint_dir,
+                checkpoint_every, resume, backend) -> None:
+    """Execute each algorithm of ``roster`` in turn, filling the result maps."""
     for name in roster:
         injector = None
         if faults is not None:
@@ -139,7 +171,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
             name, dataset, model_factory,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
-            seed=seed, logger=logger, obs=obs, faults=injector)
+            seed=seed, logger=logger, obs=obs, faults=injector,
+            backend=backend)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
         ckpt_path = None
@@ -172,11 +205,6 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                 if after[span]["total_s"]
                 - before.get(span, {}).get("total_s", 0.0) > 0.0
             }
-    return ExperimentOutput(preset=preset, results=results,
-                            timings=timers.summary(),
-                            phase_times=phase_times,
-                            metrics=obs.snapshot() if obs.enabled else {},
-                            setup_times=setup.summary())
 
 
 def monotone_envelope(y: np.ndarray) -> np.ndarray:

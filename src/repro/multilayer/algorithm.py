@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.exec import ClientWork, run_local_steps
 from repro.multilayer.tree import HierarchyTree
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
@@ -75,10 +76,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  projection_p: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
-                         logger=logger, obs=obs, faults=faults)
+                         logger=logger, obs=obs, faults=faults, backend=backend)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -186,10 +187,20 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                 n_live = 0
                 n_ckpt = 0
                 ckpt_faulted = False
-                for k in kids:
-                    w_k, w_kc = self._subtree_update(
-                        level + 1, k, w, ckpt_digits if on_ckpt_path else None,
+                if level + 1 == depth:
+                    # Children are the leaf clients: run the whole sibling
+                    # group as one dispatch on the execution backend.
+                    child_results = self._leaf_batch(
+                        kids, w, ckpt_digits if on_ckpt_path else None,
                         round_index)
+                else:
+                    child_results = [
+                        (k, *self._subtree_update(
+                            level + 1, k, w,
+                            ckpt_digits if on_ckpt_path else None,
+                            round_index))
+                        for k in kids]
+                for k, w_k, w_kc in child_results:
                     if w_k is None:
                         ckpt_faulted = ckpt_faulted or on_ckpt_path
                         continue
@@ -232,6 +243,43 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                             round_index, f"node:{level}:{node}:block:{t}")
                         w_ckpt = w.copy()
         return w, w_ckpt
+
+    def _leaf_batch(self, kids, w_start: np.ndarray,
+                    ckpt_digits: tuple[int, ...] | None, round_index: int,
+                    ) -> list[tuple[int, np.ndarray | None, np.ndarray | None]]:
+        """One dispatch covering a whole sibling group of leaf clients.
+
+        Mirrors the leaf branch of :meth:`_subtree_update` exactly — same
+        fault-decided step budgets, same checkpoint rule, same client order —
+        but hands the SGD loops to the execution backend in one batch.
+        Returns ``(k, w_end, w_checkpoint)`` per child, ``(k, None, None)``
+        for dropped-out leaves.
+        """
+        depth = self.tree.depth
+        faults = self.faults
+        injecting = faults.enabled
+        steps_full = self.taus[depth - 1]
+        c_leaf = None if ckpt_digits is None else ckpt_digits[depth - 1] + 1
+        work: list[ClientWork] = []
+        members: list[int] = []
+        outcomes: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
+        for k in kids:
+            client = self.clients[k]
+            steps = steps_full if not injecting else faults.client_steps(
+                round_index, client.client_id, steps_full)
+            if steps < 1:
+                outcomes[k] = (None, None)
+                continue
+            takes_ckpt = c_leaf is not None and c_leaf <= steps
+            work.append(ClientWork(client, steps,
+                                   c_leaf if takes_ckpt else None))
+            members.append(k)
+        results = run_local_steps(
+            self.backend, self.engine, w_start, work, lr=self.eta_w,
+            projection=self.projection_w, obs=self.obs) if work else []
+        for k, result in zip(members, results):
+            outcomes[k] = (result.w_end, result.w_checkpoint)
+        return [(k, *outcomes[k]) for k in kids]
 
     def _subtree_loss(self, level: int, node: int, w: np.ndarray,
                       round_index: int) -> float | None:

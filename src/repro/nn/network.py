@@ -174,6 +174,41 @@ class NeuralNetwork:
         return float(np.mean(self.predict(X) == y))
 
     # ------------------------------------------------------------------ misc
+    def _rebind_views(self) -> None:
+        """Re-attach every layer's parameter/gradient views to the flat buffers.
+
+        ``copy.deepcopy`` and ``pickle`` copy each ndarray independently, so a
+        copied layer's ``W`` would otherwise be a *detached* array rather than a
+        view into the copied ``_params`` — ``set_params`` on the copy would then
+        silently stop reaching the layers.  Every copy path below calls this.
+        """
+        for layer in self.layers:
+            views: dict[str, np.ndarray] = {}
+            gviews: dict[str, np.ndarray] = {}
+            for owner, spec, sl in self._specs:
+                if owner is layer:
+                    views[spec.name] = self._params[sl].reshape(spec.shape)
+                    gviews[spec.name] = self._grads[sl].reshape(spec.shape)
+            layer.bind(views, gviews)
+
+    def __getstate__(self) -> dict:
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebind_views()
+
+    def __deepcopy__(self, memo: dict) -> "NeuralNetwork":
+        import copy
+
+        cls = self.__class__
+        twin = cls.__new__(cls)
+        memo[id(self)] = twin
+        for key, value in self.__dict__.items():
+            setattr(twin, key, copy.deepcopy(value, memo))
+        twin._rebind_views()
+        return twin
+
     def clone(self) -> "NeuralNetwork":
         """Deep copy: identical architecture + parameter values, fresh buffers."""
         import copy

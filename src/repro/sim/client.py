@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.data.batching import MinibatchSampler
 from repro.data.dataset import Dataset
+from repro.exec.base import run_local_steps_kernel
 from repro.nn.network import NeuralNetwork
 from repro.ops.projections import Projection, identity_projection
 from repro.utils.validation import check_positive_float, check_positive_int
@@ -55,6 +56,18 @@ class Client:
                   ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run ``steps`` projected-SGD steps from ``w_start`` (Eq. (4)).
 
+        Draws this client's minibatches and delegates the arithmetic to
+        :func:`~repro.exec.base.run_local_steps_kernel` — the same pure kernel
+        every execution backend runs, so a direct call is bit-identical to a
+        dispatched one.
+
+        Aliasing contract: ``w_start`` is read-only here.  Callers typically
+        pass a shared vector (the edge/cloud broadcast model) to *every*
+        client of a loop; the kernel therefore never writes through ``w_start``
+        and defensively copies it when it aliases the engine's live parameter
+        buffer (e.g. ``client.local_sgd(engine, engine.params_view(), ...)``),
+        which would otherwise corrupt the start vector mid-loop.
+
         Parameters
         ----------
         engine:
@@ -73,19 +86,11 @@ class Client:
         if checkpoint_after is not None and not 1 <= checkpoint_after <= steps:
             raise ValueError(
                 f"checkpoint_after must be in [1, {steps}], got {checkpoint_after}")
-        engine.set_params(w_start)
-        params = engine.params_view()
-        w_checkpoint: np.ndarray | None = None
-        for t1 in range(steps):
-            X, y = self.sampler.next_batch()
-            _, grad = engine.loss_and_gradient(X, y)
-            params -= lr * grad
-            if projection is not identity_projection:
-                params[:] = projection(params)
-            self.sgd_steps_taken += 1
-            if checkpoint_after is not None and t1 + 1 == checkpoint_after:
-                w_checkpoint = params.copy()
-        return params.copy(), w_checkpoint
+        batches = [self.sampler.next_batch() for _ in range(steps)]
+        self.sgd_steps_taken += steps
+        return run_local_steps_kernel(
+            engine, w_start, batches, lr=lr, projection=projection,
+            checkpoint_after=checkpoint_after)
 
     def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:
         """Minibatch loss estimate ``f_n(w; ξ)`` used by Phase 2's LossEstimation."""

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exec.dispatch import ClientWork, run_local_steps
 from repro.nn.network import NeuralNetwork
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
@@ -70,6 +71,7 @@ class EdgeServer:
                      comp_rng: np.random.Generator | None = None,
                      obs=None,
                      faults=None, round_index: int = 0,
+                     backend=None,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -108,6 +110,13 @@ class EdgeServer:
             survivors leaves the edge model unchanged.  With a disabled (or
             absent) injector every code path and floating-point operation is
             identical to the pre-fault implementation.
+        backend:
+            Optional :class:`~repro.exec.ExecutionBackend` running the block's
+            client SGD loops (``None`` = serial).  Each block is one dispatch:
+            fault decisions fix each client's step budget *before* dispatch,
+            and compression / message faults / accounting are applied to the
+            returned results afterwards, in client order — so every backend
+            is bit-identical to serial (see :mod:`repro.exec.base`).
 
         Returns
         -------
@@ -153,6 +162,11 @@ class EdgeServer:
                 ckpt_weight = 0.0
                 block_faulted = False
                 ckpt_faulted = False
+                # Decide every client's work up front (fault decisions are
+                # pure functions of (seed, round, client), so fixing them
+                # before dispatch changes no bit) ...
+                work: list[ClientWork] = []
+                participants: list[tuple[float, Client, int, bool]] = []
                 for weight, client in zip(agg_weights, self.clients):
                     steps = tau1 if not injecting else faults.client_steps(
                         round_index, client.client_id, tau1)
@@ -162,13 +176,19 @@ class EdgeServer:
                         ckpt_faulted = ckpt_faulted or is_ckpt_block
                         continue
                     takes_ckpt = is_ckpt_block and c1 <= steps
-                    with obs.span("client_local_steps",
-                                  client=client.client_id, steps=steps):
-                        w_end, w_c = client.local_sgd(
-                            engine, w_edge, steps=steps, lr=lr,
-                            projection=projection,
-                            checkpoint_after=c1 if takes_ckpt else None)
-                    obs.count("sgd_steps_total", steps)
+                    work.append(ClientWork(client, steps,
+                                           c1 if takes_ckpt else None))
+                    participants.append((weight, client, steps, takes_ckpt))
+                # ... run the embarrassingly parallel region on the backend ...
+                results = run_local_steps(
+                    backend, engine, w_edge, work, lr=lr,
+                    projection=projection, obs=obs) if work else []
+                # ... then post-process in client order: compression, message
+                # faults, accounting, and aggregation consume their own
+                # streams/counters exactly as the serial loop did.
+                for (weight, client, steps, takes_ckpt), result in zip(
+                        participants, results):
+                    w_end, w_c = result.w_end, result.w_checkpoint
                     if compressor is not None:
                         # Transmit compressed deltas against the broadcast model.
                         w_end = w_edge + _compress(compressor, client.client_id,

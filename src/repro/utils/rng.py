@@ -22,7 +22,50 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["RngFactory", "spawn_generators", "as_generator", "stable_key"]
+__all__ = ["RngFactory", "spawn_generators", "as_generator", "stable_key",
+           "generator_token", "generator_from_token", "restore_generator"]
+
+
+def generator_token(gen: np.random.Generator) -> dict:
+    """Snapshot ``gen`` into a picklable/JSON-able token.
+
+    The token is the same ``{"__bitgen__": name, "state": {...}}`` envelope the
+    checkpoint serializer (:mod:`repro.utils.serialization`) writes, so it
+    round-trips *exactly*: Python ints are arbitrary-precision, surviving even
+    PCG64's 128-bit state.  Use it to move generator state across process
+    boundaries (execution-backend task descriptors) or into checkpoints.
+    """
+    from repro.utils.serialization import to_jsonable
+
+    return to_jsonable(gen)
+
+
+def generator_from_token(token: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_token` snapshot.
+
+    The returned generator continues the stream bit-identically from the
+    snapshotted position.
+    """
+    from repro.utils.serialization import from_jsonable
+
+    gen = from_jsonable(token)
+    if not isinstance(gen, np.random.Generator):
+        raise ValueError(f"not a generator token: {token!r}")
+    return gen
+
+
+def restore_generator(target: np.random.Generator,
+                      source: np.random.Generator | dict) -> None:
+    """Copy ``source``'s bit-generator state into ``target`` in place.
+
+    ``source`` may be another generator or a :func:`generator_token` snapshot.
+    In-place restoration keeps every alias to ``target`` (clients hold their
+    sampler's generator, algorithms hold named streams) pointing at the
+    restored stream.
+    """
+    if isinstance(source, dict):
+        source = generator_from_token(source)
+    target.bit_generator.state = source.bit_generator.state
 
 
 def stable_key(name: str) -> int:

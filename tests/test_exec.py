@@ -1,0 +1,332 @@
+"""Execution-backend tests: bit-identity, RNG tokens, aliasing, resolution.
+
+The contract under test is the one in :mod:`repro.exec.base`: for a fixed seed
+every backend — serial, thread, process, vectorized — produces *bit-identical*
+results, including under fault injection and across a checkpoint/resume cycle.
+The serial backend defines the bits; the others must reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedavg import FedAvg
+from repro.core.hierminimax import HierMinimax
+from repro.data.registry import make_federated_dataset
+from repro.exec import (
+    SERIAL_BACKEND,
+    ClientWork,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    VectorizedBackend,
+    available_backends,
+    make_backend,
+    resolve_backend,
+    run_local_steps,
+    run_local_steps_kernel,
+)
+from repro.faults import FaultPlan
+from repro.nn.models import make_model_factory
+from repro.sim.builder import build_flat_clients
+from repro.utils.rng import (
+    RngFactory,
+    generator_from_token,
+    generator_token,
+    restore_generator,
+)
+
+BACKENDS = ("serial", "thread", "process", "vectorized")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """One live backend per canonical name; pools are closed after the test."""
+    b = make_backend(request.param, workers=2)
+    yield b
+    b.close()
+
+
+@pytest.fixture(scope="module")
+def fed():
+    """Small hierarchical dataset shared by the equivalence tests."""
+    return make_federated_dataset("emnist_digits", scale="tiny", seed=11)
+
+
+@pytest.fixture(scope="module")
+def logistic_factory(fed):
+    return make_model_factory("logistic", fed.input_dim, fed.num_classes)
+
+
+@pytest.fixture(scope="module")
+def mlp_factory(fed):
+    return make_model_factory("mlp", fed.input_dim, fed.num_classes,
+                              hidden=(12,))
+
+
+def run_hierminimax(fed, factory, backend, *, rounds=4, faults=None,
+                    checkpoint_path=None, checkpoint_every=None):
+    algo = HierMinimax(fed, factory, tau1=2, tau2=2, m_edges=5,
+                       eta_w=0.05, eta_p=2e-3, batch_size=8, seed=3,
+                       faults=faults, backend=backend)
+    result = algo.run(rounds=rounds, eval_every=2,
+                      checkpoint_path=checkpoint_path,
+                      checkpoint_every=checkpoint_every)
+    algo.close()
+    return result
+
+
+def run_fedavg(fed, factory, backend, *, rounds=4, faults=None):
+    algo = FedAvg(fed, factory, tau1=2, m_clients=15, eta_w=0.05,
+                  batch_size=8, seed=3, faults=faults, backend=backend)
+    result = algo.run(rounds=rounds, eval_every=2)
+    algo.close()
+    return result
+
+
+def assert_results_identical(ref, got):
+    """Bitwise comparison of two RunResults (params, weights, history, comm)."""
+    np.testing.assert_array_equal(ref.final_params, got.final_params)
+    if ref.final_weights is None:
+        assert got.final_weights is None
+    else:
+        np.testing.assert_array_equal(ref.final_weights, got.final_weights)
+    assert ref.history.as_dict() == got.history.as_dict()
+    assert ref.comm.total_bytes == got.comm.total_bytes
+    assert ref.rounds_run == got.rounds_run
+    assert ref.slots_run == got.slots_run
+
+
+# ------------------------------------------------------------ rng token utils
+class TestGeneratorToken:
+    def test_round_trip_continues_stream(self):
+        g = np.random.default_rng(5)
+        g.random(7)  # advance past the initial state
+        clone = generator_from_token(generator_token(g))
+        np.testing.assert_array_equal(g.random(16), clone.random(16))
+        np.testing.assert_array_equal(g.integers(0, 100, 8),
+                                      clone.integers(0, 100, 8))
+
+    def test_token_survives_pickle_and_json(self):
+        g = np.random.default_rng(9)
+        g.integers(0, 10, 5)
+        token = generator_token(g)
+        for round_tripped in (pickle.loads(pickle.dumps(token)),
+                              json.loads(json.dumps(token))):
+            clone = generator_from_token(round_tripped)
+            fresh = generator_from_token(generator_token(g))
+            np.testing.assert_array_equal(fresh.random(8), clone.random(8))
+
+    def test_restore_generator_in_place_keeps_aliases(self):
+        g = np.random.default_rng(1)
+        alias = g  # e.g. a sampler holding the client's generator
+        snapshot = generator_token(g)
+        g.random(100)
+        restore_generator(g, snapshot)
+        expected = generator_from_token(snapshot).random(4)
+        np.testing.assert_array_equal(alias.random(4), expected)
+
+    def test_restore_from_generator_source(self):
+        src = np.random.default_rng(2)
+        src.random(3)
+        dst = np.random.default_rng(99)
+        restore_generator(dst, src)
+        np.testing.assert_array_equal(dst.random(5), src.random(5))
+
+    def test_rejects_non_token(self):
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            generator_from_token({"not": "a token"})
+
+
+# ----------------------------------------------------- kernel/client aliasing
+class TestKernelAliasing:
+    def _engine_and_batches(self):
+        rng = np.random.default_rng(0)
+        engine = make_model_factory("logistic", 6, 3)()
+        batches = [(rng.normal(size=(4, 6)), rng.integers(0, 3, 4))
+                   for _ in range(3)]
+        return engine, batches
+
+    def test_kernel_copies_when_w_start_aliases_engine_params(self):
+        engine, batches = self._engine_and_batches()
+        w_alias = engine.params_view()  # the aliasing case the contract covers
+        w_before = w_alias.copy()
+        w_end, _ = run_local_steps_kernel(engine, w_alias, batches, lr=0.1)
+        assert not np.array_equal(w_end, w_before)  # training moved the params
+        # The returned array is a private copy, not the engine's buffer.
+        assert not np.may_share_memory(w_end, engine.params_view())
+
+    def test_kernel_does_not_mutate_caller_array(self):
+        engine, batches = self._engine_and_batches()
+        w_start = np.zeros(engine.params_view().size)
+        w_copy = w_start.copy()
+        run_local_steps_kernel(engine, w_start, batches, lr=0.1)
+        np.testing.assert_array_equal(w_start, w_copy)
+
+    def test_client_local_sgd_does_not_mutate_w_start(self, fed,
+                                                      logistic_factory):
+        engine = logistic_factory()
+        clients = build_flat_clients(fed, batch_size=4,
+                                     rng_factory=RngFactory(0))
+        w_start = np.zeros(engine.params_view().size)
+        w_copy = w_start.copy()
+        w_end, _ = clients[0].local_sgd(engine, w_start, steps=3, lr=0.1)
+        np.testing.assert_array_equal(w_start, w_copy)
+        assert not np.may_share_memory(w_end, engine.params_view())
+
+
+# -------------------------------------------------------- dispatch-level bits
+class TestDispatchEquivalence:
+    def _setup(self, fed, factory):
+        engine = factory()
+        clients = build_flat_clients(fed, batch_size=4,
+                                     rng_factory=RngFactory(21))
+        w0 = np.zeros(engine.params_view().size)
+        return engine, clients, w0
+
+    def _reference(self, fed, factory, work_spec):
+        engine, clients, w0 = self._setup(fed, factory)
+        work = [ClientWork(clients[i], s, c) for i, s, c in work_spec]
+        results = run_local_steps(SERIAL_BACKEND, engine, w0, work, lr=0.05)
+        states = [c.sampler.batches_drawn for c in clients]
+        return results, states
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_matches_serial_with_checkpoints_and_duplicates(
+            self, fed, logistic_factory, name):
+        """Mixed steps, mid-run checkpoints, and duplicate clients all match."""
+        # Client 2 appears twice (with-replacement sampling, as in DRFA/AFL).
+        spec = [(0, 3, None), (1, 3, 2), (2, 2, None), (2, 3, 1), (4, 1, None)]
+        ref, ref_states = self._reference(fed, logistic_factory, spec)
+        engine, clients, w0 = self._setup(fed, logistic_factory)
+        with make_backend(name, workers=2) as b:
+            work = [ClientWork(clients[i], s, c) for i, s, c in spec]
+            got = run_local_steps(b, engine, w0, work, lr=0.05)
+        assert [r.client_id for r in got] == [r.client_id for r in ref]
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(r.w_end, g.w_end)
+            if r.w_checkpoint is None:
+                assert g.w_checkpoint is None
+            else:
+                np.testing.assert_array_equal(r.w_checkpoint, g.w_checkpoint)
+        assert [c.sampler.batches_drawn for c in clients] == ref_states
+
+    def test_vectorized_falls_back_for_mlp(self, fed, mlp_factory):
+        """Non-logistic engines use the serial kernel inside VectorizedBackend."""
+        spec = [(0, 2, None), (1, 2, None), (3, 2, 1)]
+        ref, _ = self._reference(fed, mlp_factory, spec)
+        engine, clients, w0 = self._setup(fed, mlp_factory)
+        with VectorizedBackend() as b:
+            work = [ClientWork(clients[i], s, c) for i, s, c in spec]
+            got = run_local_steps(b, engine, w0, work, lr=0.05)
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(r.w_end, g.w_end)
+
+
+# ------------------------------------------------- full-algorithm equivalence
+class TestAlgorithmEquivalence:
+    """Satellite 3: whole training runs are bit-identical across backends."""
+
+    @pytest.fixture(scope="class")
+    def hm_reference(self, fed, logistic_factory):
+        return run_hierminimax(fed, logistic_factory, "serial")
+
+    @pytest.fixture(scope="class")
+    def fedavg_reference(self, fed, logistic_factory):
+        return run_fedavg(fed, logistic_factory, "serial")
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_hierminimax_bitwise(self, fed, logistic_factory, hm_reference,
+                                 name):
+        got = run_hierminimax(fed, logistic_factory, name)
+        assert_results_identical(hm_reference, got)
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_fedavg_bitwise(self, fed, logistic_factory, fedavg_reference,
+                            name):
+        got = run_fedavg(fed, logistic_factory, name)
+        assert_results_identical(fedavg_reference, got)
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_bitwise_under_faults(self, fed, logistic_factory, name):
+        """Dropouts, stragglers, and lossy links do not break the contract."""
+        plan = FaultPlan(client_dropout=0.2, client_straggle=0.2,
+                         msg_loss=0.1, seed=1)
+        ref = run_hierminimax(fed, logistic_factory, "serial", faults=plan)
+        got = run_hierminimax(fed, logistic_factory, name, faults=plan)
+        assert_results_identical(ref, got)
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_checkpoint_resume_across_backends(self, fed, logistic_factory,
+                                               hm_reference, name, tmp_path):
+        """A serial run checkpointed mid-flight, resumed on another backend,
+        lands exactly where the uninterrupted serial run does."""
+        ckpt = tmp_path / f"hm-{name}.ckpt.json"
+        run_hierminimax(fed, logistic_factory, "serial", rounds=2,
+                        checkpoint_path=ckpt, checkpoint_every=2)
+        resumed = HierMinimax(fed, logistic_factory, tau1=2, tau2=2, m_edges=5,
+                              eta_w=0.05, eta_p=2e-3, batch_size=8, seed=3,
+                              backend=make_backend(name, workers=2))
+        assert resumed.load_checkpoint(ckpt) == 2
+        result = resumed.run(rounds=2, eval_every=2)
+        resumed.close()
+        np.testing.assert_array_equal(hm_reference.final_params,
+                                      result.final_params)
+        np.testing.assert_array_equal(hm_reference.final_weights,
+                                      result.final_weights)
+        assert (hm_reference.history.final().record.per_edge_accuracy
+                == result.history.final().record.per_edge_accuracy).all()
+
+
+# --------------------------------------------------------- backend resolution
+class TestResolveBackend:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_backend(None) is SERIAL_BACKEND
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        b = resolve_backend(None)
+        try:
+            assert isinstance(b, ThreadBackend)
+            assert b.workers == 3
+        finally:
+            b.close()
+
+    def test_instance_passthrough(self):
+        b = SerialBackend()
+        assert resolve_backend(b, workers=7) is b
+
+    @pytest.mark.parametrize("alias,cls", [
+        ("threads", ThreadBackend), ("mp", ProcessBackend),
+        ("vec", VectorizedBackend), ("sync", SerialBackend)])
+    def test_aliases(self, alias, cls):
+        b = make_backend(alias)
+        try:
+            assert isinstance(b, cls)
+        finally:
+            b.close()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            make_backend("gpu")
+
+    def test_available_backends_all_construct(self):
+        for name in available_backends():
+            b = make_backend(name, workers=2)
+            assert isinstance(b, ExecutionBackend)
+            assert b.name == name
+            b.close()
+
+    def test_context_manager_closes(self):
+        with ThreadBackend(workers=2) as b:
+            assert isinstance(b, ThreadBackend)
+        # Closing twice is harmless.
+        b.close()
