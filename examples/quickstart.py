@@ -8,6 +8,7 @@ fairness metrics and communication totals.
 Run:
     python examples/quickstart.py [--scale tiny|small] [--rounds N] \
         [--trace run.trace.jsonl] [--faults SPEC] \
+        [--attack SPEC --defense SPEC] \
         [--checkpoint run.ckpt.json [--checkpoint-every N] [--resume]] \
         [--stop-after K]
 
@@ -19,6 +20,11 @@ seeded fault plan (see ``repro.faults.FaultPlan``).  Checkpoint/resume demo::
 
     python examples/quickstart.py --checkpoint /tmp/qs.ckpt.json --stop-after 100
     python examples/quickstart.py --checkpoint /tmp/qs.ckpt.json --resume
+
+Byzantine demo — 20% sign-flipping clients held off by the trimmed mean::
+
+    python examples/quickstart.py --attack sign_flip,fraction=0.2 \
+        --defense trimmed_mean
 """
 
 from __future__ import annotations
@@ -27,8 +33,8 @@ import argparse
 
 import numpy as np
 
-from repro import FaultPlan, HierMinimax, NullTracer, Tracer, \
-    make_federated_dataset, make_model_factory
+from repro import AttackPlan, FaultPlan, HierMinimax, NullTracer, Tracer, \
+    apply_label_flip, make_federated_dataset, make_model_factory
 from repro.exec import resolve_backend
 from repro.utils.logging import RunLogger
 
@@ -44,6 +50,12 @@ def main() -> None:
                         help="write a JSONL trace of the run here")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="fault plan, e.g. 'client_dropout=0.2,seed=1'")
+    parser.add_argument("--attack", default=None, metavar="SPEC",
+                        help="byzantine attack plan, e.g. "
+                             "'sign_flip,fraction=0.2'")
+    parser.add_argument("--defense", default=None, metavar="SPEC",
+                        help="robust-aggregation policy, e.g. 'trimmed_mean' "
+                             "or 'edge=median,cloud=krum'")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
                         help="checkpoint file to write (and resume from)")
     parser.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
@@ -81,6 +93,16 @@ def main() -> None:
     plan = FaultPlan.parse(args.faults) if args.faults else None
     if plan is not None:
         print(f"faults : {args.faults}")
+    if args.attack:
+        from dataclasses import replace
+
+        attack = AttackPlan.parse(args.attack)
+        plan = replace(plan if plan is not None else FaultPlan(),
+                       byzantine=attack)
+        data = apply_label_flip(data, attack)
+        print(f"attack : {args.attack}")
+    if args.defense:
+        print(f"defense: {args.defense}")
     backend = resolve_backend(args.backend, args.workers)
     if backend.name != "serial":
         print(f"backend: {backend.name}")
@@ -93,6 +115,7 @@ def main() -> None:
         obs=obs,
         faults=plan,
         backend=backend,
+        defense=args.defense,
     )
 
     # 4. Optional checkpoint/resume: restore, then run only what is left.

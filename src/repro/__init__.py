@@ -35,6 +35,18 @@ from repro.data import (
     make_federated_dataset,
 )
 from repro.compression import IdentityCompressor, QSGDQuantizer, TopKSparsifier
+from repro.defense import (
+    AttackPlan,
+    CoordinateMedian,
+    DefensePolicy,
+    Krum,
+    NormClip,
+    RobustAggregator,
+    TrimmedMean,
+    WeightedMean,
+    apply_label_flip,
+    resolve_defense,
+)
 from repro.faults import (
     CheckpointError,
     FaultInjector,
@@ -77,6 +89,16 @@ __all__ = [
     "IdentityCompressor",
     "QSGDQuantizer",
     "TopKSparsifier",
+    "AttackPlan",
+    "CoordinateMedian",
+    "DefensePolicy",
+    "Krum",
+    "NormClip",
+    "RobustAggregator",
+    "TrimmedMean",
+    "WeightedMean",
+    "apply_label_flip",
+    "resolve_defense",
     "CheckpointError",
     "FaultInjector",
     "FaultPlan",

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import robust_combine
 from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
@@ -51,10 +52,12 @@ class DRFA(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults, backend=backend)
+                         obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -106,6 +109,9 @@ class DRFA(FederatedAlgorithm):
             acc_ckpt = np.zeros(d)
             n_contrib = 0
             n_ckpt = 0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
+            ckpt_entries: list[tuple[str, float, np.ndarray]] = []
             # Sampling is with replacement: the same client may appear twice;
             # the dispatcher chains duplicate occurrences so its minibatch
             # stream advances exactly as this loop used to advance it.
@@ -133,29 +139,59 @@ class DRFA(FederatedAlgorithm):
                         round_index, "client_cloud",
                         f"client:{client.client_id}", w_end, w_ckpt,
                         floats=(2 if takes_ckpt else 1) * d,
-                        tracker=self.tracker)
+                        tracker=self.tracker, ref=self.w)
                     if delivered is None:
                         continue
                     w_end, w_ckpt = delivered
+                if cloud_agg is not None:
+                    entries.append((f"client:{client.client_id}", 1.0, w_end))
+                    if w_ckpt is not None:
+                        ckpt_entries.append(
+                            (f"client:{client.client_id}", 1.0, w_ckpt))
+                    continue
                 acc += w_end
                 n_contrib += 1
                 if w_ckpt is not None:
                     acc_ckpt += w_ckpt
                     n_ckpt += 1
             self.tracker.sync_cycle("client_cloud")
-            if n_contrib == len(sampled):
-                self.w = acc / self.m_clients
-            elif n_contrib > 0:
-                self.w = acc / n_contrib
+            if cloud_agg is not None:
+                # Robust aggregation replaces the sampled-client mean for both
+                # the round model and the random-checkpoint model.
+                w_ref = self.w
+                combined = robust_combine(cloud_agg, entries, ref=w_ref,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="client_cloud")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+                ckpt_combined = robust_combine(cloud_agg, ckpt_entries,
+                                               ref=w_ref, faults=faults,
+                                               round_index=round_index,
+                                               link="client_cloud")
+                if ckpt_combined is not None:
+                    w_checkpoint = ckpt_combined
+                else:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
+                    w_checkpoint = self.w
             else:
-                faults.degraded_round(round_index, "phase1_model_update")
-            if n_ckpt == len(sampled):
-                w_checkpoint = acc_ckpt / self.m_clients
-            elif n_ckpt > 0:
-                w_checkpoint = acc_ckpt / n_ckpt
-            else:
-                faults.checkpoint_fallback(round_index, "phase1_model_update")
-                w_checkpoint = self.w
+                if n_contrib == len(sampled):
+                    self.w = acc / self.m_clients
+                elif n_contrib > 0:
+                    self.w = acc / n_contrib
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+                if n_ckpt == len(sampled):
+                    w_checkpoint = acc_ckpt / self.m_clients
+                elif n_ckpt > 0:
+                    w_checkpoint = acc_ckpt / n_ckpt
+                else:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
+                    w_checkpoint = self.w
 
         # Weight ascent phase at the checkpoint model, scaled by tau1.
         with obs.span("phase2_weight_update", round=round_index):
@@ -184,6 +220,7 @@ class DRFA(FederatedAlgorithm):
                     continue
                 losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
+            losses = self._clip_losses(round_index, losses, "client")
             if losses:
                 self._last_losses.update(losses)
                 obs.gauge("worst_client_loss", max(losses.values()))

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import robust_combine
 from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection
@@ -46,10 +47,12 @@ class FedAvg(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults, backend=backend)
+                         obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -76,6 +79,8 @@ class FedAvg(FederatedAlgorithm):
                                 floats=d)
             acc = np.zeros(d)
             total_weight = 0.0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
             work: list[ClientWork] = []
             for i in sampled:
                 client = self.clients[int(i)]
@@ -94,15 +99,28 @@ class FedAvg(FederatedAlgorithm):
                     delivered = faults.receive(
                         round_index, "client_cloud",
                         f"client:{client.client_id}", w_end, floats=d,
-                        tracker=self.tracker)
+                        tracker=self.tracker, ref=self.w)
                     if delivered is None:
                         continue
                     (w_end,) = delivered
                 weight = float(client.num_samples) if self.weight_by_data else 1.0
+                if cloud_agg is not None:
+                    entries.append((f"client:{client.client_id}", weight, w_end))
+                    continue
                 acc += weight * w_end
                 total_weight += weight
             self.tracker.sync_cycle("client_cloud")
-            if total_weight > 0.0:
+            if cloud_agg is not None:
+                # Robust aggregation replaces the weighted client mean.
+                combined = robust_combine(cloud_agg, entries, ref=self.w,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="client_cloud")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "model_update")
+            elif total_weight > 0.0:
                 # Survivor-weighted average: dropped clients simply leave the
                 # denominator, which is the weighted-mean renormalization.
                 self.w = acc / total_weight

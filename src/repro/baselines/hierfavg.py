@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import robust_combine
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection
 from repro.sim.builder import build_edge_servers
@@ -47,10 +48,12 @@ class HierFAVG(FederatedAlgorithm):
                  weight_by_data: bool = True,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults, backend=backend)
+                         obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
         n_e = dataset.num_edges
@@ -78,6 +81,8 @@ class HierFAVG(FederatedAlgorithm):
                                 floats=d)
             acc = np.zeros(d)
             total_weight = 0.0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
             for e in sampled:
                 edge = self.edges[int(e)]
                 if injecting and faults.edge_dark(round_index, edge.edge_id):
@@ -87,20 +92,33 @@ class HierFAVG(FederatedAlgorithm):
                     lr=self.eta_w, projection=self.projection_w, checkpoint=None,
                     tracker=self.tracker, weight_by_data=self.weight_by_data,
                     obs=obs, faults=faults, round_index=round_index,
-                    backend=self.backend)
+                    backend=self.backend, defense=self._edge_agg)
                 self.tracker.record("edge_cloud", "up", count=1, floats=d)
                 if injecting:
                     delivered = faults.receive(
                         round_index, "edge_cloud", f"edge:{edge.edge_id}", w_e,
-                        floats=d, tracker=self.tracker)
+                        floats=d, tracker=self.tracker, ref=self.w)
                     if delivered is None:
                         continue
                     (w_e,) = delivered
                 weight = float(edge.num_samples) if self.weight_by_data else 1.0
+                if cloud_agg is not None:
+                    entries.append((f"edge:{edge.edge_id}", weight, w_e))
+                    continue
                 acc += weight * w_e
                 total_weight += weight
             self.tracker.sync_cycle("edge_cloud")
-            if total_weight > 0.0:
+            if cloud_agg is not None:
+                # Robust aggregation replaces the weighted edge mean.
+                combined = robust_combine(cloud_agg, entries, ref=self.w,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="edge_cloud")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "model_update")
+            elif total_weight > 0.0:
                 # Survivor-weighted average (dark edges leave the denominator).
                 self.w = acc / total_weight
             else:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import robust_combine
 from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
@@ -47,10 +48,12 @@ class StochasticAFL(FederatedAlgorithm):
                  projection_q: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults, backend=backend)
+                         obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -99,6 +102,8 @@ class StochasticAFL(FederatedAlgorithm):
                                 count=len(np.unique(sampled)), floats=d)
             acc = np.zeros(d)
             n_contrib = 0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
             # With-replacement sampling: duplicates chain in the dispatcher.
             work: list[ClientWork] = []
             for i in sampled:
@@ -120,14 +125,27 @@ class StochasticAFL(FederatedAlgorithm):
                     delivered = faults.receive(
                         round_index, "client_cloud",
                         f"client:{client.client_id}", w_end, floats=d,
-                        tracker=self.tracker)
+                        tracker=self.tracker, ref=self.w)
                     if delivered is None:
                         continue
                     (w_end,) = delivered
+                if cloud_agg is not None:
+                    entries.append((f"client:{client.client_id}", 1.0, w_end))
+                    continue
                 acc += w_end
                 n_contrib += 1
             self.tracker.sync_cycle("client_cloud")
-            if n_contrib == len(sampled):
+            if cloud_agg is not None:
+                # Robust aggregation replaces the sampled-client mean.
+                combined = robust_combine(cloud_agg, entries, ref=self.w,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="client_cloud")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+            elif n_contrib == len(sampled):
                 self.w = acc / self.m_clients
             elif n_contrib > 0:
                 self.w = acc / n_contrib
@@ -160,6 +178,7 @@ class StochasticAFL(FederatedAlgorithm):
                     continue
                 losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
+            losses = self._clip_losses(round_index, losses, "client")
             if losses:
                 self._last_losses.update(losses)
                 obs.gauge("worst_client_loss", max(losses.values()))

@@ -9,6 +9,7 @@ Usage::
     python -m repro tradeoff --horizon 512
     python -m repro trace-report run.trace.jsonl
     python -m repro degradation --scale tiny --faults client_dropout=0.2,seed=1
+    python -m repro byzantine --attack sign_flip --defense trimmed_mean
     python -m repro info
 
 Every subcommand prints the same reports the benchmark harness archives; ``--out``
@@ -87,6 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "'client_dropout=0.2,edge_outage=0.05,seed=1'")
     p_deg.add_argument("--tolerance", type=float, default=0.10,
                        help="max tolerated worst-edge accuracy drop")
+
+    p_byz = sub.add_parser(
+        "byzantine",
+        help="byzantine demo: clean vs attacked (mean) vs attacked+defense")
+    p_byz.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    p_byz.add_argument("--rounds", type=int, default=400)
+    p_byz.add_argument("--seed", type=int, default=0)
+    p_byz.add_argument("--attack", default="sign_flip,scale=5",
+                       help="AttackPlan spec, e.g. "
+                            "'sign_flip,fraction=0.2,seed=1' or "
+                            "'loss_inflation,scale=20'; without an explicit "
+                            "roster, --fraction of the clients is compromised "
+                            "deterministically (one per edge area)")
+    p_byz.add_argument("--fraction", type=float, default=0.2,
+                       help="byzantine client fraction when the --attack spec "
+                            "does not set one")
+    p_byz.add_argument("--defense",
+                       default="edge=trimmed_mean,cloud=norm_clip,"
+                               "trim=0.34,loss_clip=2.0",
+                       help="DefensePolicy spec, e.g. 'trimmed_mean' or "
+                            "'edge=median,cloud=krum,loss_clip=3'")
+    p_byz.add_argument("--tolerance", type=float, default=0.05,
+                       help="max tolerated worst-edge accuracy drop of the "
+                            "defended run vs the clean run")
 
     sub.add_parser("info", help="version and system inventory")
     return parser
@@ -244,6 +269,80 @@ def _cmd_degradation(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_byzantine(args) -> int:
+    """Clean vs attacked-mean vs attacked-defended HierMinimax on shared data.
+
+    The acceptance demo of the defense subsystem: under the attack, the
+    defended run must keep its worst-edge accuracy within ``--tolerance`` of
+    the clean run.  Exit code 1 signals the tolerance was exceeded.  The
+    attacked runs share one fault plan, so the attacker roster and tampering
+    draws are identical with and without the defense.
+    """
+    from dataclasses import replace
+
+    from repro.core.hierminimax import HierMinimax
+    from repro.data.registry import make_federated_dataset
+    from repro.defense import AttackPlan, apply_label_flip, resolve_defense
+    from repro.faults import FaultPlan
+    from repro.nn.models import make_model_factory
+    from repro.obs import Tracer
+
+    attack = AttackPlan.parse(args.attack)
+    dataset = make_federated_dataset("emnist_digits", seed=args.seed,
+                                     scale=args.scale)
+    if attack.fraction == 0.0 and not attack.clients:
+        # Deterministic roster: --fraction of the clients, one per edge area
+        # (the first client of each of the first N areas), so the per-cohort
+        # breakdown ratio is the same for every run of the demo.
+        cpe = dataset.edges[0].num_clients
+        n_byz = max(1, round(args.fraction * dataset.num_clients))
+        attack = replace(attack, clients=tuple(
+            cpe * e for e in range(min(n_byz, dataset.num_edges))))
+    plan = FaultPlan(byzantine=attack)
+    policy = resolve_defense(args.defense)
+    poisoned = apply_label_flip(dataset, attack)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    print(f"dataset : {dataset}")
+    n_byz = len(attack.roster(dataset.num_clients))
+    print(f"attack  : {args.attack} "
+          f"({n_byz}/{dataset.num_clients} clients byzantine)")
+    print(f"defense : {policy.describe() if policy else 'mean'}")
+
+    def run(data, faults, defense, obs=None):
+        algo = HierMinimax(data, factory, batch_size=8, eta_w=0.05,
+                           eta_p=2e-3, tau1=2, tau2=2, m_edges=5,
+                           seed=args.seed, obs=obs, faults=faults,
+                           defense=defense)
+        res = algo.run(rounds=args.rounds,
+                       eval_every=max(1, args.rounds // 10))
+        return res.history.final().record
+
+    clean = run(dataset, None, None)
+    undefended = run(poisoned, plan, None)
+    obs = Tracer(None)  # metrics-only: collect the attack/defense counters
+    defended = run(poisoned, plan, policy, obs=obs)
+    counters = obs.snapshot()["counters"]
+
+    print(f"\n{'':24s} {'clean':>10s} {'attacked':>10s} {'defended':>10s}")
+    for label, attr in (("worst edge accuracy", "worst_accuracy"),
+                        ("average accuracy", "average_accuracy")):
+        vals = [getattr(r, attr) for r in (clean, undefended, defended)]
+        print(f"{label:<24s} " + " ".join(f"{v:10.4f}" for v in vals))
+    print("\nbyzantine counters (defended run):")
+    for key in ("byzantine_attacks_total", "byzantine_filtered_total",
+                "norm_guard_rejections_total"):
+        if key in counters:
+            print(f"  {key:<28s} {counters[key]:g}")
+    drop = clean.worst_accuracy - defended.worst_accuracy
+    ok = drop <= args.tolerance
+    print(f"\ndefended worst-edge accuracy drop {drop:+.4f} "
+          f"{'within' if ok else 'EXCEEDS'} tolerance {args.tolerance:.2f} "
+          f"(undefended drop "
+          f"{clean.worst_accuracy - undefended.worst_accuracy:+.4f})")
+    return 0 if ok else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -281,4 +380,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace_report(args)
     if args.command == "degradation":
         return _cmd_degradation(args)
+    if args.command == "byzantine":
+        return _cmd_byzantine(args)
     return _cmd_info()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import clip_loss_reports, resolve_defense
 from repro.faults.checkpoint import load_checkpoint_file, save_checkpoint_file
 from repro.faults.injector import resolve_injector
 from repro.metrics.evaluation import evaluate_record
@@ -112,6 +113,14 @@ class FederatedAlgorithm(ABC):
         call :meth:`close` to release worker pools), or ``None`` (the
         ``REPRO_BACKEND`` environment variable, default serial).  Every
         backend produces bit-identical results (see :mod:`repro.exec`).
+    defense:
+        Optional Byzantine defense: a :class:`~repro.defense.DefensePolicy`,
+        a :class:`~repro.defense.RobustAggregator` (or its name, e.g.
+        ``"trimmed_mean"``) installed at every aggregation tier, or a spec
+        string (``"edge=median,cloud=krum,loss_clip=2.5"``).  ``None`` — or
+        the reference ``"mean"`` rule — keeps the original aggregation code
+        paths, bit-identical to a build without the defense subsystem (see
+        :mod:`repro.defense`).
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -124,7 +133,8 @@ class FederatedAlgorithm(ABC):
     def __init__(self, dataset: FederatedDataset, model_factory: ModelFactory, *,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -136,6 +146,15 @@ class FederatedAlgorithm(ABC):
         self.logger = logger if logger is not None else NullLogger()
         self.obs = obs if obs is not None else NULL_TRACER
         self.faults = resolve_injector(faults, obs=self.obs)
+        self.defense = resolve_defense(defense)
+        # Pre-resolved per-tier hooks: None means "take the original inline
+        # aggregation path" — both for no defense and for the reference mean.
+        self._edge_agg = (None if self.defense is None
+                          else self.defense.tier("edge"))
+        self._cloud_agg = (None if self.defense is None
+                           else self.defense.tier("cloud"))
+        self._loss_clip = (None if self.defense is None
+                           else self.defense.loss_clip)
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
         self.w: np.ndarray = self.engine.get_params()
@@ -365,6 +384,23 @@ class FederatedAlgorithm(ABC):
         return self.rounds_completed
 
     # ---------------------------------------------------------------- helpers
+    def _clip_losses(self, round_index: int, losses: dict,
+                     entity_prefix: str) -> dict:
+        """Score-damped minimax weight update: cap reports at the policy's
+        ``loss_clip ×`` the round's median, flagging the capped senders.
+
+        A no-op (returning ``losses`` unchanged, the same dict) without an
+        active ``loss_clip`` — the healthy path stays bit-identical.
+        """
+        if self._loss_clip is None or not losses:
+            return losses
+        clipped, ids, cap = clip_loss_reports(losses, self._loss_clip)
+        for eid in ids:
+            self.faults.suspect(round_index, f"{entity_prefix}:{eid}",
+                                action="loss_clipped", aggregator="loss_clip",
+                                cap=round(cap, 6))
+        return clipped
+
     def _evaluation_point(self, round_index: int) -> HistoryPoint:
         record = evaluate_record(self.engine, self.w, self.dataset)
         weights = self.current_weights()

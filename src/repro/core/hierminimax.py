@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm, _restore_generator
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import robust_combine
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
 from repro.sim.builder import build_edge_servers
@@ -92,10 +93,12 @@ class HierMinimax(FederatedAlgorithm):
                  compressor=None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
-                         obs=obs, faults=faults, backend=backend)
+                         obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -160,6 +163,10 @@ class HierMinimax(FederatedAlgorithm):
             upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
             n_contrib = 0
             n_ckpt = 0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
+            ckpt_entries: list[tuple[str, float, np.ndarray]] = []
+            w_ref = self.w
             for e in sampled:
                 eid = int(e)
                 if injecting and faults.edge_dark(round_index, eid):
@@ -170,7 +177,7 @@ class HierMinimax(FederatedAlgorithm):
                     checkpoint=checkpoint, tracker=self.tracker,
                     compressor=self.compressor, comp_rng=self._comp_rng,
                     obs=obs, faults=faults, round_index=round_index,
-                    backend=self.backend)
+                    backend=self.backend, defense=self._edge_agg)
                 if self.compressor is not None:
                     # Edge transmits compressed deltas against the broadcast w^(k).
                     w_e = self.w + self.compressor.compress(w_e - self.w,
@@ -184,17 +191,44 @@ class HierMinimax(FederatedAlgorithm):
                 if injecting:
                     delivered = faults.receive(
                         round_index, "edge_cloud", f"edge:{eid}", w_e, w_e_ckpt,
-                        floats=upload_floats, tracker=self.tracker)
+                        floats=upload_floats, tracker=self.tracker, ref=w_ref)
                     if delivered is None:
                         continue
                     w_e, w_e_ckpt = delivered
+                if cloud_agg is not None:
+                    entries.append((f"edge:{eid}", 1.0, w_e))
+                    if w_e_ckpt is not None:
+                        ckpt_entries.append((f"edge:{eid}", 1.0, w_e_ckpt))
+                    continue
                 acc_w += w_e
                 n_contrib += 1
                 if acc_ckpt is not None and w_e_ckpt is not None:
                     acc_ckpt += w_e_ckpt
                     n_ckpt += 1
             self.tracker.sync_cycle("edge_cloud")
-            if n_contrib == len(sampled):
+            if cloud_agg is not None:
+                # Robust Eq. (5)/(6): the installed aggregator replaces the
+                # sampled-edge mean (suspicious uploads are down-weighted or
+                # excluded and reported via the defense ledger).
+                combined = robust_combine(cloud_agg, entries, ref=w_ref,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="edge_cloud")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+                w_checkpoint = self.w
+                if self.use_checkpoint:
+                    ckpt_combined = robust_combine(
+                        cloud_agg, ckpt_entries, ref=w_ref, faults=faults,
+                        round_index=round_index, link="edge_cloud")
+                    if ckpt_combined is not None:
+                        w_checkpoint = ckpt_combined
+                    else:
+                        faults.checkpoint_fallback(round_index,
+                                                   "phase1_model_update")
+            elif n_contrib == len(sampled):
                 acc_w /= self.m_edges     # Eq. (5): global model
                 self.w = acc_w
             elif n_contrib > 0:
@@ -204,7 +238,9 @@ class HierMinimax(FederatedAlgorithm):
             else:
                 # Every sampled edge dark/lost: the round makes no model step.
                 faults.degraded_round(round_index, "phase1_model_update")
-            if acc_ckpt is not None and n_ckpt == len(sampled):
+            if cloud_agg is not None:
+                pass  # checkpoint handled on the robust path above
+            elif acc_ckpt is not None and n_ckpt == len(sampled):
                 acc_ckpt /= self.m_edges  # Eq. (6): checkpoint model
                 w_checkpoint = acc_ckpt
             elif acc_ckpt is not None and n_ckpt > 0:
@@ -230,7 +266,8 @@ class HierMinimax(FederatedAlgorithm):
                 if not (injecting and faults.edge_dark(round_index, eid)):
                     est = self.edges[eid].estimate_loss(
                         self.engine, w_checkpoint, tracker=self.tracker,
-                        faults=faults, round_index=round_index)
+                        faults=faults, round_index=round_index,
+                        loss_clip=self._loss_clip)
                     if est is not None:
                         self.tracker.record("edge_cloud", "up", count=1,
                                             floats=1)
@@ -249,6 +286,7 @@ class HierMinimax(FederatedAlgorithm):
                     continue
                 losses[eid] = est
             self.tracker.sync_cycle("edge_cloud")
+            losses = self._clip_losses(round_index, losses, "edge")
             if losses:
                 self._last_losses.update(losses)
                 obs.gauge("worst_edge_loss", max(losses.values()))

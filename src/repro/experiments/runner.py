@@ -12,7 +12,7 @@ exposed on the returned :class:`ExperimentOutput`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.baselines.registry import make_algorithm
 from repro.core.base import RunResult
+from repro.defense.attacks import AttackPlan, apply_label_flip
 from repro.faults import FaultPlan, resolve_injector
 from repro.data.dataset import FederatedDataset
 from repro.data.registry import make_federated_dataset
@@ -86,6 +87,7 @@ def build_preset_model(preset: ExperimentPreset,
 def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    algorithms: tuple[str, ...] | None = None,
                    logger=None, obs=None, faults=None,
+                   attack=None, defense=None,
                    checkpoint_dir=None, checkpoint_every: int | None = None,
                    resume: bool = False,
                    backend=None, workers: int | None = None) -> ExperimentOutput:
@@ -108,6 +110,18 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         algorithm.  Each algorithm gets its *own* injector (bound to ``obs``),
         so fault decisions stay a pure function of ``(plan.seed, round,
         entity)`` and are identical across the roster.
+    attack:
+        Optional Byzantine attack: an
+        :class:`~repro.defense.AttackPlan` or a spec string for
+        :meth:`AttackPlan.parse` (``"sign_flip,fraction=0.2"``).  Merged into
+        the fault plan (creating a fresh one when ``faults`` is ``None``);
+        a ``label_flip`` attack additionally poisons the byzantine clients'
+        training shards before any algorithm runs.
+    defense:
+        Optional countermeasure policy — a
+        :class:`~repro.defense.DefensePolicy`, aggregator name, or spec
+        string for :func:`~repro.defense.resolve_defense` — forwarded to
+        every algorithm of the roster.
     checkpoint_dir / checkpoint_every:
         When both are set, each algorithm writes
         ``<checkpoint_dir>/<name>.ckpt.json`` every ``checkpoint_every``
@@ -128,12 +142,27 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
     obs = obs if obs is not None else NULL_TRACER
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
+    if attack is not None:
+        plan = AttackPlan.parse(attack) if isinstance(attack, str) else attack
+        if not isinstance(plan, AttackPlan):
+            raise TypeError("attack must be an AttackPlan or a spec string, "
+                            f"got {type(attack).__name__}")
+        if not plan.is_null:
+            base = faults if faults is not None else FaultPlan()
+            if not isinstance(base, FaultPlan):
+                raise TypeError("run_experiment takes a FaultPlan when "
+                                "combining faults with an attack")
+            faults = replace(base, byzantine=plan)
     owns_backend = not isinstance(backend, ExecutionBackend)
     backend = resolve_backend(backend, workers)
     setup = TimerBank()
     with setup("data_gen"), obs.span("data_gen", dataset=preset.dataset,
                                      scale=preset.scale, seed=seed):
         dataset = build_preset_dataset(preset, seed=seed)
+        if (faults is not None and isinstance(faults, FaultPlan)
+                and faults.has_attack):
+            # Data poisoning happens once, before any algorithm trains.
+            dataset = apply_label_flip(dataset, faults.byzantine)
         model_factory = build_preset_model(preset, dataset)
     roster = algorithms if algorithms is not None else preset.algorithms
     timers = TimerBank()
@@ -142,7 +171,7 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
     try:
         _run_roster(preset, roster, dataset, model_factory, results, phase_times,
                     timers, seed=seed, logger=logger, obs=obs, faults=faults,
-                    checkpoint_dir=checkpoint_dir,
+                    defense=defense, checkpoint_dir=checkpoint_dir,
                     checkpoint_every=checkpoint_every, resume=resume,
                     backend=backend)
     finally:
@@ -156,7 +185,7 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
 
 
 def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
-                timers, *, seed, logger, obs, faults, checkpoint_dir,
+                timers, *, seed, logger, obs, faults, defense, checkpoint_dir,
                 checkpoint_every, resume, backend) -> None:
     """Execute each algorithm of ``roster`` in turn, filling the result maps."""
     for name in roster:
@@ -172,7 +201,7 @@ def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
             seed=seed, logger=logger, obs=obs, faults=injector,
-            backend=backend)
+            backend=backend, defense=defense)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
         ckpt_path = None

@@ -32,9 +32,11 @@ from repro.faults.injector import (
     FaultInjector,
     resolve_injector,
 )
+from repro.defense.attacks import AttackPlan
 from repro.faults.plan import FaultPlan, RetryPolicy
 
 __all__ = [
+    "AttackPlan",
     "FaultPlan",
     "RetryPolicy",
     "FaultInjector",

@@ -36,6 +36,10 @@ INJECTED_KINDS = ("client_dropout", "client_straggler", "straggler_timeout",
 RECOVERY_KINDS = ("retry_success", "stale_loss_fallback",
                   "checkpoint_fallback", "quarantine")
 
+#: Minimum same-link uploads seen this round before the norm z-score guard
+#: can flag an outlier (robust statistics need a cohort).
+GUARD_MIN_COHORT = 8
+
 
 class FaultInjector:
     """Per-run fault oracle plus degradation state.
@@ -56,6 +60,15 @@ class FaultInjector:
         self.enabled = not plan.is_null
         self.quarantined: set[str] = set()
         self.backoff_s_total = 0.0
+        # The adversarial tier: roster members' uploads are tampered inside
+        # receive(), so every algorithm's aggregation sees poisoned payloads
+        # without any per-algorithm attack code.
+        self.attacks = (plan.byzantine
+                        if plan.byzantine is not None
+                        and not plan.byzantine.is_null else None)
+        # Suspicion ledger fed by the defense layer (robust aggregators and
+        # the norm guard): sender -> times flagged.  Survives checkpoints.
+        self.suspicion: dict[str, int] = {}
         # Per-round dedup of emitted events (a whole-round decision like an
         # edge outage is queried by both phases) and the per-sender message
         # sequence counter that makes repeated uploads within a round draw
@@ -63,6 +76,9 @@ class FaultInjector:
         self._event_round: int | None = None
         self._emitted: set[tuple] = set()
         self._msg_seq: dict[tuple, int] = {}
+        # Round-scoped cohort of per-link array-upload norms for the z-score
+        # guard; rebuilt each round (round-boundary resume needs no state).
+        self._norm_cohort: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------ rng plumbing
     def _rng(self, round_index: int, kind: str, entity: str,
@@ -78,6 +94,7 @@ class FaultInjector:
             self._event_round = round_index
             self._emitted.clear()
             self._msg_seq.clear()
+            self._norm_cohort.clear()
 
     def _emit(self, round_index: int, kind: str, entity: str, *,
               dedup: bool = True, **fields) -> bool:
@@ -173,14 +190,22 @@ class FaultInjector:
 
     # -------------------------------------------------------------- messaging
     def receive(self, round_index: int, link: str, sender: str, *payloads,
-                floats: float = 0.0, tracker=None, direction: str = "up"):
+                floats: float = 0.0, tracker=None, direction: str = "up",
+                ref=None):
         """Deliver ``payloads`` (one logical upload) through the faulty link.
 
-        Applies message loss with the plan's :class:`RetryPolicy`
-        (retransmissions are re-charged to ``tracker`` and counted in
-        ``retries_total``), then corruption, then the receiver-side
-        finite-payload guard: a sender shipping NaN/Inf is quarantined for the
-        rest of the run (``quarantined_senders``) and its upload discarded.
+        Order of operations: Byzantine tampering (the sender *chooses* its
+        payload — see :class:`~repro.defense.attacks.AttackPlan`), then
+        message loss with the plan's :class:`RetryPolicy` (retransmissions are
+        re-charged to ``tracker`` and counted in ``retries_total``), then
+        corruption, then the receiver-side payload guard: a sender shipping
+        NaN/Inf — or, with ``guard_zscore`` set, a finite array whose norm is
+        anomalous against the round's same-link cohort — is quarantined for
+        the rest of the run (``quarantined_senders``) and its upload
+        discarded.
+
+        ``ref`` is the broadcast model the upload answers; model-poisoning
+        attacks tamper with the delta against it.
 
         Returns the tuple of delivered payloads, or ``None`` when the upload
         was lost after all retries or failed validation — the caller treats
@@ -192,6 +217,7 @@ class FaultInjector:
         seq_key = (link, sender)
         seq = self._msg_seq.get(seq_key, 0)
         self._msg_seq[seq_key] = seq + 1
+        payloads = self._attack(round_index, link, sender, payloads, ref)
         gen = self._rng(round_index, "msg", f"{link}:{sender}", seq)
         policy = self.plan.retry
         if self.plan.msg_loss > 0.0:
@@ -228,10 +254,99 @@ class FaultInjector:
         if not all(_finite(p) for p in payloads if p is not None):
             self.quarantine(round_index, sender, link=link)
             return None
+        if self.plan.guard_zscore > 0.0 and not self._norms_ok(
+                round_index, link, sender, payloads):
+            return None
         return payloads
 
+    # ---------------------------------------------------------- byzantine tier
+    def _attack(self, round_index: int, link: str, sender: str, payloads,
+                ref):
+        """Replace a Byzantine client's payloads with its chosen attack.
+
+        Only ``client:<id>`` senders can be Byzantine (edge/interior servers
+        are trusted infrastructure in this threat model); honest senders and
+        pre-``start_round`` rounds pass through untouched.  Attack draws use
+        their own seeded streams, so the plan's *fault* decisions are
+        unchanged by the presence of an adversary.
+        """
+        plan = self.attacks
+        if plan is None or not sender.startswith("client:"):
+            return payloads
+        client_id = int(sender.split(":", 1)[1])
+        if not plan.active(round_index, client_id):
+            return payloads
+        out = []
+        tampered = False
+        for p in payloads:
+            if p is None:
+                out.append(p)
+            elif isinstance(p, np.ndarray):
+                if plan.attack in ("sign_flip", "gauss", "scale"):
+                    out.append(plan.tamper_model(round_index, client_id, p,
+                                                 ref))
+                    tampered = True
+                else:
+                    out.append(p)
+            else:
+                poisoned = plan.tamper_loss(round_index, client_id, float(p))
+                tampered = tampered or poisoned != float(p)
+                out.append(poisoned)
+        if tampered:
+            self.obs.event("attack", round=round_index, attack=plan.attack,
+                           entity=sender, link=link)
+            self.obs.count("byzantine_attacks_total")
+        return tuple(out)
+
+    def _norms_ok(self, round_index: int, link: str, sender: str,
+                  payloads) -> bool:
+        """The finite-but-anomalous guard: norm z-score vs. the round's cohort.
+
+        Keeps a per-link list of array-upload norms for the current round; a
+        new upload whose norm deviates from the cohort median by more than
+        ``guard_zscore`` robust standard deviations (MAD-scaled) quarantines
+        its sender.  Scalar payloads are never judged (loss magnitudes are
+        the *minimax signal*, policed separately by the loss clip).
+        """
+        norms = [float(np.linalg.norm(p)) for p in payloads
+                 if isinstance(p, np.ndarray)]
+        if not norms:
+            return True
+        cohort = self._norm_cohort.setdefault(link, [])
+        if len(cohort) >= GUARD_MIN_COHORT:
+            arr = np.asarray(cohort)
+            center = float(np.median(arr))
+            # MAD scaled to the normal-consistent sigma; floor keeps tiny
+            # homogeneous cohorts from flagging numerical noise.
+            sigma = 1.4826 * float(np.median(np.abs(arr - center)))
+            sigma = max(sigma, 1e-9 * max(abs(center), 1.0))
+            worst = max(abs(n - center) for n in norms) / sigma
+            if worst > self.plan.guard_zscore:
+                self.quarantine(round_index, sender, link=link,
+                                reason="norm_zscore",
+                                zscore=round(worst, 2))
+                self.obs.count("norm_guard_rejections_total")
+                return False
+        cohort.extend(norms)
+        return True
+
+    def suspect(self, round_index: int, sender: str, *, action: str,
+                aggregator: str, **fields) -> None:
+        """Record a defense-layer flag (rejected/clipped upload, capped loss).
+
+        Works even on a disabled injector — robust aggregation can run
+        without any fault plan — and never draws randomness.  Feeds the
+        per-sender suspicion ledger, a ``defense`` trace event, and the
+        ``byzantine_filtered_total`` counter (the "filtered" side of the
+        trace-report attack ledger).
+        """
+        self.suspicion[sender] = self.suspicion.get(sender, 0) + 1
+        self.obs.event("defense", round=round_index, entity=sender,
+                       action=action, aggregator=aggregator, **fields)
+        self.obs.count("byzantine_filtered_total")
+
     def quarantine(self, round_index: int, sender: str, **fields) -> None:
-        """Ban a sender (non-finite payload) for the rest of the run."""
+        """Ban a sender (non-finite or anomalous payload) for the rest of the run."""
         if sender not in self.quarantined:
             self.quarantined.add(sender)
             self._emit(round_index, "quarantine", sender, dedup=False, **fields)
@@ -258,12 +373,20 @@ class FaultInjector:
     def state_dict(self) -> dict:
         """Serializable run-scoped state (the decisions themselves are pure)."""
         return {"quarantined": sorted(self.quarantined),
-                "backoff_s_total": self.backoff_s_total}
+                "backoff_s_total": self.backoff_s_total,
+                "suspicion": dict(self.suspicion)}
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore :meth:`state_dict` output (checkpoint resume)."""
+        """Restore :meth:`state_dict` output (checkpoint resume).
+
+        Every key is read with a default, so a stale checkpoint written
+        before the Byzantine tier existed (no ``suspicion`` ledger) resumes
+        cleanly.
+        """
         self.quarantined = set(state.get("quarantined", ()))
         self.backoff_s_total = float(state.get("backoff_s_total", 0.0))
+        self.suspicion = {str(k): int(v)
+                          for k, v in state.get("suspicion", {}).items()}
 
 
 def _corrupt(payload):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+from repro.defense.attacks import AttackPlan
 from repro.utils.validation import check_probability
 
 __all__ = ["FaultPlan", "RetryPolicy"]
@@ -101,6 +102,19 @@ class FaultPlan:
         the same training run can be replayed under different fault draws.
     retry:
         The :class:`RetryPolicy` for lost messages.
+    byzantine:
+        Optional :class:`~repro.defense.attacks.AttackPlan` — the adversarial
+        tier.  Roster members' uploads are tampered at the receiver side of
+        every link (model poisoning, loss inflation) as pure functions of
+        ``(byzantine.seed, round, client)``.  ``None`` (or a null attack
+        plan) leaves every payload untouched.
+    guard_zscore:
+        Receiver-side anomaly guard: a *finite* array upload whose norm sits
+        more than this many robust z-scores from the round's cohort (same
+        link, at least 8 prior uploads) quarantines its sender, exactly like
+        the NaN guard.  ``0`` disables the guard.  It only arms when the plan
+        is otherwise active (faults or an attack), so it never changes a
+        healthy run's code paths.
     """
 
     client_dropout: float = 0.0
@@ -112,6 +126,8 @@ class FaultPlan:
     msg_corrupt: float = 0.0
     seed: int = 0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    byzantine: AttackPlan | None = None
+    guard_zscore: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("client_dropout", "client_straggle", "edge_outage",
@@ -123,14 +139,30 @@ class FaultPlan:
         if self.round_timeout_slots is not None and self.round_timeout_slots < 1:
             raise ValueError(f"round_timeout_slots must be >= 1 or None, "
                              f"got {self.round_timeout_slots}")
+        if self.byzantine is not None and not isinstance(self.byzantine,
+                                                         AttackPlan):
+            raise TypeError(f"byzantine must be an AttackPlan or None, "
+                            f"got {type(self.byzantine).__name__}")
+        if self.guard_zscore < 0:
+            raise ValueError(
+                f"guard_zscore must be >= 0, got {self.guard_zscore}")
 
     # ------------------------------------------------------------- inspection
     @property
     def is_null(self) -> bool:
-        """True when no fault can ever fire under this plan."""
+        """True when neither a fault nor an attack can ever fire.
+
+        ``guard_zscore`` alone does not activate the plan: the guard is a
+        countermeasure, armed only when something can actually go wrong.
+        """
         return (self.client_dropout == 0.0 and self.client_straggle == 0.0
                 and self.edge_outage == 0.0 and self.msg_loss == 0.0
-                and self.msg_corrupt == 0.0)
+                and self.msg_corrupt == 0.0 and not self.has_attack)
+
+    @property
+    def has_attack(self) -> bool:
+        """True when the plan carries an active Byzantine attack."""
+        return self.byzantine is not None and not self.byzantine.is_null
 
     def straggler_steps(self, tau1: int) -> int:
         """Local steps a straggler completes before the round deadline.
@@ -154,11 +186,18 @@ class FaultPlan:
         ``"client_dropout=0.2,edge_outage=0.05,seed=3,max_retries=1"``.
 
         Keys are :class:`FaultPlan` field names plus the :class:`RetryPolicy`
-        fields (``max_retries``, ``backoff_base_s``, ``backoff_factor``).
+        fields (``max_retries``, ``backoff_base_s``, ``backoff_factor``) plus
+        the ``attack_``-prefixed :class:`~repro.defense.attacks.AttackPlan`
+        fields — e.g.
+        ``"attack=sign_flip,attack_fraction=0.2,attack_seed=1"`` (also
+        ``attack_scale``, ``attack_start_round``, ``attack_colluding``,
+        ``attack_clients=0|3|7``).
         """
         plan_kwargs: dict = {}
         retry_kwargs: dict = {}
-        plan_fields = {f.name: f.type for f in fields(cls) if f.name != "retry"}
+        attack_parts: list[str] = []
+        plan_fields = {f.name: f.type for f in fields(cls)
+                       if f.name not in ("retry", "byzantine")}
         retry_fields = {f.name for f in fields(RetryPolicy)}
         for part in spec.split(","):
             part = part.strip()
@@ -169,6 +208,12 @@ class FaultPlan:
             key, _, raw = part.partition("=")
             key = key.strip()
             raw = raw.strip()
+            if key == "attack":
+                attack_parts.append(f"attack={raw}")
+                continue
+            if key.startswith("attack_"):
+                attack_parts.append(f"{key[len('attack_'):]}={raw}")
+                continue
             if key in ("seed", "round_timeout_slots", "max_retries"):
                 value: object = int(raw)
             else:
@@ -180,8 +225,12 @@ class FaultPlan:
             else:
                 raise ValueError(
                     f"unknown fault spec key {key!r}; options: "
-                    f"{sorted(plan_fields) + sorted(retry_fields)}")
+                    f"{sorted(plan_fields) + sorted(retry_fields)} "
+                    f"plus attack / attack_* keys")
         plan = cls(**plan_kwargs)
         if retry_kwargs:
             plan = replace(plan, retry=RetryPolicy(**retry_kwargs))
+        if attack_parts:
+            plan = replace(plan,
+                           byzantine=AttackPlan.parse(",".join(attack_parts)))
         return plan

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.base import FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
+from repro.defense.policy import clip_loss_reports, robust_combine
 from repro.exec import ClientWork, run_local_steps
 from repro.multilayer.tree import HierarchyTree
 from repro.nn.models import ModelFactory
@@ -76,10 +77,12 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  projection_p: Projection | None = None,
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
-                 logger=None, obs=None, faults=None, backend=None) -> None:
+                 logger=None, obs=None, faults=None, backend=None,
+                 defense=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
-                         logger=logger, obs=obs, faults=faults, backend=backend)
+                         logger=logger, obs=obs, faults=faults, backend=backend,
+                         defense=defense)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -176,6 +179,9 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         d = w_start.size
         tau_here = self.taus[level - 1]  # iterations a level-`level` node performs
         c_here = None if ckpt_digits is None else ckpt_digits[level - 1]
+        # Interior nodes are the generalization of the edge tier: the policy's
+        # edge-slot aggregator applies at every level below the cloud.
+        node_agg = self._edge_agg
         w = np.array(w_start, dtype=np.float64, copy=True)
         w_ckpt: np.ndarray | None = None
         for t in range(tau_here):
@@ -187,6 +193,8 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                 n_live = 0
                 n_ckpt = 0
                 ckpt_faulted = False
+                entries: list[tuple[str, float, np.ndarray]] = []
+                ckpt_entries: list[tuple[str, float, np.ndarray]] = []
                 if level + 1 == depth:
                     # Children are the leaf clients: run the whole sibling
                     # group as one dispatch on the execution backend.
@@ -206,16 +214,24 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                         continue
                     uploads = 2 if on_ckpt_path and w_kc is not None else 1
                     self.tracker.record(link, "up", count=1, floats=d * uploads)
+                    sender = (f"client:{k}" if level + 1 == depth
+                              else f"node:{level + 1}:{k}")
                     if injecting:
-                        sender = (f"client:{k}" if level + 1 == depth
-                                  else f"node:{level + 1}:{k}")
                         delivered = faults.receive(
                             round_index, link, sender, w_k, w_kc,
-                            floats=d * uploads, tracker=self.tracker)
+                            floats=d * uploads, tracker=self.tracker, ref=w)
                         if delivered is None:
                             ckpt_faulted = ckpt_faulted or on_ckpt_path
                             continue
                         w_k, w_kc = delivered
+                    if node_agg is not None:
+                        entries.append((sender, 1.0, w_k))
+                        if ckpt_acc is not None:
+                            if w_kc is not None:
+                                ckpt_entries.append((sender, 1.0, w_kc))
+                            else:
+                                ckpt_faulted = True
+                        continue
                     acc += w_k
                     n_live += 1
                     if ckpt_acc is not None:
@@ -225,6 +241,30 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                         else:
                             ckpt_faulted = True
                 self.tracker.sync_cycle(link)
+                if node_agg is not None:
+                    # Robust aggregation over this node's delivered children.
+                    combined = robust_combine(node_agg, entries, ref=w,
+                                              faults=faults,
+                                              round_index=round_index,
+                                              link=link)
+                    ckpt_combined = (None if ckpt_acc is None else
+                                     robust_combine(node_agg, ckpt_entries,
+                                                    ref=w, faults=faults,
+                                                    round_index=round_index,
+                                                    link=link))
+                    if combined is not None:
+                        w = combined
+                    else:
+                        faults.degraded_round(
+                            round_index, f"node:{level}:{node}:block:{t}")
+                    if ckpt_acc is not None:
+                        if ckpt_combined is not None:
+                            w_ckpt = ckpt_combined
+                        else:
+                            faults.checkpoint_fallback(
+                                round_index, f"node:{level}:{node}:block:{t}")
+                            w_ckpt = w.copy()
+                    continue
                 if n_live == len(kids):
                     w = acc / len(kids)
                 elif n_live > 0:
@@ -300,6 +340,11 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         link = f"level_{level + 1}"
         d = w.size
         self.tracker.record(link, "down", count=len(kids), floats=d)
+        # With a loss clip installed, every interior node damps its children's
+        # cohort before averaging — one inflated leaf cannot poison the whole
+        # subtree's score on its way up.
+        reports: dict[str, float] | None = ({} if self._loss_clip is not None
+                                            else None)
         total = 0.0
         replied = 0
         for k in kids:
@@ -307,19 +352,28 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
             if sub is None:
                 continue
             self.tracker.record(link, "up", count=1, floats=1)
+            sender = (f"client:{k}" if level + 1 == depth
+                      else f"node:{level + 1}:{k}")
             if injecting:
-                sender = (f"client:{k}" if level + 1 == depth
-                          else f"node:{level + 1}:{k}")
                 delivered = faults.receive(round_index, link, sender, sub,
                                            floats=1.0, tracker=self.tracker)
                 if delivered is None:
                     continue
                 (sub,) = delivered
+            if reports is not None:
+                reports[sender] = float(sub)
             total += sub
             replied += 1
         self.tracker.sync_cycle(link)
         if replied == 0:
             return None
+        if reports is not None:
+            clipped, ids, cap = clip_loss_reports(reports, self._loss_clip)
+            if ids:
+                for sender in ids:
+                    faults.suspect(round_index, sender, action="loss_clipped",
+                                   aggregator="loss_clip", cap=round(cap, 6))
+                return sum(clipped.values()) / replied
         return total / replied
 
     # ------------------------------------------------------------------ round
@@ -341,6 +395,9 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
             acc_ckpt = np.zeros(d)
             n_contrib = 0
             n_ckpt = 0
+            cloud_agg = self._cloud_agg
+            entries: list[tuple[str, float, np.ndarray]] = []
+            ckpt_entries: list[tuple[str, float, np.ndarray]] = []
             for a in sampled:
                 aid = int(a)
                 top = self._top_nodes[aid]
@@ -359,29 +416,57 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                 if injecting:
                     delivered = faults.receive(
                         round_index, "level_1", f"area:{aid}", w_a, w_ac,
-                        floats=2 * d, tracker=self.tracker)
+                        floats=2 * d, tracker=self.tracker, ref=self.w)
                     if delivered is None:
                         continue
                     w_a, w_ac = delivered
+                if cloud_agg is not None:
+                    entries.append((f"area:{aid}", 1.0, w_a))
+                    if w_ac is not None:
+                        ckpt_entries.append((f"area:{aid}", 1.0, w_ac))
+                    continue
                 acc_w += w_a
                 n_contrib += 1
                 if w_ac is not None:
                     acc_ckpt += w_ac
                     n_ckpt += 1
             self.tracker.sync_cycle("level_1")
-            if n_contrib == len(sampled):
-                self.w = acc_w / self.m_top
-            elif n_contrib > 0:
-                self.w = acc_w / n_contrib
+            if cloud_agg is not None:
+                # Robust aggregation replaces the sampled-subtree mean.
+                w_ref = self.w
+                combined = robust_combine(cloud_agg, entries, ref=w_ref,
+                                          faults=faults,
+                                          round_index=round_index,
+                                          link="level_1")
+                if combined is not None:
+                    self.w = combined
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+                ckpt_combined = robust_combine(cloud_agg, ckpt_entries,
+                                               ref=w_ref, faults=faults,
+                                               round_index=round_index,
+                                               link="level_1")
+                if ckpt_combined is not None:
+                    w_checkpoint = ckpt_combined
+                else:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
+                    w_checkpoint = self.w
             else:
-                faults.degraded_round(round_index, "phase1_model_update")
-            if n_ckpt == len(sampled):
-                w_checkpoint = acc_ckpt / self.m_top
-            elif n_ckpt > 0:
-                w_checkpoint = acc_ckpt / n_ckpt
-            else:
-                faults.checkpoint_fallback(round_index, "phase1_model_update")
-                w_checkpoint = self.w
+                if n_contrib == len(sampled):
+                    self.w = acc_w / self.m_top
+                elif n_contrib > 0:
+                    self.w = acc_w / n_contrib
+                else:
+                    faults.degraded_round(round_index, "phase1_model_update")
+                if n_ckpt == len(sampled):
+                    w_checkpoint = acc_ckpt / self.m_top
+                elif n_ckpt > 0:
+                    w_checkpoint = acc_ckpt / n_ckpt
+                else:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
+                    w_checkpoint = self.w
 
         # Phase 2: uniform re-sample; recursive loss estimation; ascent on p.
         with obs.span("phase2_weight_update", round=round_index):
@@ -410,6 +495,7 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                     continue
                 losses[aid] = est
             self.tracker.sync_cycle("level_1")
+            losses = self._clip_losses(round_index, losses, "area")
             if losses:
                 self._last_losses.update(losses)
                 obs.gauge("worst_edge_loss", max(losses.values()))

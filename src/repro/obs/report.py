@@ -14,7 +14,10 @@ trace written by :class:`~repro.obs.tracer.Tracer` and reports
 * the round timeline (duration and traffic of each cloud round),
 * the fault ledger replayed from ``fault`` events written by
   :class:`~repro.faults.FaultInjector` — injected failures versus the
-  recoveries the run survived, in total and per round, and
+  recoveries the run survived, in total and per round,
+* the byzantine ledger replayed from ``attack``/``defense`` events — uploads
+  tampered by the :class:`~repro.defense.AttackPlan` versus the rejections
+  and clips the installed :class:`~repro.defense.DefensePolicy` took, and
 * the final metrics snapshot (counters / gauges / histograms).
 """
 
@@ -74,6 +77,20 @@ class TraceReport:
     fault_totals: Mapping[str, int] = field(default_factory=dict)
     faults_by_round: Mapping[int, Mapping[str, int]] = field(
         default_factory=dict)
+    attack_totals: Mapping[str, int] = field(default_factory=dict)
+    defense_totals: Mapping[str, int] = field(default_factory=dict)
+    byzantine_by_round: Mapping[int, Mapping[str, int]] = field(
+        default_factory=dict)
+
+    @property
+    def attacks_injected(self) -> int:
+        """Total tampered uploads replayed from ``attack`` events."""
+        return sum(self.attack_totals.values())
+
+    @property
+    def attacks_filtered(self) -> int:
+        """Total defense actions (rejections, clips) from ``defense`` events."""
+        return sum(self.defense_totals.values())
 
     @property
     def total_bytes(self) -> float:
@@ -151,6 +168,9 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     meta: Mapping[str, Any] = {}
     fault_totals: dict[str, int] = {}
     faults_by_round: dict[int, dict[str, int]] = {}
+    attack_totals: dict[str, int] = {}
+    defense_totals: dict[str, int] = {}
+    byzantine_by_round: dict[int, dict[str, int]] = {}
     for ev in events:
         kind = ev.get("ev")
         if kind == "trace_start":
@@ -168,6 +188,22 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
             if recovery is None:
                 recovery = _is_recovery(fault)
             slot["recovered" if recovery else "injected"] += 1
+        elif kind == "log" and ev.get("kind") == "attack":
+            fields = ev.get("fields", {})
+            attack = str(fields.get("attack", "?"))
+            attack_totals[attack] = attack_totals.get(attack, 0) + 1
+            rnd = int(fields.get("round", -1))
+            slot = byzantine_by_round.setdefault(
+                rnd, {"attacked": 0, "filtered": 0})
+            slot["attacked"] += 1
+        elif kind == "log" and ev.get("kind") == "defense":
+            fields = ev.get("fields", {})
+            action = str(fields.get("action", "?"))
+            defense_totals[action] = defense_totals.get(action, 0) + 1
+            rnd = int(fields.get("round", -1))
+            slot = byzantine_by_round.setdefault(
+                rnd, {"attacked": 0, "filtered": 0})
+            slot["filtered"] += 1
         elif kind == "span":
             name = ev.get("name", "?")
             slot = span_totals.setdefault(name, {"count": 0, "total_s": 0.0})
@@ -221,6 +257,9 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         meta=meta,
         fault_totals=fault_totals,
         faults_by_round=faults_by_round,
+        attack_totals=attack_totals,
+        defense_totals=defense_totals,
+        byzantine_by_round=byzantine_by_round,
     )
 
 
@@ -322,6 +361,31 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
                 lines.append(f"  … {gap} rounds elided …")
                 for rnd, slot in tail:
                     lines.append(_fault_round_line(rnd, slot))
+    if report.attack_totals or report.defense_totals:
+        lines.append("")
+        lines.append(f"byzantine: {report.attacks_injected} attacked uploads, "
+                     f"{report.attacks_filtered} filtered/clipped, "
+                     f"{len(report.byzantine_by_round)} rounds affected")
+        for kind in sorted(report.attack_totals):
+            lines.append(f"  {kind:<22s} {report.attack_totals[kind]:6d}  "
+                         f"(attack)")
+        for action in sorted(report.defense_totals):
+            lines.append(f"  {action:<22s} {report.defense_totals[action]:6d}  "
+                         f"(defense)")
+        by_round = sorted(report.byzantine_by_round.items())
+        if timeline > 0 and by_round:
+            lines.append("byzantine timeline:")
+            if len(by_round) > 2 * timeline:
+                head, tail = by_round[:timeline], by_round[-timeline:]
+                gap = len(by_round) - 2 * timeline
+            else:
+                head, tail, gap = by_round, [], 0
+            for rnd, slot in head:
+                lines.append(_byz_round_line(rnd, slot))
+            if gap:
+                lines.append(f"  … {gap} rounds elided …")
+                for rnd, slot in tail:
+                    lines.append(_byz_round_line(rnd, slot))
     counters = report.metrics.get("counters", {}) if report.metrics else {}
     gauges = report.metrics.get("gauges", {}) if report.metrics else {}
     if counters or gauges:
@@ -332,6 +396,11 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
         for k in sorted(gauges):
             lines.append(f"  {k:<22s} {gauges[k]:g}  (gauge)")
     return "\n".join(lines)
+
+
+def _byz_round_line(rnd: int, slot: Mapping[str, int]) -> str:
+    return (f"  round {rnd:>5d}  {slot.get('attacked', 0):4d} attacked  "
+            f"{slot.get('filtered', 0):4d} filtered")
 
 
 def _fault_round_line(rnd: int, slot: Mapping[str, int]) -> str:

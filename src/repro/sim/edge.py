@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.defense.policy import clip_loss_reports, robust_combine
 from repro.exec.dispatch import ClientWork, run_local_steps
 from repro.nn.network import NeuralNetwork
 from repro.obs import NULL_TRACER
@@ -72,6 +73,7 @@ class EdgeServer:
                      obs=None,
                      faults=None, round_index: int = 0,
                      backend=None,
+                     defense=None,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -117,6 +119,13 @@ class EdgeServer:
             and compression / message faults / accounting are applied to the
             returned results afterwards, in client order — so every backend
             is bit-identical to serial (see :mod:`repro.exec.base`).
+        defense:
+            Optional active :class:`~repro.defense.RobustAggregator` (the
+            ``edge`` tier of a :class:`~repro.defense.DefensePolicy`): each
+            block's delivered client uploads are combined by the robust rule
+            instead of the weighted mean, and rejected/clipped senders are
+            reported through ``faults.suspect``.  ``None`` (empty slot or the
+            reference mean) keeps the original inline accumulation.
 
         Returns
         -------
@@ -155,6 +164,9 @@ class EdgeServer:
                     # Edge broadcasts w_edge to its clients (model-sized, down).
                     tracker.record("client_edge", "down", count=n0, floats=d)
                 acc.fill(0.0)
+                entries: list[tuple[str, float, np.ndarray]] | None = \
+                    [] if defense is not None else None
+                ckpt_entries: list[tuple[str, float, np.ndarray]] = []
                 ckpt_acc = np.zeros(d, dtype=np.float64) if is_ckpt_block else None
                 upload_floats = float(d) if compressor is None else \
                     compressor.payload_floats(d)
@@ -207,12 +219,22 @@ class EdgeServer:
                             round_index, "client_edge",
                             f"client:{client.client_id}", w_end, w_c,
                             floats=upload_floats * (2 if takes_ckpt else 1),
-                            tracker=tracker)
+                            tracker=tracker, ref=w_edge)
                         if delivered is None:
                             block_faulted = True
                             ckpt_faulted = ckpt_faulted or is_ckpt_block
                             continue
                         w_end, w_c = delivered
+                    if entries is not None:
+                        entries.append(
+                            (f"client:{client.client_id}", weight, w_end))
+                        if ckpt_acc is not None:
+                            if w_c is not None:
+                                ckpt_entries.append(
+                                    (f"client:{client.client_id}", weight, w_c))
+                            else:
+                                ckpt_faulted = True
+                        continue
                     acc += weight * w_end
                     live_weight += weight
                     if ckpt_acc is not None:
@@ -224,6 +246,33 @@ class EdgeServer:
                             ckpt_faulted = True
                 if tracker is not None:
                     tracker.sync_cycle("client_edge")
+                if entries is not None:
+                    # Robust block aggregation: the installed rule replaces
+                    # the weighted client mean; both combines reference the
+                    # block's broadcast model.
+                    combined = robust_combine(
+                        defense, entries, ref=w_edge, faults=faults,
+                        round_index=round_index, link="client_edge")
+                    ckpt_combined = (None if ckpt_acc is None else
+                                     robust_combine(defense, ckpt_entries,
+                                                    ref=w_edge, faults=faults,
+                                                    round_index=round_index,
+                                                    link="client_edge"))
+                    if combined is not None:
+                        w_edge[:] = combined
+                    elif injecting:
+                        faults.degraded_round(
+                            round_index, f"edge:{self.edge_id}:block:{t2}")
+                    if ckpt_acc is not None:
+                        if ckpt_combined is not None:
+                            w_ckpt = ckpt_combined
+                        else:
+                            if injecting:
+                                faults.checkpoint_fallback(
+                                    round_index,
+                                    f"edge:{self.edge_id}:block:{t2}")
+                            w_ckpt = w_edge.copy()
+                    continue
                 if live_weight > 0.0:
                     if block_faulted:
                         # Renormalize over the surviving aggregation weight —
@@ -249,18 +298,26 @@ class EdgeServer:
 
     def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray, *,
                       tracker: CommunicationTracker | None = None,
-                      faults=None, round_index: int = 0) -> float | None:
+                      faults=None, round_index: int = 0,
+                      loss_clip: float | None = None) -> float | None:
         """LossEstimation: average the clients' minibatch losses at ``w``.
 
         With an active fault injector the average runs over the clients that
         actually replied (dropped-out clients stay silent; probe replies can be
         lost or corrupted in transit).  Returns ``None`` when *no* client
         replied — the caller falls back to a stale loss for this edge.
+
+        ``loss_clip`` applies the score-damped update at this tier too: client
+        reports are capped at ``loss_clip ×`` the cohort median *before* they
+        enter the edge average, so one inflated report cannot poison the whole
+        edge's score (the cloud-side clip over edge reports is blind to that —
+        an attacked edge looks unanimous from above).
         """
         injecting = faults is not None and faults.enabled
         d = w.size
         if tracker is not None:
             tracker.record("client_edge", "down", count=self.num_clients, floats=d)
+        reports: dict[int, float] | None = {} if loss_clip is not None else None
         total = 0.0
         replied = 0
         for client in self.clients:
@@ -277,12 +334,24 @@ class EdgeServer:
                 if delivered is None:
                     continue
                 (loss,) = delivered
+            if reports is not None:
+                reports[client.client_id] = float(loss)
             total += loss
             replied += 1
         if tracker is not None:
             tracker.sync_cycle("client_edge")
         if replied == 0:
             return None
+        if reports is not None:
+            clipped, ids, cap = clip_loss_reports(reports, loss_clip)
+            if ids:
+                if faults is not None:
+                    for cid in ids:
+                        faults.suspect(round_index, f"client:{cid}",
+                                       action="loss_clipped",
+                                       aggregator="loss_clip",
+                                       cap=round(cap, 6))
+                return sum(clipped.values()) / replied
         return total / replied
 
     def full_loss(self, engine: NeuralNetwork, w: np.ndarray) -> float:

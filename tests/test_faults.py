@@ -473,3 +473,158 @@ class TestInputValidation:
             algo.run(rounds=2, eval_every=0)
         with pytest.raises(ValueError):
             algo.run(rounds=2, checkpoint_path="x", checkpoint_every=0)
+
+
+# ------------------------------------------------------- byzantine satellite
+class TestAttackSpecKeys:
+    def test_parse_attack_fields_round_trip(self):
+        plan = FaultPlan.parse("client_dropout=0.1,attack=sign_flip,"
+                               "attack_fraction=0.2,attack_scale=5,"
+                               "attack_seed=3,attack_start_round=4,"
+                               "attack_colluding=1")
+        assert plan.client_dropout == 0.1
+        byz = plan.byzantine
+        assert byz is not None
+        assert byz.attack == "sign_flip"
+        assert byz.fraction == 0.2
+        assert byz.effective_scale == 5.0
+        assert byz.seed == 3
+        assert byz.start_round == 4
+        assert byz.colluding
+        assert plan.has_attack and not plan.is_null
+
+    def test_parse_attack_clients(self):
+        plan = FaultPlan.parse("attack=gauss,attack_clients=0|3|7")
+        assert plan.byzantine.clients == (0, 3, 7)
+
+    def test_attack_only_plan_is_active(self):
+        plan = FaultPlan.parse("attack=loss_inflation,attack_fraction=0.3")
+        assert not plan.is_null
+        assert FaultInjector(plan).enabled
+
+    def test_null_attack_does_not_activate_plan(self):
+        from repro.defense import AttackPlan
+
+        plan = FaultPlan(byzantine=AttackPlan.none())
+        assert plan.is_null and not plan.has_attack
+        assert not FaultInjector(plan).enabled
+
+    def test_guard_zscore_alone_does_not_activate_plan(self):
+        plan = FaultPlan.parse("guard_zscore=4.0")
+        assert plan.guard_zscore == 4.0
+        assert plan.is_null
+        assert not FaultInjector(plan).enabled
+
+    def test_rejects_bad_guard_and_attack_values(self):
+        with pytest.raises(ValueError):
+            FaultPlan(guard_zscore=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.parse("attack=zombie,attack_fraction=0.1")
+
+
+class TestNormZScoreGuard:
+    def guarded(self, **kw):
+        kw.setdefault("guard_zscore", 4.0)
+        kw.setdefault("msg_loss", 1e-9)  # arms the plan without the attack tier
+        return FaultInjector(FaultPlan(**kw))
+
+    def cohort(self, inj, n=10, norm=1.0, round_index=0):
+        for i in range(n):
+            vec = np.full(4, norm / 2.0)  # ||vec|| = norm
+            assert inj.receive(round_index, "client_edge", f"client:{i}",
+                               vec) is not None
+
+    def test_anomalous_norm_is_quarantined(self):
+        obs = Tracer(None)
+        inj = FaultInjector(
+            FaultPlan(guard_zscore=4.0, msg_loss=1e-9), obs=obs)
+        self.cohort(inj, n=10, norm=1.0)
+        out = inj.receive(0, "client_edge", "client:99", np.full(4, 500.0))
+        assert out is None
+        assert "client:99" in inj.quarantined
+        counters = obs.snapshot()["counters"]
+        assert counters["norm_guard_rejections_total"] == 1
+        assert counters["quarantined_senders"] == 1
+        # Quarantine persists: the sender stays dark in later rounds too.
+        assert inj.client_available(1, 99) is False
+
+    def test_honest_cohort_all_pass(self):
+        # z=10: wide enough that honest Gaussian norm spread (MAD-scaled
+        # z-scores of ~4 are routine in a 30-draw cohort) never trips it.
+        inj = self.guarded(guard_zscore=10.0)
+        gen = np.random.default_rng(0)
+        for i in range(30):
+            vec = gen.normal(size=8)
+            assert inj.receive(0, "client_edge", f"client:{i}",
+                               vec) is not None
+        assert not inj.quarantined
+
+    def test_small_cohort_never_flags(self):
+        # Fewer than GUARD_MIN_COHORT prior uploads: no judgment possible.
+        inj = self.guarded()
+        self.cohort(inj, n=4, norm=1.0)
+        out = inj.receive(0, "client_edge", "client:50", np.full(4, 500.0))
+        assert out is not None
+        assert not inj.quarantined
+
+    def test_cohorts_are_per_link_and_per_round(self):
+        inj = self.guarded()
+        self.cohort(inj, n=10, norm=1.0, round_index=0)
+        # Same round, different link: separate cohort, no flag.
+        out = inj.receive(0, "edge_cloud", "edge:0", np.full(4, 500.0))
+        assert out is not None
+        # Next round: the cohort is rebuilt from scratch.
+        out = inj.receive(1, "client_edge", "client:60", np.full(4, 500.0))
+        assert out is not None
+        assert not inj.quarantined
+
+    def test_guard_disabled_by_default(self):
+        inj = FaultInjector(FaultPlan(msg_loss=1e-9))
+        self.cohort(inj, n=10, norm=1.0)
+        out = inj.receive(0, "client_edge", "client:99", np.full(4, 500.0))
+        assert out is not None
+
+    def test_guard_run_end_to_end(self, blob_fed, blob_factory):
+        from repro.defense import AttackPlan
+
+        plan = FaultPlan(guard_zscore=6.0,
+                         byzantine=AttackPlan(attack="scale", clients=(0,),
+                                              scale=1e6))
+        res = make_hmm(blob_fed, blob_factory, faults=plan).run(
+            rounds=3, eval_every=3)
+        assert np.all(np.isfinite(res.final_params))
+
+
+class TestStaleCheckpointResume:
+    def test_pre_attack_checkpoint_resumes_cleanly(self, blob_fed,
+                                                   blob_factory, tmp_path):
+        # A checkpoint written before the Byzantine tier existed has no
+        # "suspicion" key in the injector state; resuming must not crash and
+        # must behave exactly like a fresh-format checkpoint.
+        path = tmp_path / "stale.ckpt.json"
+        plan = FaultPlan(client_dropout=0.2, seed=5)
+        make_hmm(blob_fed, blob_factory, faults=plan).run(
+            rounds=3, eval_every=3, checkpoint_path=path, checkpoint_every=3)
+
+        payload = json.loads(path.read_text())
+        assert "suspicion" in payload["faults"]
+        del payload["faults"]["suspicion"]
+        path.write_text(json.dumps(payload))
+
+        resumed = make_hmm(blob_fed, blob_factory, faults=plan)
+        assert resumed.load_checkpoint(path) == 3
+        assert resumed.faults.suspicion == {}
+        res = resumed.run(rounds=3, eval_every=3)
+
+        full = make_hmm(blob_fed, blob_factory, faults=plan).run(
+            rounds=6, eval_every=3)
+        np.testing.assert_array_equal(full.final_params, res.final_params)
+
+    def test_injector_state_round_trips_suspicion(self):
+        inj = FaultInjector(FaultPlan(msg_loss=0.1))
+        inj.suspect(0, "client:3", action="rejected", aggregator="krum")
+        inj.suspect(1, "client:3", action="clipped", aggregator="norm_clip")
+        state = inj.state_dict()
+        fresh = FaultInjector(FaultPlan(msg_loss=0.1))
+        fresh.load_state_dict(state)
+        assert fresh.suspicion == {"client:3": 2}
