@@ -25,6 +25,7 @@ from repro.core import (
     FederatedAlgorithm,
     HierMinimax,
     RunResult,
+    SemiAsyncHierMinimax,
     TradeoffSchedule,
     tradeoff_schedule,
 )
@@ -66,6 +67,12 @@ from repro.obs import (
     format_trace_report,
 )
 from repro.nn import NeuralNetwork, logistic_regression, make_model_factory, mlp
+from repro.simtime import (
+    HeterogeneousCostModel,
+    NullCostModel,
+    SimTimer,
+    make_cost_model,
+)
 from repro.topology import CommunicationTracker, HierarchicalTopology
 
 __version__ = "1.0.0"
@@ -80,6 +87,7 @@ __all__ = [
     "FederatedAlgorithm",
     "HierMinimax",
     "RunResult",
+    "SemiAsyncHierMinimax",
     "TradeoffSchedule",
     "tradeoff_schedule",
     "DATASET_NAMES",
@@ -120,6 +128,10 @@ __all__ = [
     "logistic_regression",
     "make_model_factory",
     "mlp",
+    "HeterogeneousCostModel",
+    "NullCostModel",
+    "SimTimer",
+    "make_cost_model",
     "CommunicationTracker",
     "HierarchicalTopology",
     "__version__",

@@ -53,11 +53,11 @@ class DRFA(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -128,6 +128,23 @@ class DRFA(FederatedAlgorithm):
             results = run_local_steps(
                 self.backend, self.engine, self.w, work, lr=self.eta_w,
                 projection=self.projection_w, obs=obs) if work else []
+            timing = self.timing
+            if timing.enabled:
+                # Sampled clients run concurrently; the checkpoint snapshot
+                # rides along with the round-final upload.
+                with timing.parallel():
+                    for item in work:
+                        cid = item.client.client_id
+                        scale = (faults.plan.straggler_slowdown
+                                 if injecting and item.steps < self.tau1
+                                 else 1.0)
+                        with timing.branch():
+                            timing.transfer("client_cloud", cid, d + 1)
+                            timing.compute(cid, item.steps, scale=scale)
+                            timing.transfer(
+                                "client_cloud", cid,
+                                (2 if item.checkpoint_after is not None
+                                 else 1) * d)
             for item, result in zip(work, results):
                 client = item.client
                 takes_ckpt = item.checkpoint_after is not None
@@ -200,25 +217,37 @@ class DRFA(FederatedAlgorithm):
             self.tracker.record("client_cloud", "down", count=len(probed),
                                 floats=d)
             losses: dict[int, float] = {}
-            for i in probed:
-                cid = int(i)
-                client = self.clients[cid]
-                est: float | None = None
-                if not injecting or faults.client_available(round_index, cid):
-                    est = client.estimate_loss(self.engine, w_checkpoint)
-                    self.tracker.record("client_cloud", "up", count=1, floats=1)
-                    if injecting:
-                        delivered = faults.receive(
-                            round_index, "client_cloud", f"client:{cid}", est,
-                            floats=1.0, tracker=self.tracker)
-                        est = None if delivered is None else delivered[0]
-                if est is None:
-                    stale = self._last_losses.get(cid)
-                    if stale is not None:
-                        faults.stale_loss(round_index, f"client:{cid}", stale)
-                        losses[cid] = stale
-                    continue
-                losses[cid] = est
+            timing = self.timing
+            with timing.parallel():
+                for i in probed:
+                    cid = int(i)
+                    client = self.clients[cid]
+                    est: float | None = None
+                    with timing.branch():
+                        if not injecting or faults.client_available(round_index,
+                                                                    cid):
+                            if timing.enabled:
+                                timing.transfer("client_cloud", cid, d)
+                                timing.probe(cid)
+                                timing.transfer("client_cloud", cid, 1)
+                            est = client.estimate_loss(self.engine,
+                                                       w_checkpoint)
+                            self.tracker.record("client_cloud", "up", count=1,
+                                                floats=1)
+                            if injecting:
+                                delivered = faults.receive(
+                                    round_index, "client_cloud",
+                                    f"client:{cid}", est,
+                                    floats=1.0, tracker=self.tracker)
+                                est = None if delivered is None else delivered[0]
+                    if est is None:
+                        stale = self._last_losses.get(cid)
+                        if stale is not None:
+                            faults.stale_loss(round_index, f"client:{cid}",
+                                              stale)
+                            losses[cid] = stale
+                        continue
+                    losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
             losses = self._clip_losses(round_index, losses, "client")
             if losses:

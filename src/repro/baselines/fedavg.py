@@ -48,11 +48,11 @@ class FedAvg(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -92,6 +92,20 @@ class FedAvg(FederatedAlgorithm):
             results = run_local_steps(
                 self.backend, self.engine, self.w, work, lr=self.eta_w,
                 projection=self.projection_w, obs=obs) if work else []
+            timing = self.timing
+            if timing.enabled:
+                # Sampled clients work concurrently on the flat client-cloud
+                # link; the round costs the slowest (down + steps + up) chain.
+                with timing.parallel():
+                    for item in work:
+                        cid = item.client.client_id
+                        scale = (faults.plan.straggler_slowdown
+                                 if injecting and item.steps < self.tau1
+                                 else 1.0)
+                        with timing.branch():
+                            timing.transfer("client_cloud", cid, d)
+                            timing.compute(cid, item.steps, scale=scale)
+                            timing.transfer("client_cloud", cid, d)
             for item, result in zip(work, results):
                 client, w_end = item.client, result.w_end
                 self.tracker.record("client_cloud", "up", count=1, floats=d)

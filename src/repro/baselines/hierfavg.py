@@ -49,11 +49,11 @@ class HierFAVG(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
         n_e = dataset.num_edges
@@ -83,30 +83,47 @@ class HierFAVG(FederatedAlgorithm):
             total_weight = 0.0
             cloud_agg = self._cloud_agg
             entries: list[tuple[str, float, np.ndarray]] = []
-            for e in sampled:
-                edge = self.edges[int(e)]
-                if injecting and faults.edge_dark(round_index, edge.edge_id):
-                    continue
-                w_e, _ = edge.model_update(
-                    self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
-                    lr=self.eta_w, projection=self.projection_w, checkpoint=None,
-                    tracker=self.tracker, weight_by_data=self.weight_by_data,
-                    obs=obs, faults=faults, round_index=round_index,
-                    backend=self.backend, defense=self._edge_agg)
-                self.tracker.record("edge_cloud", "up", count=1, floats=d)
-                if injecting:
-                    delivered = faults.receive(
-                        round_index, "edge_cloud", f"edge:{edge.edge_id}", w_e,
-                        floats=d, tracker=self.tracker, ref=self.w)
-                    if delivered is None:
-                        continue
-                    (w_e,) = delivered
-                weight = float(edge.num_samples) if self.weight_by_data else 1.0
-                if cloud_agg is not None:
-                    entries.append((f"edge:{edge.edge_id}", weight, w_e))
-                    continue
-                acc += weight * w_e
-                total_weight += weight
+            timing = self.timing
+            # Sampled edges work concurrently: the round's simulated duration
+            # is the slowest edge's (broadcast + blocks + upload) chain.
+            with timing.parallel():
+                for e in sampled:
+                    edge = self.edges[int(e)]
+                    with timing.branch():
+                        if injecting and faults.edge_dark(round_index,
+                                                          edge.edge_id):
+                            continue
+                        if timing.enabled:
+                            timing.transfer("edge_cloud", edge.edge_id, d)
+                        w_e, _ = edge.model_update(
+                            self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
+                            lr=self.eta_w, projection=self.projection_w,
+                            checkpoint=None,
+                            tracker=self.tracker,
+                            weight_by_data=self.weight_by_data,
+                            obs=obs, faults=faults, round_index=round_index,
+                            backend=self.backend, defense=self._edge_agg,
+                            timing=timing)
+                        self.tracker.record("edge_cloud", "up", count=1,
+                                            floats=d)
+                        if timing.enabled:
+                            timing.transfer("edge_cloud", edge.edge_id, d)
+                        if injecting:
+                            delivered = faults.receive(
+                                round_index, "edge_cloud",
+                                f"edge:{edge.edge_id}", w_e,
+                                floats=d, tracker=self.tracker, ref=self.w)
+                            if delivered is None:
+                                continue
+                            (w_e,) = delivered
+                        weight = (float(edge.num_samples)
+                                  if self.weight_by_data else 1.0)
+                        if cloud_agg is not None:
+                            entries.append((f"edge:{edge.edge_id}", weight,
+                                            w_e))
+                            continue
+                        acc += weight * w_e
+                        total_weight += weight
             self.tracker.sync_cycle("edge_cloud")
             if cloud_agg is not None:
                 # Robust aggregation replaces the weighted edge mean.

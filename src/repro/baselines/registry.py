@@ -15,6 +15,7 @@ from repro.baselines.hierfavg import HierFAVG
 from repro.baselines.stochastic_afl import StochasticAFL
 from repro.core.base import FederatedAlgorithm
 from repro.core.hierminimax import HierMinimax
+from repro.core.semiasync import SemiAsyncHierMinimax
 
 __all__ = ["ALGORITHMS", "make_algorithm"]
 
@@ -24,20 +25,23 @@ ALGORITHMS: dict[str, Type[FederatedAlgorithm]] = {
     "drfa": DRFA,
     "hierfavg": HierFAVG,
     "hierminimax": HierMinimax,
+    "semiasync_hierminimax": SemiAsyncHierMinimax,
 }
 
 # Which construction keywords each algorithm understands beyond the common set.
+_HIERMINIMAX_KEYS = frozenset({"eta_p", "tau1", "tau2", "m_edges",
+                               "projection_p", "use_checkpoint", "compressor"})
 _EXTRA_KEYS: dict[str, frozenset[str]] = {
     "fedavg": frozenset({"tau1", "m_clients", "weight_by_data"}),
     "stochastic_afl": frozenset({"eta_q", "m_clients", "projection_q"}),
     "drfa": frozenset({"eta_q", "tau1", "m_clients", "projection_q"}),
     "hierfavg": frozenset({"tau1", "tau2", "m_edges", "weight_by_data"}),
-    "hierminimax": frozenset({"eta_p", "tau1", "tau2", "m_edges", "projection_p",
-                              "use_checkpoint", "compressor"}),
+    "hierminimax": _HIERMINIMAX_KEYS,
+    "semiasync_hierminimax": _HIERMINIMAX_KEYS | {"staleness"},
 }
 _COMMON_KEYS = frozenset(
     {"batch_size", "eta_w", "seed", "projection_w", "logger", "obs", "faults",
-     "backend", "defense"})
+     "backend", "defense", "timing"})
 
 # Minimax weight learning rate aliases: the paper's η_p maps onto the two-layer
 # baselines' η_q so one experiment config drives all methods.
@@ -45,6 +49,7 @@ _ETA_ALIASES: dict[str, str] = {
     "stochastic_afl": "eta_q",
     "drfa": "eta_q",
     "hierminimax": "eta_p",
+    "semiasync_hierminimax": "eta_p",
 }
 
 
@@ -81,7 +86,7 @@ def make_algorithm(name: str, dataset, model_factory, **kwargs: Any,
     # methods do not use (eta_p for minimization methods, tau1/tau2 for
     # single-step or two-layer ones); drop those silently, raise on typos.
     ignorable = {"eta_p", "eta_q", "tau1", "tau2", "m_edges", "m_clients",
-                 "projection_p", "projection_q", "weight_by_data"}
+                 "projection_p", "projection_q", "weight_by_data", "staleness"}
     unknown = set(kwargs) - allowed - ignorable
     if unknown:
         raise TypeError(f"{name} does not accept parameters {sorted(unknown)}")

@@ -49,11 +49,11 @@ class StochasticAFL(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -118,6 +118,16 @@ class StochasticAFL(FederatedAlgorithm):
             results = run_local_steps(
                 self.backend, self.engine, self.w, work, lr=self.eta_w,
                 projection=self.projection_w, obs=obs) if work else []
+            timing = self.timing
+            if timing.enabled:
+                # Single-step rounds still pay the full round trip per client.
+                with timing.parallel():
+                    for item in work:
+                        cid = item.client.client_id
+                        with timing.branch():
+                            timing.transfer("client_cloud", cid, d)
+                            timing.compute(cid, 1)
+                            timing.transfer("client_cloud", cid, d)
             for item, result in zip(work, results):
                 client, w_end = item.client, result.w_end
                 self.tracker.record("client_cloud", "up", count=1, floats=d)
@@ -159,24 +169,36 @@ class StochasticAFL(FederatedAlgorithm):
             self.tracker.record("client_cloud", "down", count=len(probed),
                                 floats=d)
             losses: dict[int, float] = {}
-            for i in probed:
-                cid = int(i)
-                est: float | None = None
-                if not injecting or faults.client_available(round_index, cid):
-                    est = self.clients[cid].estimate_loss(self.engine, self.w)
-                    self.tracker.record("client_cloud", "up", count=1, floats=1)
-                    if injecting:
-                        delivered = faults.receive(
-                            round_index, "client_cloud", f"client:{cid}", est,
-                            floats=1.0, tracker=self.tracker)
-                        est = None if delivered is None else delivered[0]
-                if est is None:
-                    stale = self._last_losses.get(cid)
-                    if stale is not None:
-                        faults.stale_loss(round_index, f"client:{cid}", stale)
-                        losses[cid] = stale
-                    continue
-                losses[cid] = est
+            timing = self.timing
+            with timing.parallel():
+                for i in probed:
+                    cid = int(i)
+                    est: float | None = None
+                    with timing.branch():
+                        if not injecting or faults.client_available(round_index,
+                                                                    cid):
+                            if timing.enabled:
+                                timing.transfer("client_cloud", cid, d)
+                                timing.probe(cid)
+                                timing.transfer("client_cloud", cid, 1)
+                            est = self.clients[cid].estimate_loss(self.engine,
+                                                                  self.w)
+                            self.tracker.record("client_cloud", "up", count=1,
+                                                floats=1)
+                            if injecting:
+                                delivered = faults.receive(
+                                    round_index, "client_cloud",
+                                    f"client:{cid}", est,
+                                    floats=1.0, tracker=self.tracker)
+                                est = None if delivered is None else delivered[0]
+                    if est is None:
+                        stale = self._last_losses.get(cid)
+                        if stale is not None:
+                            faults.stale_loss(round_index, f"client:{cid}",
+                                              stale)
+                            losses[cid] = stale
+                        continue
+                    losses[cid] = est
             self.tracker.sync_cycle("client_cloud")
             losses = self._clip_losses(round_index, losses, "client")
             if losses:

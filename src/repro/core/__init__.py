@@ -2,6 +2,7 @@
 
 from repro.core.base import FederatedAlgorithm, RunResult
 from repro.core.hierminimax import HierMinimax
+from repro.core.semiasync import SemiAsyncHierMinimax
 from repro.core.schedules import (
     TradeoffSchedule,
     communication_complexity_order,
@@ -14,6 +15,7 @@ __all__ = [
     "FederatedAlgorithm",
     "RunResult",
     "HierMinimax",
+    "SemiAsyncHierMinimax",
     "TradeoffSchedule",
     "communication_complexity_order",
     "convergence_rate_order",

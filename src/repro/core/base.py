@@ -28,6 +28,7 @@ from repro.metrics.history import HistoryPoint, TrainingHistory, \
 from repro.nn.models import ModelFactory
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
+from repro.simtime import resolve_timing
 from repro.topology.comm import CommSnapshot, CommunicationTracker
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.utils.logging import NullLogger
@@ -61,6 +62,9 @@ class RunResult:
         Total communication performed.
     rounds_run / slots_run:
         Cloud rounds completed and cumulative training time slots ``T``.
+    sim_time_s:
+        Total simulated seconds of the run under the installed
+        :mod:`repro.simtime` cost model (0.0 without one).
     """
 
     algorithm: str
@@ -70,6 +74,7 @@ class RunResult:
     comm: CommSnapshot
     rounds_run: int
     slots_run: int
+    sim_time_s: float = 0.0
 
 
 class FederatedAlgorithm(ABC):
@@ -121,6 +126,15 @@ class FederatedAlgorithm(ABC):
         the reference ``"mean"`` rule — keeps the original aggregation code
         paths, bit-identical to a build without the defense subsystem (see
         :mod:`repro.defense`).
+    timing:
+        Optional simulated-time hook: a :class:`~repro.simtime.SimTimer`, a
+        :class:`~repro.simtime.CostModel`, or a cost-model spec string
+        (``"hetero,seed=1,slow_clients=0|7"``).  Each round's
+        client→edge→cloud dependency graph is replayed on the virtual clock
+        and the cumulative makespan surfaces as ``sim_time_s`` on
+        :class:`~repro.metrics.history.HistoryPoint` / :class:`RunResult`.
+        Defaults to the no-op :data:`~repro.simtime.NULL_TIMING`; the clock
+        is purely arithmetic — results are bit-identical with or without it.
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -134,7 +148,7 @@ class FederatedAlgorithm(ABC):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -157,6 +171,7 @@ class FederatedAlgorithm(ABC):
                            else self.defense.loss_clip)
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
+        self.timing = resolve_timing(timing)
         self.w: np.ndarray = self.engine.get_params()
         self.rounds_completed = 0
         self._history: TrainingHistory | None = None
@@ -224,17 +239,22 @@ class FederatedAlgorithm(ABC):
                 comm_before = self.tracker.snapshot() if obs.enabled else None
                 with obs.span("cloud_round", algorithm=self.name,
                               round=k) as round_span:
-                    self.run_round(k)
+                    with self.timing.round(k):
+                        self.run_round(k)
                     if obs.enabled:
                         delta = self.tracker.snapshot().diff(comm_before)
                         round_span.set(comm={"cycles": delta.cycles,
                                              "messages": delta.messages,
                                              "floats": delta.floats})
+                        if self.timing.enabled:
+                            round_span.set(sim_s=self.timing.last_round_s)
                 self.rounds_completed = k + 1
                 if obs.enabled:
                     obs.count("rounds_total")
                     obs.count("edge_cloud_bytes", delta.edge_cloud_bytes)
                     obs.observe("round_time_s", round_span.duration)
+                    if self.timing.enabled:
+                        obs.gauge("sim_time_s", self.timing.elapsed_s)
                 if (k + 1) % eval_every == 0 or k == first + rounds - 1:
                     with obs.span("evaluate", round=k):
                         point = self._evaluation_point(k)
@@ -254,6 +274,8 @@ class FederatedAlgorithm(ABC):
                 run_span.set(comm_total={"cycles": snap.cycles,
                                          "messages": snap.messages,
                                          "floats": snap.floats})
+                if self.timing.enabled:
+                    run_span.set(sim_total_s=self.timing.elapsed_s)
         return self._build_result(history)
 
     def close(self) -> None:
@@ -290,6 +312,7 @@ class FederatedAlgorithm(ABC):
             comm=self.tracker.snapshot(),
             rounds_run=self.rounds_completed,
             slots_run=self.rounds_completed * self.slots_per_round,
+            sim_time_s=self.timing.elapsed_s,
         )
 
     # ---------------------------------------------------------- checkpointing
@@ -336,6 +359,7 @@ class FederatedAlgorithm(ABC):
             "history": (history_state(self._history)
                         if self._history is not None else None),
             "faults": self.faults.state_dict(),
+            "sim_time_s": self.timing.elapsed_s,
             "extra": self._extra_state(),
         }
 
@@ -380,6 +404,10 @@ class FederatedAlgorithm(ABC):
         if state.get("history") is not None:
             self._resume_history = history_from_state(state["history"])
         self.faults.load_state_dict(state.get("faults", {}))
+        if self.timing.enabled:
+            # The shared NULL_TIMING is never mutated; a real timer resumes
+            # its virtual clock exactly where the checkpointed run left it.
+            self.timing.elapsed_s = float(state.get("sim_time_s", 0.0))
         self._restore_extra(state.get("extra", {}))
         return self.rounds_completed
 
@@ -410,4 +438,5 @@ class FederatedAlgorithm(ABC):
             comm=self.tracker.snapshot(),
             record=record,
             weights=None if weights is None else weights.copy(),
+            sim_time_s=self.timing.elapsed_s,
         )

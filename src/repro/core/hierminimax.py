@@ -94,11 +94,11 @@ class HierMinimax(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -140,13 +140,72 @@ class HierMinimax(FederatedAlgorithm):
         self._last_losses = {int(k): float(v)
                              for k, v in extra.get("last_losses", {}).items()}
 
+    # ---------------------------------------------------------- phase-1 pieces
+    def _edge_upload(self, round_index: int, eid: int,
+                     checkpoint: tuple[int, int] | None,
+                     upload_floats: float,
+                     ) -> tuple[np.ndarray, np.ndarray | None] | None:
+        """One sampled edge's Phase-1 leg: broadcast, ModelUpdate, upload.
+
+        Returns the delivered ``(w_e, w_e_ckpt)`` pair, or ``None`` when the
+        edge is dark or its upload was lost in transit.  Consumes the
+        compression stream, tracker records, and fault draws in exactly the
+        order the inline loop did, so extracting it changes no bit.  When a
+        virtual clock is active the broadcast/compute/upload durations are
+        charged to the innermost open timing scope — the synchronous round
+        wraps each call in a ``branch()``; the semi-async variant wraps it in
+        ``measure()`` to price the leg without blocking the round.
+        """
+        faults = self.faults
+        timing = self.timing
+        d = self._dim
+        if faults.enabled and faults.edge_dark(round_index, eid):
+            return None
+        if timing.enabled:
+            # Cloud -> edge: w^(k) plus the (c1, c2) checkpoint slot.
+            timing.transfer("edge_cloud", eid, d + 2)
+        w_e, w_e_ckpt = self.edges[eid].model_update(
+            self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
+            lr=self.eta_w, projection=self.projection_w,
+            checkpoint=checkpoint, tracker=self.tracker,
+            compressor=self.compressor, comp_rng=self._comp_rng,
+            obs=self.obs, faults=faults, round_index=round_index,
+            backend=self.backend, defense=self._edge_agg,
+            timing=timing)
+        if self.compressor is not None:
+            # Edge transmits compressed deltas against the broadcast w^(k).
+            w_e = self.w + self.compressor.compress(w_e - self.w,
+                                                    self._comp_rng)
+            if w_e_ckpt is not None:
+                w_e_ckpt = self.w + self.compressor.compress(
+                    w_e_ckpt - self.w, self._comp_rng)
+        # Edge uploads its round-final model (and its checkpoint model).
+        self.tracker.record("edge_cloud", "up", count=1,
+                            floats=upload_floats)
+        if timing.enabled:
+            timing.transfer("edge_cloud", eid, upload_floats)
+        if faults.enabled:
+            delivered = faults.receive(
+                round_index, "edge_cloud", f"edge:{eid}", w_e, w_e_ckpt,
+                floats=upload_floats, tracker=self.tracker, ref=self.w)
+            if delivered is None:
+                return None
+            w_e, w_e_ckpt = delivered
+        return w_e, w_e_ckpt
+
+    def _upload_floats(self) -> float:
+        """Edge→cloud payload per Phase-1 upload (model + optional checkpoint)."""
+        unit_floats = (float(self._dim) if self.compressor is None
+                       else self.compressor.payload_floats(self._dim))
+        return (2 if self.use_checkpoint else 1) * unit_floats
+
     # ------------------------------------------------------------------ round
     def run_round(self, round_index: int) -> None:
         """One training round: Phase 1 (model + checkpoint) then Phase 2 (weights)."""
         d = self._dim
         obs = self.obs
         faults = self.faults
-        injecting = faults.enabled
+        timing = self.timing
         # ---- Phase 1: sample edges by p, sample the checkpoint slot.
         sampled = sample_by_weight(self.p, self.m_edges, self.rng)
         c1, c2 = sample_checkpoint_slot(self.tau1, self.tau2, self.rng)
@@ -158,54 +217,36 @@ class HierMinimax(FederatedAlgorithm):
                                 count=len(np.unique(sampled)), floats=d + 2)
             acc_w = np.zeros(d)
             acc_ckpt = np.zeros(d) if self.use_checkpoint else None
-            unit_floats = (float(d) if self.compressor is None
-                           else self.compressor.payload_floats(d))
-            upload_floats = (2 if self.use_checkpoint else 1) * unit_floats
+            upload_floats = self._upload_floats()
             n_contrib = 0
             n_ckpt = 0
             cloud_agg = self._cloud_agg
             entries: list[tuple[str, float, np.ndarray]] = []
             ckpt_entries: list[tuple[str, float, np.ndarray]] = []
-            w_ref = self.w
-            for e in sampled:
-                eid = int(e)
-                if injecting and faults.edge_dark(round_index, eid):
-                    continue
-                w_e, w_e_ckpt = self.edges[eid].model_update(
-                    self.engine, self.w, tau1=self.tau1, tau2=self.tau2,
-                    lr=self.eta_w, projection=self.projection_w,
-                    checkpoint=checkpoint, tracker=self.tracker,
-                    compressor=self.compressor, comp_rng=self._comp_rng,
-                    obs=obs, faults=faults, round_index=round_index,
-                    backend=self.backend, defense=self._edge_agg)
-                if self.compressor is not None:
-                    # Edge transmits compressed deltas against the broadcast w^(k).
-                    w_e = self.w + self.compressor.compress(w_e - self.w,
-                                                            self._comp_rng)
-                    if w_e_ckpt is not None:
-                        w_e_ckpt = self.w + self.compressor.compress(
-                            w_e_ckpt - self.w, self._comp_rng)
-                # Edge uploads its round-final model (and its checkpoint model).
-                self.tracker.record("edge_cloud", "up", count=1,
-                                    floats=upload_floats)
-                if injecting:
-                    delivered = faults.receive(
-                        round_index, "edge_cloud", f"edge:{eid}", w_e, w_e_ckpt,
-                        floats=upload_floats, tracker=self.tracker, ref=w_ref)
+            # Sampled edges work concurrently: the synchronous barrier means
+            # Phase 1's simulated duration is the slowest edge's leg.
+            with timing.parallel():
+                for e in sampled:
+                    eid = int(e)
+                    with timing.branch():
+                        delivered = self._edge_upload(round_index, eid,
+                                                      checkpoint,
+                                                      upload_floats)
                     if delivered is None:
                         continue
                     w_e, w_e_ckpt = delivered
-                if cloud_agg is not None:
-                    entries.append((f"edge:{eid}", 1.0, w_e))
-                    if w_e_ckpt is not None:
-                        ckpt_entries.append((f"edge:{eid}", 1.0, w_e_ckpt))
-                    continue
-                acc_w += w_e
-                n_contrib += 1
-                if acc_ckpt is not None and w_e_ckpt is not None:
-                    acc_ckpt += w_e_ckpt
-                    n_ckpt += 1
+                    if cloud_agg is not None:
+                        entries.append((f"edge:{eid}", 1.0, w_e))
+                        if w_e_ckpt is not None:
+                            ckpt_entries.append((f"edge:{eid}", 1.0, w_e_ckpt))
+                        continue
+                    acc_w += w_e
+                    n_contrib += 1
+                    if acc_ckpt is not None and w_e_ckpt is not None:
+                        acc_ckpt += w_e_ckpt
+                        n_ckpt += 1
             self.tracker.sync_cycle("edge_cloud")
+            w_ref = self.w
             if cloud_agg is not None:
                 # Robust Eq. (5)/(6): the installed aggregator replaces the
                 # sampled-edge mean (suspicious uploads are down-weighted or
@@ -255,36 +296,56 @@ class HierMinimax(FederatedAlgorithm):
                 w_checkpoint = self.w
 
         # ---- Phase 2: uniform re-sample, loss estimation at the checkpoint model.
+        self._phase2_weight_update(round_index, w_checkpoint)
+
+    def _phase2_weight_update(self, round_index: int,
+                              w_checkpoint: np.ndarray) -> None:
+        """Phase 2 (Eq. (7)): probe a uniform edge subset, ascend the weights."""
+        d = self._dim
+        obs = self.obs
+        faults = self.faults
+        timing = self.timing
+        injecting = faults.enabled
         with obs.span("phase2_weight_update", round=round_index):
             probed = sample_uniform_subset(self.dataset.num_edges, self.m_edges,
                                            self.rng)
             self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
             losses: dict[int, float] = {}
-            for e in probed:
-                eid = int(e)
-                est: float | None = None
-                if not (injecting and faults.edge_dark(round_index, eid)):
-                    est = self.edges[eid].estimate_loss(
-                        self.engine, w_checkpoint, tracker=self.tracker,
-                        faults=faults, round_index=round_index,
-                        loss_clip=self._loss_clip)
-                    if est is not None:
-                        self.tracker.record("edge_cloud", "up", count=1,
-                                            floats=1)
-                        if injecting:
-                            delivered = faults.receive(
-                                round_index, "edge_cloud", f"edge:{eid}", est,
-                                floats=1.0, tracker=self.tracker)
-                            est = None if delivered is None else delivered[0]
-                if est is None:
-                    # Dark edge or lost probe: fall back to the last loss the
-                    # cloud saw for this edge, if any.
-                    stale = self._last_losses.get(eid)
-                    if stale is not None:
-                        faults.stale_loss(round_index, f"edge:{eid}", stale)
-                        losses[eid] = stale
-                    continue
-                losses[eid] = est
+            # Probed edges answer concurrently; Phase 2 costs the slowest probe.
+            with timing.parallel():
+                for e in probed:
+                    eid = int(e)
+                    est: float | None = None
+                    with timing.branch():
+                        if not (injecting and faults.edge_dark(round_index,
+                                                               eid)):
+                            if timing.enabled:
+                                timing.transfer("edge_cloud", eid, d)
+                            est = self.edges[eid].estimate_loss(
+                                self.engine, w_checkpoint, tracker=self.tracker,
+                                faults=faults, round_index=round_index,
+                                loss_clip=self._loss_clip, timing=timing)
+                            if est is not None:
+                                self.tracker.record("edge_cloud", "up", count=1,
+                                                    floats=1)
+                                if timing.enabled:
+                                    timing.transfer("edge_cloud", eid, 1)
+                                if injecting:
+                                    delivered = faults.receive(
+                                        round_index, "edge_cloud",
+                                        f"edge:{eid}", est,
+                                        floats=1.0, tracker=self.tracker)
+                                    est = (None if delivered is None
+                                           else delivered[0])
+                    if est is None:
+                        # Dark edge or lost probe: fall back to the last loss
+                        # the cloud saw for this edge, if any.
+                        stale = self._last_losses.get(eid)
+                        if stale is not None:
+                            faults.stale_loss(round_index, f"edge:{eid}", stale)
+                            losses[eid] = stale
+                        continue
+                    losses[eid] = est
             self.tracker.sync_cycle("edge_cloud")
             losses = self._clip_losses(round_index, losses, "edge")
             if losses:

@@ -1,0 +1,234 @@
+"""Semi-asynchronous HierMinimax: bounded-staleness edge aggregation.
+
+The synchronous Algorithm 1 pays a barrier every round: Phase 1's simulated
+duration is the *max* over the sampled cohort, so one slow edge (a 10× device
+or a congested backhaul) stretches every round.  This variant removes the
+barrier while keeping the update arithmetic of Eq. (5)/(6):
+
+* **Dispatch.**  Each round the cloud samples edges from ``p^(k)`` exactly as
+  the synchronous algorithm does, but only dispatches to edges that are not
+  still working on an earlier round's request.  A dispatched edge runs the
+  unchanged ModelUpdate leg; its simulated completion time (broadcast +
+  compute + upload, priced by the cost model) is recorded as an *in-flight*
+  arrival instead of blocking the round.
+* **Bounded-staleness collect.**  Results whose dispatch round is older than
+  ``k − S`` (``S`` = ``staleness``) are *forced*: the cloud waits until the
+  last of them lands.  Anything else that has arrived by that moment rides
+  along.  When nothing is forced the cloud waits only for the first arrival —
+  rounds overlap, and the slow edge delays merges at most once per its own
+  completion instead of once per round.
+* **Merge.**  Collected models are averaged with the synchronous rule
+  (``÷ m_E`` on a full fresh cohort, renormalized over the contributors
+  otherwise; the robust-aggregation path applies unchanged), and Phase 2 is
+  verbatim the synchronous weight update.
+
+``staleness=0`` forces every round's own cohort, which reproduces the
+synchronous trajectory — and, because every dispatch then completes inside
+its round, the synchronous makespan — *exactly* (asserted by the test
+suite).  With the default :data:`~repro.simtime.NULL_TIMING` every arrival
+is instantaneous, so the variant is bit-identical to :class:`HierMinimax`
+for any ``S``; it only behaves differently under a real cost model, which is
+the regime ``benchmarks/bench_time_to_accuracy.py`` measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hierminimax import HierMinimax
+from repro.defense.policy import robust_combine
+from repro.topology.sampling import sample_by_weight, sample_checkpoint_slot
+
+__all__ = ["SemiAsyncHierMinimax"]
+
+
+class SemiAsyncHierMinimax(HierMinimax):
+    """HierMinimax with bounded-staleness (semi-asynchronous) edge merges.
+
+    Parameters
+    ----------
+    staleness:
+        Staleness bound ``S ≥ 0``: a dispatched update is merged at the
+        latest ``S`` rounds after its dispatch round.  ``0`` recovers the
+        synchronous algorithm exactly; ``1`` already hides a persistent
+        straggler behind the fast cohort.
+    **kwargs:
+        Everything :class:`HierMinimax` accepts.
+    """
+
+    name = "semiasync_hierminimax"
+
+    def __init__(self, *args, staleness: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.staleness = int(staleness)
+        if self.staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {self.staleness}")
+        # In-flight Phase-1 legs: dicts with eid / round / w_e / w_ckpt /
+        # ready_at.  ``w_e is None`` marks an upload lost in transit (or a
+        # dark edge) — it occupies the flight until ``ready_at`` but
+        # contributes nothing at merge time.
+        self._inflight: list[dict] = []
+
+    # ---------------------------------------------------------- checkpointing
+    def _extra_state(self) -> dict:
+        state = super()._extra_state()
+        state["inflight"] = [
+            {"eid": f["eid"], "round": f["round"], "w_e": f["w_e"],
+             "w_ckpt": f["w_ckpt"], "duration": f["duration"],
+             "ready_at": f["ready_at"]}
+            for f in self._inflight]
+        return state
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        self._inflight = [
+            {"eid": int(f["eid"]), "round": int(f["round"]),
+             "w_e": None if f["w_e"] is None
+             else np.asarray(f["w_e"], dtype=np.float64),
+             "w_ckpt": None if f["w_ckpt"] is None
+             else np.asarray(f["w_ckpt"], dtype=np.float64),
+             "duration": float(f["duration"]),
+             "ready_at": float(f["ready_at"])}
+            for f in extra.get("inflight", [])]
+
+    # ------------------------------------------------------------------ round
+    def run_round(self, round_index: int) -> None:
+        """Dispatch to free edges, merge the due-or-arrived flights, Phase 2."""
+        d = self._dim
+        obs = self.obs
+        faults = self.faults
+        timing = self.timing
+        # Identical Phase-1 sampling to the synchronous algorithm.
+        sampled = sample_by_weight(self.p, self.m_edges, self.rng)
+        c1, c2 = sample_checkpoint_slot(self.tau1, self.tau2, self.rng)
+        checkpoint = (c1, c2) if self.use_checkpoint else None
+        upload_floats = self._upload_floats()
+        busy = {f["eid"] for f in self._inflight if f["round"] < round_index}
+        with obs.span("phase1_model_update", round=round_index,
+                      sampled_edges=len(sampled), c1=c1, c2=c2,
+                      busy_edges=len(busy)):
+            # ---- Dispatch to every sampled edge that is not mid-flight.
+            # Same-round duplicate samples dispatch again, exactly as the
+            # synchronous loop calls ModelUpdate once per sample.
+            dispatched: list[int] = []
+            legs: list[dict] = []
+            for e in sampled:
+                eid = int(e)
+                if eid in busy:
+                    continue
+                dispatched.append(eid)
+                with timing.measure() as leg:
+                    delivered = self._edge_upload(round_index, eid, checkpoint,
+                                                  upload_floats)
+                w_e, w_ckpt = (None, None) if delivered is None else delivered
+                legs.append({"eid": eid, "round": round_index, "w_e": w_e,
+                             "w_ckpt": w_ckpt, "duration": leg.duration})
+            if dispatched:
+                # Cloud broadcasts w^(k) and (c1, c2) to the dispatched edges.
+                self.tracker.record("edge_cloud", "down",
+                                    count=len(np.unique(dispatched)),
+                                    floats=d + 2)
+            # All dispatches leave the cloud at the same instant; each leg's
+            # arrival is its own (measured, non-blocking) duration later.
+            t0 = timing.now
+            for leg in legs:
+                leg["ready_at"] = t0 + leg["duration"]
+                self._inflight.append(leg)
+
+            # Time still to wait on a flight.  A leg dispatched this very
+            # instant waits exactly its measured duration — the same float the
+            # synchronous barrier adds — so ``staleness=0`` reproduces the
+            # synchronous makespan bit-for-bit.
+            def remaining(f: dict) -> float:
+                if f["round"] == round_index:
+                    return f["duration"]
+                return max(0.0, f["ready_at"] - t0)
+
+            # ---- Bounded-staleness collect.
+            due = [f for f in self._inflight
+                   if f["round"] <= round_index - self.staleness]
+            if due:
+                forced = due
+            elif self._inflight:
+                # Nothing is forced yet: wait only for the first arrival.
+                forced = [min(self._inflight, key=remaining)]
+            else:
+                forced = []
+            wait = max((remaining(f) for f in forced), default=0.0)
+            timing.advance(wait)
+            horizon = timing.now
+            forced_ids = {id(f) for f in forced}
+            collected = [f for f in self._inflight
+                         if f["ready_at"] <= horizon or id(f) in forced_ids]
+            taken = {id(f) for f in collected}
+            self._inflight = [f for f in self._inflight
+                              if id(f) not in taken]
+            if obs.enabled and collected:
+                obs.gauge("merge_staleness",
+                          max(round_index - f["round"] for f in collected))
+            self.tracker.sync_cycle("edge_cloud")
+            # ---- Merge with the synchronous Eq. (5)/(6) arithmetic.
+            w_checkpoint = self._merge(round_index, sampled, collected)
+        # ---- Phase 2 is verbatim the synchronous weight update.
+        self._phase2_weight_update(round_index, w_checkpoint)
+
+    def _merge(self, round_index: int, sampled, collected: list[dict],
+               ) -> np.ndarray:
+        """Fold the collected flights into ``w`` / the checkpoint model."""
+        d = self._dim
+        faults = self.faults
+        cloud_agg = self._cloud_agg
+        w_ref = self.w
+        if cloud_agg is not None:
+            entries = [(f"edge:{f['eid']}", 1.0, f["w_e"])
+                       for f in collected if f["w_e"] is not None]
+            ckpt_entries = [(f"edge:{f['eid']}", 1.0, f["w_ckpt"])
+                            for f in collected if f["w_ckpt"] is not None]
+            combined = robust_combine(cloud_agg, entries, ref=w_ref,
+                                      faults=faults, round_index=round_index,
+                                      link="edge_cloud")
+            if combined is not None:
+                self.w = combined
+            else:
+                faults.degraded_round(round_index, "phase1_model_update")
+            w_checkpoint = self.w
+            if self.use_checkpoint:
+                ckpt_combined = robust_combine(
+                    cloud_agg, ckpt_entries, ref=w_ref, faults=faults,
+                    round_index=round_index, link="edge_cloud")
+                if ckpt_combined is not None:
+                    w_checkpoint = ckpt_combined
+                else:
+                    faults.checkpoint_fallback(round_index,
+                                               "phase1_model_update")
+            return w_checkpoint
+        acc_w = np.zeros(d)
+        acc_ckpt = np.zeros(d) if self.use_checkpoint else None
+        n_contrib = 0
+        n_ckpt = 0
+        for f in collected:
+            if f["w_e"] is None:
+                continue
+            acc_w += f["w_e"]
+            n_contrib += 1
+            if acc_ckpt is not None and f["w_ckpt"] is not None:
+                acc_ckpt += f["w_ckpt"]
+                n_ckpt += 1
+        if n_contrib == len(sampled):
+            acc_w /= self.m_edges     # Eq. (5): full (fresh) cohort
+            self.w = acc_w
+        elif n_contrib > 0:
+            acc_w /= n_contrib        # partial merge: renormalize
+            self.w = acc_w
+        else:
+            # Nothing landed (or every upload was lost): no model step.
+            faults.degraded_round(round_index, "phase1_model_update")
+        if acc_ckpt is not None and n_ckpt == len(sampled):
+            acc_ckpt /= self.m_edges  # Eq. (6)
+            return acc_ckpt
+        if acc_ckpt is not None and n_ckpt > 0:
+            acc_ckpt /= n_ckpt
+            return acc_ckpt
+        if self.use_checkpoint:
+            faults.checkpoint_fallback(round_index, "phase1_model_update")
+        return self.w

@@ -28,6 +28,7 @@ from repro.exec import ExecutionBackend, resolve_backend
 from repro.experiments.presets import ExperimentPreset
 from repro.nn.models import ModelFactory, make_model_factory
 from repro.obs import NULL_TRACER
+from repro.simtime import CostModel, make_cost_model, resolve_timing
 from repro.utils.timers import TimerBank
 
 __all__ = ["ExperimentOutput", "build_preset_dataset", "build_preset_model", "run_experiment"]
@@ -54,6 +55,10 @@ class ExperimentOutput:
         empty without a tracer.
     setup_times:
         Non-training phases of the experiment itself (``data_gen``).
+    sim_times:
+        Algorithm → total *simulated* seconds (the virtual-clock makespan of
+        the whole run, from the ``cost_model``).  All zeros when no cost
+        model was supplied.
     """
 
     preset: ExperimentPreset
@@ -62,6 +67,7 @@ class ExperimentOutput:
     phase_times: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
     metrics: Mapping[str, Any] = field(default_factory=dict)
     setup_times: Mapping[str, float] = field(default_factory=dict)
+    sim_times: Mapping[str, float] = field(default_factory=dict)
 
     def histories(self) -> dict[str, "object"]:
         """Algorithm → :class:`~repro.metrics.history.TrainingHistory`."""
@@ -90,7 +96,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    attack=None, defense=None,
                    checkpoint_dir=None, checkpoint_every: int | None = None,
                    resume: bool = False,
-                   backend=None, workers: int | None = None) -> ExperimentOutput:
+                   backend=None, workers: int | None = None,
+                   cost_model=None) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -138,6 +145,16 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         — the runner closes the pool it creates when done), or ``None``
         (``REPRO_BACKEND`` environment variable, default serial).  Results
         are bit-identical for every choice (see :mod:`repro.exec`).
+    cost_model:
+        Optional simulated-time pricing — a
+        :class:`~repro.simtime.CostModel` or a spec string for
+        :func:`~repro.simtime.make_cost_model` (``"hetero,seed=1,..."``).
+        Each algorithm gets a *fresh* :class:`~repro.simtime.SimTimer` over
+        the shared model, so makespans are directly comparable across the
+        roster; totals land in :attr:`ExperimentOutput.sim_times` and
+        per-evaluation clocks on each history point's ``sim_time_s``.
+        Numerical trajectories are unaffected (the clock is purely
+        observational).
     """
     obs = obs if obs is not None else NULL_TRACER
     if resume and checkpoint_dir is None:
@@ -164,6 +181,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
             # Data poisoning happens once, before any algorithm trains.
             dataset = apply_label_flip(dataset, faults.byzantine)
         model_factory = build_preset_model(preset, dataset)
+    if cost_model is not None and not isinstance(cost_model, CostModel):
+        cost_model = make_cost_model(cost_model)
     roster = algorithms if algorithms is not None else preset.algorithms
     timers = TimerBank()
     results: dict[str, RunResult] = {}
@@ -173,7 +192,7 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                     timers, seed=seed, logger=logger, obs=obs, faults=faults,
                     defense=defense, checkpoint_dir=checkpoint_dir,
                     checkpoint_every=checkpoint_every, resume=resume,
-                    backend=backend)
+                    backend=backend, cost_model=cost_model)
     finally:
         if owns_backend:
             backend.close()
@@ -181,14 +200,19 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                             timings=timers.summary(),
                             phase_times=phase_times,
                             metrics=obs.snapshot() if obs.enabled else {},
-                            setup_times=setup.summary())
+                            setup_times=setup.summary(),
+                            sim_times={name: res.sim_time_s
+                                       for name, res in results.items()})
 
 
 def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
                 timers, *, seed, logger, obs, faults, defense, checkpoint_dir,
-                checkpoint_every, resume, backend) -> None:
+                checkpoint_every, resume, backend, cost_model=None) -> None:
     """Execute each algorithm of ``roster`` in turn, filling the result maps."""
     for name in roster:
+        # A fresh timer per algorithm: one run's makespan never leaks into
+        # the next, so the roster's sim_times are directly comparable.
+        timing = resolve_timing(cost_model)
         injector = None
         if faults is not None:
             plan = faults if isinstance(faults, FaultPlan) else None
@@ -201,7 +225,7 @@ def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
             seed=seed, logger=logger, obs=obs, faults=injector,
-            backend=backend, defense=defense)
+            backend=backend, defense=defense, timing=timing)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
         ckpt_path = None

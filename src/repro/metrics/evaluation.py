@@ -63,24 +63,42 @@ def evaluate_per_edge(engine: NeuralNetwork, w: np.ndarray,
                       dataset: FederatedDataset) -> tuple[np.ndarray, np.ndarray]:
     """Accuracy and loss of ``w`` on every edge area's test set.
 
+    Side-effect-free: the engine's parameters are restored on exit, so an
+    evaluation mid-round can never leak ``w`` into the next training step
+    (algorithms share one engine and set its parameters per local-SGD call).
+
     Returns
     -------
     (accuracies, losses):
         Two arrays of length ``dataset.num_edges``.
     """
-    engine.set_params(w)
-    acc = np.empty(dataset.num_edges, dtype=np.float64)
-    loss = np.empty(dataset.num_edges, dtype=np.float64)
-    for e, edge in enumerate(dataset.edges):
-        acc[e] = engine.accuracy(edge.test.X, edge.test.y)
-        loss[e] = engine.loss(edge.test.X, edge.test.y)
+    saved = engine.get_params()
+    try:
+        engine.set_params(w)
+        acc = np.empty(dataset.num_edges, dtype=np.float64)
+        loss = np.empty(dataset.num_edges, dtype=np.float64)
+        for e, edge in enumerate(dataset.edges):
+            acc[e] = engine.accuracy(edge.test.X, edge.test.y)
+            loss[e] = engine.loss(edge.test.X, edge.test.y)
+    finally:
+        engine.set_params(saved)
     return acc, loss
 
 
 def evaluate_record(engine: NeuralNetwork, w: np.ndarray,
                     dataset: FederatedDataset, **extra) -> EvaluationRecord:
-    """Full :class:`EvaluationRecord` of ``w`` on ``dataset``."""
+    """Full :class:`EvaluationRecord` of ``w`` on ``dataset``.
+
+    When the layout is too small for a true worst-10% statistic
+    (``⌊0.10 · N_E⌋ < 1``, i.e. fewer than 10 edge areas),
+    :func:`~repro.metrics.fairness.worst_fraction_mean` degrades to the plain
+    worst accuracy; the record flags this as ``extra["worst10_degraded"]`` so
+    downstream tables do not mislabel the column.
+    """
     acc, loss = evaluate_per_edge(engine, w, dataset)
+    extra = dict(extra)
+    if int(np.floor(0.10 * acc.size)) < 1:
+        extra.setdefault("worst10_degraded", True)
     return EvaluationRecord(
         per_edge_accuracy=acc,
         per_edge_loss=loss,
@@ -88,5 +106,5 @@ def evaluate_record(engine: NeuralNetwork, w: np.ndarray,
         worst_accuracy=float(acc.min()),
         worst10_accuracy=worst_fraction_mean(acc, 0.10),
         variance_x1e4=accuracy_variance_x1e4(acc),
-        extra=dict(extra),
+        extra=extra,
     )

@@ -40,8 +40,11 @@ def worst_accuracy(acc: np.ndarray) -> float:
 def worst_fraction_mean(acc: np.ndarray, fraction: float) -> float:
     """Mean accuracy of the worst ``fraction`` of areas (e.g. worst 10%).
 
-    At least one area is always included, so with few areas this degrades
-    gracefully to the plain worst accuracy.
+    At least one area is always included, so with few areas
+    (``⌊fraction · n⌋ < 1``) this degrades gracefully to the plain worst
+    accuracy.  Callers that report the statistic under a "worst-X%" label
+    should surface the degradation — :func:`~repro.metrics.evaluation
+    .evaluate_record` flags it as ``extra["worst10_degraded"]``.
     """
     acc = _check(acc)
     if not 0.0 < fraction <= 1.0:

@@ -36,6 +36,10 @@ class HistoryPoint:
         The per-edge evaluation at this instant.
     weights:
         Copy of the edge weight vector ``p`` (``None`` for minimization methods).
+    sim_time_s:
+        Cumulative *simulated* seconds at this instant, from the
+        :mod:`repro.simtime` virtual clock (0.0 when no cost model is
+        installed — the default).
     """
 
     round_index: int
@@ -43,6 +47,7 @@ class HistoryPoint:
     comm: CommSnapshot
     record: EvaluationRecord
     weights: np.ndarray | None = None
+    sim_time_s: float = 0.0
 
 
 class TrainingHistory:
@@ -73,7 +78,8 @@ class TrainingHistory:
         comm_measure:
             ``"edge_cloud_cycles"`` (default; the paper's communication-round
             convention — cycles on the cloud-facing link),
-            ``"total_cycles"``, ``"total_bytes"``, or ``"slots"``.
+            ``"total_cycles"``, ``"total_bytes"``, ``"slots"``, or
+            ``"sim_time_s"`` (simulated seconds — the time-to-accuracy axis).
         """
         if not self.points:
             raise ValueError("history is empty")
@@ -86,6 +92,8 @@ class TrainingHistory:
     def _comm_value(pt: HistoryPoint, measure: str) -> float:
         if measure == "slots":
             return float(pt.slots)
+        if measure == "sim_time_s":
+            return float(pt.sim_time_s)
         if measure in ("edge_cloud_cycles", "total_cycles", "total_bytes"):
             return float(getattr(pt.comm, measure))
         raise ValueError(f"unknown comm measure {measure!r}")
@@ -135,6 +143,7 @@ class TrainingHistory:
                     "worst_accuracy": pt.record.worst_accuracy,
                     "worst10_accuracy": pt.record.worst10_accuracy,
                     "variance_x1e4": pt.record.variance_x1e4,
+                    "sim_time_s": pt.sim_time_s,
                 }
                 for pt in self.points
             ],
@@ -161,6 +170,7 @@ def history_state(history: TrainingHistory) -> dict:
                 else {**pt.record.as_dict(), "__extra_keys__":
                       sorted(pt.record.extra)},
                 "weights": pt.weights,
+                "sim_time_s": pt.sim_time_s,
             }
             for pt in history.points
         ],
@@ -197,5 +207,6 @@ def history_from_state(state: dict) -> TrainingHistory:
             record=record,
             weights=None if weights is None
             else np.asarray(weights, dtype=np.float64),
+            sim_time_s=float(raw.get("sim_time_s", 0.0)),
         ))
     return history

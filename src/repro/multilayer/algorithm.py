@@ -78,11 +78,11 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None) -> None:
+                 defense=None, timing=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
                          logger=logger, obs=obs, faults=faults, backend=backend,
-                         defense=defense)
+                         defense=defense, timing=timing)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -195,6 +195,7 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                 ckpt_faulted = False
                 entries: list[tuple[str, float, np.ndarray]] = []
                 ckpt_entries: list[tuple[str, float, np.ndarray]] = []
+                timing = self.timing
                 if level + 1 == depth:
                     # Children are the leaf clients: run the whole sibling
                     # group as one dispatch on the execution backend.
@@ -202,12 +203,26 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                         kids, w, ckpt_digits if on_ckpt_path else None,
                         round_index)
                 else:
-                    child_results = [
-                        (k, *self._subtree_update(
-                            level + 1, k, w,
-                            ckpt_digits if on_ckpt_path else None,
-                            round_index))
-                        for k in kids]
+                    # Sibling subtrees work concurrently: the block costs the
+                    # slowest child's (down + subtree + up) chain, and nested
+                    # parallel groups fold to a max-of-max — each level's
+                    # barrier in one expression.
+                    child_results = []
+                    with timing.parallel():
+                        for k in kids:
+                            with timing.branch():
+                                if timing.enabled:
+                                    timing.transfer(link, k, d)
+                                w_k, w_kc = self._subtree_update(
+                                    level + 1, k, w,
+                                    ckpt_digits if on_ckpt_path else None,
+                                    round_index)
+                                if timing.enabled and w_k is not None:
+                                    timing.transfer(
+                                        link, k,
+                                        d * (2 if on_ckpt_path
+                                             and w_kc is not None else 1))
+                                child_results.append((k, w_k, w_kc))
                 for k, w_k, w_kc in child_results:
                     if w_k is None:
                         ckpt_faulted = ckpt_faulted or on_ckpt_path
@@ -317,6 +332,23 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         results = run_local_steps(
             self.backend, self.engine, w_start, work, lr=self.eta_w,
             projection=self.projection_w, obs=self.obs) if work else []
+        timing = self.timing
+        if timing.enabled:
+            # The sibling group runs concurrently on the leaf link.
+            link = f"level_{depth}"
+            d = w_start.size
+            with timing.parallel():
+                for item in work:
+                    cid = item.client.client_id
+                    scale = (faults.plan.straggler_slowdown
+                             if injecting and item.steps < steps_full else 1.0)
+                    with timing.branch():
+                        timing.transfer(link, cid, d)
+                        timing.compute(cid, item.steps, scale=scale)
+                        timing.transfer(
+                            link, cid,
+                            d * (2 if item.checkpoint_after is not None
+                                 else 1))
         for k, result in zip(members, results):
             outcomes[k] = (result.w_end, result.w_checkpoint)
         return [(k, *outcomes[k]) for k in kids]
@@ -330,11 +362,14 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         depth = self.tree.depth
         faults = self.faults
         injecting = faults.enabled
+        timing = self.timing
         if level == depth:
             client = self.clients[node]
             if injecting and not faults.client_available(round_index,
                                                          client.client_id):
                 return None
+            if timing.enabled:
+                timing.probe(client.client_id)
             return client.estimate_loss(self.engine, w)
         kids = self.tree.children_of(level, node)
         link = f"level_{level + 1}"
@@ -347,23 +382,30 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                                             else None)
         total = 0.0
         replied = 0
-        for k in kids:
-            sub = self._subtree_loss(level + 1, k, w, round_index)
-            if sub is None:
-                continue
-            self.tracker.record(link, "up", count=1, floats=1)
-            sender = (f"client:{k}" if level + 1 == depth
-                      else f"node:{level + 1}:{k}")
-            if injecting:
-                delivered = faults.receive(round_index, link, sender, sub,
-                                           floats=1.0, tracker=self.tracker)
-                if delivered is None:
-                    continue
-                (sub,) = delivered
-            if reports is not None:
-                reports[sender] = float(sub)
-            total += sub
-            replied += 1
+        with timing.parallel():
+            for k in kids:
+                with timing.branch():
+                    if timing.enabled:
+                        timing.transfer(link, k, d)
+                    sub = self._subtree_loss(level + 1, k, w, round_index)
+                    if sub is None:
+                        continue
+                    if timing.enabled:
+                        timing.transfer(link, k, 1)
+                    self.tracker.record(link, "up", count=1, floats=1)
+                    sender = (f"client:{k}" if level + 1 == depth
+                              else f"node:{level + 1}:{k}")
+                    if injecting:
+                        delivered = faults.receive(
+                            round_index, link, sender, sub,
+                            floats=1.0, tracker=self.tracker)
+                        if delivered is None:
+                            continue
+                        (sub,) = delivered
+                    if reports is not None:
+                        reports[sender] = float(sub)
+                    total += sub
+                    replied += 1
         self.tracker.sync_cycle(link)
         if replied == 0:
             return None
@@ -398,38 +440,52 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
             cloud_agg = self._cloud_agg
             entries: list[tuple[str, float, np.ndarray]] = []
             ckpt_entries: list[tuple[str, float, np.ndarray]] = []
-            for a in sampled:
-                aid = int(a)
-                top = self._top_nodes[aid]
-                # Top areas are the generalization of edge servers: an edge
-                # outage blacks out the whole level-1 subtree for the round.
-                if injecting and faults.edge_dark(round_index, aid):
-                    continue
-                # The cloud itself performs exactly one "iteration" per round, so
-                # the level-1 digit is consumed by sampling: the subtree is always
-                # on the checkpoint path at the top.
-                w_a, w_ac = self._subtree_update(1, top, self.w, ckpt_digits,
-                                                 round_index)
-                if w_a is None:
-                    continue
-                self.tracker.record("level_1", "up", count=1, floats=2 * d)
-                if injecting:
-                    delivered = faults.receive(
-                        round_index, "level_1", f"area:{aid}", w_a, w_ac,
-                        floats=2 * d, tracker=self.tracker, ref=self.w)
-                    if delivered is None:
-                        continue
-                    w_a, w_ac = delivered
-                if cloud_agg is not None:
-                    entries.append((f"area:{aid}", 1.0, w_a))
-                    if w_ac is not None:
-                        ckpt_entries.append((f"area:{aid}", 1.0, w_ac))
-                    continue
-                acc_w += w_a
-                n_contrib += 1
-                if w_ac is not None:
-                    acc_ckpt += w_ac
-                    n_ckpt += 1
+            timing = self.timing
+            # Sampled areas work concurrently; nested levels fold to max-of-max.
+            with timing.parallel():
+                for a in sampled:
+                    aid = int(a)
+                    top = self._top_nodes[aid]
+                    with timing.branch():
+                        # Top areas are the generalization of edge servers: an
+                        # edge outage blacks out the whole level-1 subtree for
+                        # the round.
+                        if injecting and faults.edge_dark(round_index, aid):
+                            continue
+                        if timing.enabled:
+                            timing.transfer("level_1", aid,
+                                            d + len(self.taus))
+                        # The cloud itself performs exactly one "iteration" per
+                        # round, so the level-1 digit is consumed by sampling:
+                        # the subtree is always on the checkpoint path at the
+                        # top.
+                        w_a, w_ac = self._subtree_update(1, top, self.w,
+                                                         ckpt_digits,
+                                                         round_index)
+                        if w_a is None:
+                            continue
+                        self.tracker.record("level_1", "up", count=1,
+                                            floats=2 * d)
+                        if timing.enabled:
+                            timing.transfer("level_1", aid, 2 * d)
+                        if injecting:
+                            delivered = faults.receive(
+                                round_index, "level_1", f"area:{aid}", w_a,
+                                w_ac,
+                                floats=2 * d, tracker=self.tracker, ref=self.w)
+                            if delivered is None:
+                                continue
+                            w_a, w_ac = delivered
+                        if cloud_agg is not None:
+                            entries.append((f"area:{aid}", 1.0, w_a))
+                            if w_ac is not None:
+                                ckpt_entries.append((f"area:{aid}", 1.0, w_ac))
+                            continue
+                        acc_w += w_a
+                        n_contrib += 1
+                        if w_ac is not None:
+                            acc_ckpt += w_ac
+                            n_ckpt += 1
             self.tracker.sync_cycle("level_1")
             if cloud_agg is not None:
                 # Robust aggregation replaces the sampled-subtree mean.
@@ -474,26 +530,38 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                                            self.rng)
             self.tracker.record("level_1", "down", count=len(probed), floats=d)
             losses: dict[int, float] = {}
-            for a in probed:
-                aid = int(a)
-                est: float | None = None
-                if not (injecting and faults.edge_dark(round_index, aid)):
-                    est = self._subtree_loss(1, self._top_nodes[aid],
-                                             w_checkpoint, round_index)
-                    if est is not None:
-                        self.tracker.record("level_1", "up", count=1, floats=1)
-                        if injecting:
-                            delivered = faults.receive(
-                                round_index, "level_1", f"area:{aid}", est,
-                                floats=1.0, tracker=self.tracker)
-                            est = None if delivered is None else delivered[0]
-                if est is None:
-                    stale = self._last_losses.get(aid)
-                    if stale is not None:
-                        faults.stale_loss(round_index, f"area:{aid}", stale)
-                        losses[aid] = stale
-                    continue
-                losses[aid] = est
+            timing = self.timing
+            with timing.parallel():
+                for a in probed:
+                    aid = int(a)
+                    est: float | None = None
+                    with timing.branch():
+                        if not (injecting and faults.edge_dark(round_index,
+                                                               aid)):
+                            if timing.enabled:
+                                timing.transfer("level_1", aid, d)
+                            est = self._subtree_loss(1, self._top_nodes[aid],
+                                                     w_checkpoint, round_index)
+                            if est is not None:
+                                self.tracker.record("level_1", "up", count=1,
+                                                    floats=1)
+                                if timing.enabled:
+                                    timing.transfer("level_1", aid, 1)
+                                if injecting:
+                                    delivered = faults.receive(
+                                        round_index, "level_1", f"area:{aid}",
+                                        est,
+                                        floats=1.0, tracker=self.tracker)
+                                    est = (None if delivered is None
+                                           else delivered[0])
+                    if est is None:
+                        stale = self._last_losses.get(aid)
+                        if stale is not None:
+                            faults.stale_loss(round_index, f"area:{aid}",
+                                              stale)
+                            losses[aid] = stale
+                        continue
+                    losses[aid] = est
             self.tracker.sync_cycle("level_1")
             losses = self._clip_losses(round_index, losses, "area")
             if losses:

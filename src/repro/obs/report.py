@@ -51,6 +51,7 @@ class RoundRecord:
     duration_s: float
     floats: float          # payload floats moved during the round (all links)
     cycles: int            # sync cycles completed during the round
+    sim_s: float = 0.0     # simulated round makespan (0 without a cost model)
 
     @property
     def bytes(self) -> float:
@@ -72,6 +73,7 @@ class TraceReport:
     comm_messages: Mapping[str, int]
     comm_floats: Mapping[str, float]
     replay_consistent: bool        # per-round deltas sum to the final snapshot
+    sim_time_s: float = 0.0        # simulated seconds across the trace's runs
     metrics: Mapping[str, Any] = field(default_factory=dict)
     meta: Mapping[str, Any] = field(default_factory=dict)
     fault_totals: Mapping[str, int] = field(default_factory=dict)
@@ -164,6 +166,9 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     final_messages: dict[str, int] = {}
     final_floats: dict[str, float] = {}
     have_final = False
+    sim_total = 0.0
+    sim_from_rounds = 0.0
+    have_sim_final = False
     metrics: Mapping[str, Any] = {}
     meta: Mapping[str, Any] = {}
     fault_totals: dict[str, int] = {}
@@ -215,6 +220,8 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
                 _merge_numeric(delta_cycles, comm.get("cycles", {}), int)
                 _merge_numeric(delta_messages, comm.get("messages", {}), int)
                 _merge_numeric(delta_floats, comm.get("floats", {}), float)
+                sim_s = float(attrs.get("sim_s", 0.0))
+                sim_from_rounds += sim_s
                 rounds.append(RoundRecord(
                     algorithm=str(attrs.get("algorithm", "?")),
                     round_index=int(attrs.get("round", -1)),
@@ -222,14 +229,21 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
                     duration_s=float(ev.get("dur_s", 0.0)),
                     floats=float(sum(comm.get("floats", {}).values())),
                     cycles=int(sum(comm.get("cycles", {}).values())),
+                    sim_s=sim_s,
                 ))
-            elif name == "run" and "comm_total" in attrs:
-                # Run-final snapshots accumulate across the trace's runs.
-                have_final = True
-                total = attrs["comm_total"]
-                _merge_numeric(final_cycles, total.get("cycles", {}), int)
-                _merge_numeric(final_messages, total.get("messages", {}), int)
-                _merge_numeric(final_floats, total.get("floats", {}), float)
+            elif name == "run":
+                if "comm_total" in attrs:
+                    # Run-final snapshots accumulate across the trace's runs.
+                    have_final = True
+                    total = attrs["comm_total"]
+                    _merge_numeric(final_cycles, total.get("cycles", {}), int)
+                    _merge_numeric(final_messages, total.get("messages", {}),
+                                   int)
+                    _merge_numeric(final_floats, total.get("floats", {}),
+                                   float)
+                if "sim_total_s" in attrs:
+                    have_sim_final = True
+                    sim_total += float(attrs["sim_total_s"])
     # Prefer the exact run-final snapshots; fall back to summed round deltas.
     cycles = final_cycles if have_final else delta_cycles
     messages = final_messages if have_final else delta_messages
@@ -253,6 +267,7 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         comm_messages=dict(messages),
         comm_floats=dict(floats),
         replay_consistent=replay_consistent,
+        sim_time_s=sim_total if have_sim_final else sim_from_rounds,
         metrics=metrics,
         meta=meta,
         fault_totals=fault_totals,
@@ -297,6 +312,9 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
     lines.append("")
     lines.append(f"run wall-clock        : {report.run_total_s:.3f} s "
                  f"(phases cover {report.phase_coverage:.1%})")
+    if report.sim_time_s > 0.0:
+        lines.append(f"simulated time        : {report.sim_time_s:.3f} s "
+                     f"(virtual clock; cost-model makespan)")
     lines.append("per-phase breakdown:")
     for phase in PHASE_SPANS:
         t = report.phase_times.get(phase, 0.0)
@@ -409,6 +427,9 @@ def _fault_round_line(rnd: int, slot: Mapping[str, int]) -> str:
 
 
 def _round_line(r: RoundRecord) -> str:
-    return (f"  [{r.algorithm}] round {r.round_index:>5d}  "
+    line = (f"  [{r.algorithm}] round {r.round_index:>5d}  "
             f"{r.duration_s * 1e3:8.2f} ms  {r.bytes / 1e3:10.1f} kB  "
             f"{r.cycles:4d} cycles")
+    if r.sim_s > 0.0:
+        line += f"  {r.sim_s * 1e3:8.2f} sim-ms"
+    return line

@@ -74,6 +74,7 @@ class EdgeServer:
                      faults=None, round_index: int = 0,
                      backend=None,
                      defense=None,
+                     timing=None,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -126,6 +127,15 @@ class EdgeServer:
             instead of the weighted mean, and rejected/clipped senders are
             reported through ``faults.suspect``.  ``None`` (empty slot or the
             reference mean) keeps the original inline accumulation.
+        timing:
+            Optional :class:`~repro.simtime.SimTimer`.  Each block charges a
+            parallel client region (broadcast down, ``steps`` of compute, the
+            upload back) on the virtual clock; the block's simulated duration
+            is the max over its participating clients.  A straggler whose
+            update was truncated at ``steps < τ1`` is charged at the plan's
+            ``straggler_slowdown`` pace — the truncated update still occupies
+            the device for (roughly) the full round deadline.  The charge is
+            purely additive arithmetic: numerical results are unaffected.
 
         Returns
         -------
@@ -195,6 +205,21 @@ class EdgeServer:
                 results = run_local_steps(
                     backend, engine, w_edge, work, lr=lr,
                     projection=projection, obs=obs) if work else []
+                if timing is not None and timing.enabled:
+                    # Price the block: clients work concurrently, so the block
+                    # costs the slowest (down + compute + up) chain.
+                    with timing.parallel():
+                        for weight, client, steps, takes_ckpt in participants:
+                            scale = (faults.plan.straggler_slowdown
+                                     if injecting and steps < tau1 else 1.0)
+                            with timing.branch():
+                                timing.transfer("client_edge",
+                                                client.client_id, d)
+                                timing.compute(client.client_id, steps,
+                                               scale=scale)
+                                timing.transfer(
+                                    "client_edge", client.client_id,
+                                    upload_floats * (2 if takes_ckpt else 1))
                 # ... then post-process in client order: compression, message
                 # faults, accounting, and aggregation consume their own
                 # streams/counters exactly as the serial loop did.
@@ -299,7 +324,8 @@ class EdgeServer:
     def estimate_loss(self, engine: NeuralNetwork, w: np.ndarray, *,
                       tracker: CommunicationTracker | None = None,
                       faults=None, round_index: int = 0,
-                      loss_clip: float | None = None) -> float | None:
+                      loss_clip: float | None = None,
+                      timing=None) -> float | None:
         """LossEstimation: average the clients' minibatch losses at ``w``.
 
         With an active fault injector the average runs over the clients that
@@ -318,6 +344,8 @@ class EdgeServer:
         if tracker is not None:
             tracker.record("client_edge", "down", count=self.num_clients, floats=d)
         reports: dict[int, float] | None = {} if loss_clip is not None else None
+        charge = timing is not None and timing.enabled
+        probed: list[int] = []
         total = 0.0
         replied = 0
         for client in self.clients:
@@ -325,6 +353,8 @@ class EdgeServer:
                                                          client.client_id):
                 continue
             loss = client.estimate_loss(engine, w)
+            if charge:
+                probed.append(client.client_id)
             if tracker is not None:
                 tracker.record("client_edge", "up", count=1, floats=1)
             if injecting:
@@ -338,6 +368,16 @@ class EdgeServer:
                 reports[client.client_id] = float(loss)
             total += loss
             replied += 1
+        if charge:
+            # Probes run concurrently: the estimate costs the slowest client's
+            # (broadcast + forward pass + scalar reply) chain.  Clients whose
+            # reply was lost in transit still did the work, so they count.
+            with timing.parallel():
+                for cid in probed:
+                    with timing.branch():
+                        timing.transfer("client_edge", cid, d)
+                        timing.probe(cid)
+                        timing.transfer("client_edge", cid, 1)
         if tracker is not None:
             tracker.sync_cycle("client_edge")
         if replied == 0:

@@ -1,0 +1,284 @@
+"""Virtual-clock timeline: replay a round's dependency graph into a makespan.
+
+A :class:`SimTimer` is the event scheduler of the simulated-time subsystem.
+Algorithms describe each round's client→edge→cloud dependency structure with
+nested scopes, and the timer folds the per-action durations (priced by a
+:class:`~repro.simtime.cost.CostModel`) into the round's **makespan**:
+
+* ``round(k)`` — a serial scope; its total advances the cumulative clock
+  (:attr:`elapsed_s`) when it closes;
+* ``parallel()`` — children run concurrently; the scope's total is the *max*
+  over its branches (a synchronous barrier: the round waits for the slowest
+  sampled participant — which is exactly how the faults layer's stragglers
+  acquire real durations);
+* ``branch()`` — one participant inside a ``parallel()``; serial within;
+* ``compute`` / ``transfer`` / ``probe`` — leaf actions, priced by the cost
+  model and added to the innermost open scope;
+* ``measure()`` — an *isolated* scope: its total is captured on the context
+  object instead of being added to the parent.  The semi-asynchronous
+  variant uses it to price an edge's work without blocking the round, then
+  schedules the arrival itself via :attr:`now` and :meth:`wait_until`.
+
+The timer is purely arithmetic — it never reads a wall clock, never touches
+an RNG, and the algorithms' numerical results are independent of it.  The
+shared :data:`NULL_TIMING` no-op keeps the default path allocation-free and
+bit-identical to a build without the subsystem (the same pattern as
+:data:`repro.obs.NULL_TRACER`).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.cost import CostModel, NULL_COST_MODEL, make_cost_model
+
+__all__ = ["SimTimer", "NullTiming", "NULL_TIMING", "resolve_timing"]
+
+
+class _Frame:
+    """One open scope: serial scopes sum child durations, parallel ones max."""
+
+    __slots__ = ("parallel", "total")
+
+    def __init__(self, parallel: bool) -> None:
+        self.parallel = parallel
+        self.total = 0.0
+
+    def add(self, dt: float) -> None:
+        if self.parallel:
+            if dt > self.total:
+                self.total = dt
+        else:
+            self.total += dt
+
+
+class _Scope:
+    """Context manager pushing/popping one frame on a :class:`SimTimer`."""
+
+    __slots__ = ("_timer", "_frame", "_isolated", "_is_round", "duration")
+
+    def __init__(self, timer: "SimTimer", *, parallel: bool,
+                 isolated: bool = False, is_round: bool = False) -> None:
+        self._timer = timer
+        self._frame = _Frame(parallel)
+        self._isolated = isolated
+        self._is_round = is_round
+        #: Captured total of an isolated (``measure``) scope, set on exit.
+        self.duration = 0.0
+
+    def __enter__(self) -> "_Scope":
+        self._timer._stack.append(self._frame)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = self._timer._stack
+        frame = stack.pop()
+        if stack and stack[-1] is not frame:
+            pass  # popped our own frame; nothing to repair
+        self.duration = frame.total
+        if self._isolated:
+            return
+        self._timer._add(frame.total)
+        if self._is_round:
+            self._timer.last_round_s = frame.total
+
+
+class _NullScope:
+    """Shared no-op scope of :class:`NullTiming`."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class SimTimer:
+    """Accumulates simulated seconds from scope-described dependency graphs.
+
+    One timer tracks one run's clock; build a fresh timer per algorithm when
+    comparing methods (``run_experiment`` does).  The cumulative clock is
+    exposed as :attr:`elapsed_s`, checkpointed by
+    :meth:`~repro.core.base.FederatedAlgorithm.state_dict`, and stamped onto
+    every :class:`~repro.metrics.history.HistoryPoint` as ``sim_time_s``.
+    """
+
+    enabled = True
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost = cost_model if cost_model is not None else NULL_COST_MODEL
+        #: Cumulative simulated seconds over all closed rounds (+ waits).
+        self.elapsed_s = 0.0
+        #: Makespan of the most recently closed round scope.
+        self.last_round_s = 0.0
+        self._stack: list[_Frame] = []
+
+    # ----------------------------------------------------------------- scopes
+    def round(self, round_index: int) -> _Scope:
+        """Serial scope for one cloud round; advances the cumulative clock."""
+        return _Scope(self, parallel=False, is_round=True)
+
+    def parallel(self) -> _Scope:
+        """Concurrent children: total = max over the enclosed branches."""
+        return _Scope(self, parallel=True)
+
+    def branch(self) -> _Scope:
+        """One participant of a ``parallel()`` scope; serial within."""
+        return _Scope(self, parallel=False)
+
+    def measure(self) -> _Scope:
+        """Isolated serial scope: captures ``.duration``, adds nothing."""
+        return _Scope(self, parallel=False, isolated=True)
+
+    # ----------------------------------------------------------------- leaves
+    def _add(self, dt: float) -> None:
+        if dt < 0.0:
+            raise ValueError(f"durations must be nonnegative, got {dt}")
+        if self._stack:
+            self._stack[-1].add(dt)
+        else:
+            self.elapsed_s += dt
+
+    def compute(self, entity, steps: int, *, scale: float = 1.0) -> None:
+        """Charge ``steps`` local SGD steps on device ``entity``."""
+        self._add(self.cost.compute_s(entity, steps, scale=scale))
+
+    def transfer(self, link: str, entity, floats: float) -> None:
+        """Charge one message of ``floats`` payload units on ``link``."""
+        self._add(self.cost.transfer_s(link, entity, floats))
+
+    def probe(self, entity) -> None:
+        """Charge one Phase-2 minibatch loss evaluation on ``entity``."""
+        self._add(self.cost.probe_s(entity))
+
+    # ------------------------------------------------------- absolute queries
+    @property
+    def now(self) -> float:
+        """Absolute simulated time, including open serial scopes.
+
+        Only meaningful outside ``parallel()`` scopes (an open parallel
+        frame's partial max is not a point in time) — the semi-async
+        scheduler queries it between dispatches, where the stack holds just
+        the round scope.
+        """
+        return self.elapsed_s + sum(f.total for f in self._stack)
+
+    def wait_until(self, t_abs: float) -> None:
+        """Advance the clock to absolute time ``t_abs`` (no-op if passed).
+
+        Note the charged delta is ``t_abs - now``, a floating-point
+        subtraction; when an exact duration is known (e.g. waiting out a leg
+        dispatched at the current instant), prefer :meth:`advance` with that
+        duration — it reproduces a serial scope's arithmetic bit-for-bit.
+        """
+        dt = t_abs - self.now
+        if dt > 0.0:
+            self._add(dt)
+
+    def advance(self, dt: float) -> None:
+        """Charge an explicit idle duration to the innermost open scope."""
+        if dt > 0.0:
+            self._add(dt)
+
+    # ---------------------------------------------------------- cost queries
+    def compute_s(self, entity, steps: int, *, scale: float = 1.0) -> float:
+        """Price (without charging) ``steps`` on ``entity``."""
+        return self.cost.compute_s(entity, steps, scale=scale)
+
+    def transfer_s(self, link: str, entity, floats: float) -> float:
+        """Price (without charging) one message on ``link``."""
+        return self.cost.transfer_s(link, entity, floats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimTimer(elapsed_s={self.elapsed_s:.6f}, cost={self.cost!r})"
+
+
+class NullTiming:
+    """No-op timer: the default when no cost model is installed.
+
+    Every scope is a shared no-op context, every leaf free, the clock pinned
+    at zero.  Algorithms can therefore call the timing hooks unconditionally
+    on their hot paths — the same contract as
+    :class:`~repro.obs.tracer.NullTracer`.
+    """
+
+    enabled = False
+    elapsed_s = 0.0
+    last_round_s = 0.0
+    now = 0.0
+    cost = NULL_COST_MODEL
+
+    def round(self, round_index: int) -> _NullScope:
+        """No-op scope; the clock stays at zero."""
+        return _NULL_SCOPE
+
+    def parallel(self) -> _NullScope:
+        """No-op scope; the clock stays at zero."""
+        return _NULL_SCOPE
+
+    def branch(self) -> _NullScope:
+        """No-op scope; the clock stays at zero."""
+        return _NULL_SCOPE
+
+    def measure(self) -> _NullScope:
+        """No-op scope whose ``duration`` is always 0.0."""
+        return _NULL_SCOPE
+
+    def compute(self, entity, steps: int, *, scale: float = 1.0) -> None:
+        """Charge nothing."""
+        return None
+
+    def transfer(self, link: str, entity, floats: float) -> None:
+        """Charge nothing."""
+        return None
+
+    def probe(self, entity) -> None:
+        """Charge nothing."""
+        return None
+
+    def wait_until(self, t_abs: float) -> None:
+        """Charge nothing."""
+        return None
+
+    def advance(self, dt: float) -> None:
+        """Charge nothing."""
+        return None
+
+    def compute_s(self, entity, steps: int, *, scale: float = 1.0) -> float:
+        """Always 0.0 under the null timer."""
+        return 0.0
+
+    def transfer_s(self, link: str, entity, floats: float) -> float:
+        """Always 0.0 under the null timer."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTiming()"
+
+
+#: Shared no-op timer (stateless; safe to share across algorithms).
+NULL_TIMING = NullTiming()
+
+
+def resolve_timing(timing) -> "SimTimer | NullTiming":
+    """Resolve the ``timing=`` argument of :class:`FederatedAlgorithm`.
+
+    Accepts ``None`` (no clock), an existing :class:`SimTimer` /
+    :class:`NullTiming` (shared with the caller — note a shared ``SimTimer``
+    accumulates across runs), a :class:`~repro.simtime.cost.CostModel`, or a
+    cost-model spec string (``"hetero,seed=1,..."``).  A null cost model
+    resolves to the shared :data:`NULL_TIMING`, keeping the default path
+    free.
+    """
+    if timing is None:
+        return NULL_TIMING
+    if isinstance(timing, (SimTimer, NullTiming)):
+        return timing
+    model = make_cost_model(timing)
+    if model.is_null:
+        return NULL_TIMING
+    return SimTimer(model)

@@ -108,16 +108,23 @@ class CommSnapshot:
 
         Used by the observability layer to attach per-round communication
         deltas to ``cloud_round`` trace spans.
+
+        Contract: for each of the three maps, the result covers the *union*
+        of both snapshots' keys and keeps exactly the entries whose delta is
+        nonzero (a key present only in ``earlier`` yields its negated value,
+        so ``later.diff(earlier)`` and ``earlier.diff(later)`` are exact
+        negations).  Counters only ever grow during a run, so negative deltas
+        signal the snapshots were passed in the wrong order — the totals of a
+        correctly ordered diff are always nonnegative.
         """
-        cycles = {k: v - earlier.cycles.get(k, 0)
-                  for k, v in self.cycles.items()}
-        messages = {k: v - earlier.messages.get(k, 0)
-                    for k, v in self.messages.items()
-                    if v != earlier.messages.get(k, 0)}
-        floats = {k: v - earlier.floats.get(k, 0.0)
-                  for k, v in self.floats.items()
-                  if v != earlier.floats.get(k, 0.0)}
-        return CommSnapshot(cycles=cycles, messages=messages, floats=floats)
+        def delta(mine: Dict, theirs: Dict, zero):
+            keys = set(mine) | set(theirs)
+            out = {k: mine.get(k, zero) - theirs.get(k, zero) for k in keys}
+            return {k: v for k, v in out.items() if v != zero}
+
+        return CommSnapshot(cycles=delta(self.cycles, earlier.cycles, 0),
+                            messages=delta(self.messages, earlier.messages, 0),
+                            floats=delta(self.floats, earlier.floats, 0.0))
 
 
 class CommunicationTracker:

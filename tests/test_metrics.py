@@ -105,6 +105,45 @@ class TestEvaluation:
         as_dict = rec.as_dict()
         assert "tag" in as_dict
 
+    def test_evaluate_is_side_effect_free(self, tiny_image_fed):
+        """Evaluating w must not leak it into the shared engine.
+
+        Regression test: algorithms share one engine and set its parameters
+        per local-SGD call, so a mid-round evaluation that left ``w`` behind
+        would silently perturb the next training step.
+        """
+        net = logistic_regression(tiny_image_fed.input_dim,
+                                  tiny_image_fed.num_classes, rng=0)
+        before = net.get_params()
+        probe = before + 1.0  # clearly different parameters
+        evaluate_per_edge(net, probe, tiny_image_fed)
+        np.testing.assert_array_equal(net.get_params(), before)
+        evaluate_record(net, probe, tiny_image_fed)
+        np.testing.assert_array_equal(net.get_params(), before)
+
+    def test_worst10_degraded_flag_on_small_layouts(self, blob_fed,
+                                                    tiny_image_fed):
+        """Fewer than 10 edge areas: the worst-10% column is really the plain
+        worst accuracy, and the record must say so."""
+        net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes,
+                                  rng=0)
+        rec = evaluate_record(net, net.get_params(), blob_fed)  # 3 edges
+        assert rec.extra.get("worst10_degraded") is True
+        assert rec.worst10_accuracy == pytest.approx(rec.worst_accuracy)
+        # 10 edges: a true worst-10% statistic, no flag.
+        net10 = logistic_regression(tiny_image_fed.input_dim,
+                                    tiny_image_fed.num_classes, rng=0)
+        rec10 = evaluate_record(net10, net10.get_params(), tiny_image_fed)
+        assert "worst10_degraded" not in rec10.extra
+
+    def test_worst10_degraded_respects_caller_value(self, blob_fed):
+        """setdefault semantics: an explicit caller-supplied flag wins."""
+        net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes,
+                                  rng=0)
+        rec = evaluate_record(net, net.get_params(), blob_fed,
+                              worst10_degraded=False)
+        assert rec.extra["worst10_degraded"] is False
+
     def test_perfect_model_scores_one(self, blob_fed):
         """A converged model on separable blobs has accuracy 1 on every edge."""
         net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes, rng=0)

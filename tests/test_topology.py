@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.topology.comm import CommunicationTracker
+from repro.topology.comm import CommSnapshot, CommunicationTracker
 from repro.topology.network import HierarchicalTopology
 from repro.topology.sampling import (
     sample_by_weight,
@@ -158,7 +158,38 @@ class TestCommunicationTracker:
         assert delta.floats["edge_cloud:up"] == 7
         assert delta.messages["client_edge:down"] == 3
         assert delta.cycles["client_edge"] == 1
-        assert delta.cycles["edge_cloud"] == 0  # cycles keep the full key set
+        # Zero deltas are dropped from all three maps, cycles included.
+        assert "edge_cloud" not in delta.cycles
+
+    def test_snapshot_diff_union_keys(self):
+        """Keys present only in ``earlier`` must not be silently dropped."""
+        late = CommSnapshot(cycles={"edge_cloud": 3},
+                            messages={"edge_cloud:up": 5},
+                            floats={"edge_cloud:up": 50.0})
+        early = CommSnapshot(cycles={"edge_cloud": 1, "client_edge": 2},
+                             messages={"edge_cloud:up": 5,
+                                       "client_edge:down": 4},
+                             floats={"edge_cloud:up": 20.0,
+                                     "client_edge:down": 40.0})
+        delta = late.diff(early)
+        # Entries only in ``early`` surface as negated values...
+        assert delta.cycles == {"edge_cloud": 2, "client_edge": -2}
+        assert delta.messages == {"client_edge:down": -4}
+        assert delta.floats == {"edge_cloud:up": 30.0,
+                                "client_edge:down": -40.0}
+        # ...making reversed diffs exact negations of each other.
+        back = early.diff(late)
+        assert back.cycles == {k: -v for k, v in delta.cycles.items()}
+        assert back.messages == {k: -v for k, v in delta.messages.items()}
+        assert back.floats == {k: -v for k, v in delta.floats.items()}
+
+    def test_snapshot_diff_identical_is_empty(self):
+        t = CommunicationTracker()
+        t.record("edge_cloud", "up", count=2, floats=20)
+        snap = t.snapshot()
+        delta = snap.diff(snap)
+        assert delta.cycles == {} and delta.messages == {} and delta.floats == {}
+        assert delta.total_cycles == 0 and delta.total_floats == 0.0
 
 
 class TestSampleByWeight:
