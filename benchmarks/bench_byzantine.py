@@ -60,7 +60,8 @@ def byzantine_roster(dataset) -> tuple[int, ...]:
     return tuple(cpe * e for e in range(min(n_byz, dataset.num_edges)))
 
 
-def test_byzantine_grid(benchmark, repro_scale, save_report, make_tracer):
+def test_byzantine_grid(benchmark, repro_scale, save_report, make_tracer,
+                        bench_trajectory):
     scale = "tiny" if repro_scale == "tiny" else "small"
     rounds = 800 if scale == "tiny" else 2000
     eta_w = 0.05 if scale == "tiny" else 0.03
@@ -112,6 +113,26 @@ def test_byzantine_grid(benchmark, repro_scale, save_report, make_tracer):
                 f"{cell['average_accuracy']:7.3f} "
                 f"{cell['attacks_injected']:9d} {cell['uploads_filtered']:9d}")
     save_report(f"byzantine_grid_{repro_scale}", data, "\n".join(lines))
+
+    if scale == "tiny":
+        # Perf trajectory (tiny scale only — the baseline is pinned there):
+        # tamper/filter totals gate exactly, accuracies are deterministic
+        # floats of the fixed-seed run.
+        combo_sf = data["grid"]["sign_flip"]["edge_trim+clip"]
+        combo_li = data["grid"]["loss_inflation"]["norm_clip"]
+        bench_trajectory("byzantine", {
+            "sign_flip_attacks_injected": {
+                "value": combo_sf["attacks_injected"], "kind": "counter"},
+            "sign_flip_uploads_filtered": {
+                "value": combo_sf["uploads_filtered"], "kind": "counter"},
+            "clean_worst_accuracy": {
+                "value": data["clean"]["worst_accuracy"], "kind": "exact"},
+            "sign_flip_defended_worst_accuracy": {
+                "value": combo_sf["worst_accuracy"], "kind": "exact"},
+            "loss_inflation_defended_worst_accuracy": {
+                "value": combo_li["worst_accuracy"], "kind": "exact"},
+        }, context={"scale": scale, "rounds": rounds,
+                    "roster": list(data["roster"])})
 
     for attack, row in data["grid"].items():
         # The reference mean demonstrably fails under a 20% attack ...

@@ -90,7 +90,7 @@ def test_hierminimax_round(benchmark):
     benchmark(one_round)
 
 
-def test_phase_attribution(make_tracer, save_report):
+def test_phase_attribution(make_tracer, save_report, bench_trajectory):
     """Where does a traced experiment run spend its time?
 
     Runs the tiny Fig. 3 preset under a :class:`repro.obs.Tracer` and archives
@@ -125,12 +125,22 @@ def test_phase_attribution(make_tracer, save_report):
                 {"phase_times": {k: dict(v) for k, v in out.phase_times.items()},
                  "setup_times": dict(out.setup_times),
                  "metrics": out.metrics}, report)
+    # Perf trajectory: the preset is pinned to the tiny scale, so the work
+    # and traffic totals are machine-independent and gate exactly.
+    wall_s = sum(phases.get("run", 0.0) for phases in out.phase_times.values())
+    bench_trajectory("substrate", {
+        "phase_attribution_sgd_steps": {
+            "value": counters.get("sgd_steps_total", 0), "kind": "counter"},
+        "phase_attribution_edge_cloud_bytes": {
+            "value": counters.get("edge_cloud_bytes", 0), "kind": "bytes"},
+        "phase_attribution_wall_s": {"value": wall_s, "kind": "seconds"},
+    }, context={"preset": "fig3/tiny", "slots": 240})
     assert out.phase_times, "tracer produced no per-phase attribution"
     for name in preset.algorithms:
         assert name in out.phase_times
 
 
-def test_backend_speedup(save_report):
+def test_backend_speedup(save_report, bench_trajectory):
     """Serial-vs-parallel dispatch of a 32-client round (execution backends).
 
     Dispatches the same 32-client × τ1-step local-training round through every
@@ -210,6 +220,19 @@ def test_backend_speedup(save_report):
     save_report("backend_speedup",
                 {"rounds": rounds, "steps": steps, "workers": workers,
                  "clients": fed.num_clients, "backends": rows}, report)
+    # Perf trajectory: the vectorized speedup is the one backend ratio that
+    # must hold on any machine (it removes Python overhead, not waits on
+    # cores), so it gates; thread/process depend on the runner's cores and
+    # ride along as context only.  Broadcast bytes are deterministic traffic.
+    bench_trajectory("substrate", {
+        "backend_speedup_vectorized": {
+            "value": speedups["vectorized"], "kind": "ratio"},
+        "backend_broadcast_bytes_process": {
+            "value": rows["process"]["broadcast_bytes"], "kind": "bytes"},
+        "backend_serial_wall_s": {"value": serial_s, "kind": "seconds"},
+    }, context={"clients": fed.num_clients, "rounds": rounds, "steps": steps,
+                "speedup_thread": round(speedups.get("thread", 0.0), 3),
+                "speedup_process": round(speedups.get("process", 0.0), 3)})
     # Acceptance: ≥2x for a 32-client round.  The vectorized backend removes
     # the per-client Python overhead, so it must deliver even on one core;
     # thread/process only help with real cores to spread across.

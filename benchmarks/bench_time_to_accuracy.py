@@ -44,7 +44,8 @@ def time_to_accuracy(times, accs, target: float) -> float:
     return float("inf")
 
 
-def test_time_to_accuracy(benchmark, repro_scale, save_report):
+def test_time_to_accuracy(benchmark, repro_scale, save_report,
+                          bench_trajectory):
     scale = "tiny" if repro_scale == "tiny" else "small"
     rounds = 400 if scale == "tiny" else 1000
     evals = 20
@@ -110,6 +111,23 @@ def test_time_to_accuracy(benchmark, repro_scale, save_report):
                                           "seconds",
                             xlabel="simulated s", ylabel="worst acc"))
     save_report(f"time_to_accuracy_{repro_scale}", data, "\n".join(lines))
+
+    if scale == "tiny":
+        # Perf trajectory (tiny scale only): simulated seconds are pure
+        # cost-model arithmetic on a fixed seed — machine-independent, so
+        # they gate at exact-float tolerance.
+        s1 = data["semi"]["1"]
+        bench_trajectory("time_to_accuracy", {
+            "sync_final_sim_s": {
+                "value": sync["final_sim_s"], "kind": "exact"},
+            "semiasync_s1_final_sim_s": {
+                "value": s1["final_sim_s"], "kind": "exact"},
+            "semiasync_s1_time_to_sync_final_s": {
+                "value": s1["time_to_sync_final"], "kind": "exact"},
+            "sync_final_worst_accuracy": {
+                "value": sync["final_worst"], "kind": "exact"},
+        }, context={"scale": scale, "rounds": rounds,
+                    "cost_model": data["cost_model"]})
 
     # The virtual clock never changes the synchronous numerics.
     assert data["numerics_unchanged"]

@@ -67,6 +67,36 @@ def make_tracer(results_dir):
 
 
 @pytest.fixture(scope="session")
+def bench_trajectory(results_dir):
+    """Callable fixture: accumulate normalized perf-trajectory metrics.
+
+    Benches call ``bench_trajectory("substrate", {name: {"value": v, "kind":
+    k}}, context={...})`` with the machine-independent distillation of their
+    run (counters, traffic bytes, deterministic sim seconds, backend speedup
+    ratios; wall times carry kind ``"seconds"`` and never gate).  At session
+    teardown each bench's metrics are written as
+    ``results/BENCH_<bench>.json`` — the file ``python -m repro perf-check``
+    compares against the committed baseline of the same name at the repo
+    root.  Metric kinds are validated at contribution time, so a typo fails
+    inside the contributing test, not at teardown.
+    """
+    from repro.obs.perfcheck import normalize_metrics, write_bench
+
+    acc: dict[str, dict] = {}
+    contexts: dict[str, dict] = {}
+
+    def _add(bench: str, metrics: dict, *, context: dict | None = None):
+        acc.setdefault(bench, {}).update(normalize_metrics(metrics))
+        if context:
+            contexts.setdefault(bench, {}).update(context)
+
+    yield _add
+    for bench, metrics in acc.items():
+        write_bench(results_dir / f"BENCH_{bench}.json", bench, metrics,
+                    context=contexts.get(bench, {}))
+
+
+@pytest.fixture(scope="session")
 def save_report(results_dir):
     """Callable fixture: archive a payload as JSON, print the text report, and
     append it to the consolidated ``results/reports.txt`` (readable even when

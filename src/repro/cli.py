@@ -8,6 +8,10 @@ Usage::
     python -m repro table2 --scale small --datasets adult synthetic
     python -m repro tradeoff --horizon 512
     python -m repro trace-report run.trace.jsonl
+    python -m repro trace-report live.trace.jsonl --follow
+    python -m repro trace-profile run.trace.jsonl --sort self
+    python -m repro trace-profile run.trace.jsonl --folded sim > out.folded
+    python -m repro perf-check
     python -m repro degradation --scale tiny --faults client_dropout=0.2,seed=1
     python -m repro byzantine --attack sign_flip --defense trimmed_mean
     python -m repro timesim --cost-model hetero,seed=1,slow_factor=10
@@ -77,6 +81,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("trace", help="path to a .trace.jsonl file")
     p_trace.add_argument("--timeline", type=int, default=5,
                          help="rounds to show at each end of the timeline")
+    p_trace.add_argument("--follow", action="store_true",
+                         help="tail a live trace: print heartbeat progress as "
+                              "the run appends, then the full report at "
+                              "trace end")
+    p_trace.add_argument("--poll", type=float, default=0.5, metavar="S",
+                         help="--follow poll interval in seconds")
+    p_trace.add_argument("--idle-timeout", type=float, default=None,
+                         metavar="S",
+                         help="--follow gives up after this many seconds "
+                              "without new events (default: wait forever)")
+
+    p_prof = sub.add_parser(
+        "trace-profile",
+        help="profile a JSONL trace: self/cumulative time tables, folded "
+             "stacks, speedscope export")
+    p_prof.add_argument("trace", help="path to a .trace.jsonl file")
+    p_prof.add_argument("--sort", default="self", choices=("self", "cum"),
+                        help="order table rows by self or cumulative time")
+    p_prof.add_argument("--limit", type=int, default=0,
+                        help="rows per table (0 = all)")
+    p_prof.add_argument("--folded", default=None, choices=("wall", "sim"),
+                        help="print folded stacks for flamegraph.pl / "
+                             "speedscope instead of the tables")
+    p_prof.add_argument("--speedscope", default=None, metavar="OUT.json",
+                        help="also write a speedscope-format profile here")
+
+    p_perf = sub.add_parser(
+        "perf-check",
+        help="compare fresh BENCH_*.json bench results against the committed "
+             "baselines")
+    p_perf.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines (default: repo root)")
+    p_perf.add_argument("--results-dir", default="benchmarks/results",
+                        help="directory the benchmarks wrote fresh "
+                             "BENCH_*.json files into")
+    p_perf.add_argument("--bench", action="append", default=None,
+                        metavar="NAME",
+                        help="check only BENCH_<NAME>.json (repeatable; "
+                             "default: every baseline present)")
+    p_perf.add_argument("--ratio-tol", type=float, default=None,
+                        help="one-sided tolerance for ratio metrics "
+                             "(default 0.35)")
+    p_perf.add_argument("--update", action="store_true",
+                        help="promote the current results to baselines "
+                             "instead of checking")
 
     p_deg = sub.add_parser(
         "degradation",
@@ -216,7 +266,12 @@ def _cmd_trace_report(args) -> int:
     from repro.obs import analyze_trace, format_trace_report
 
     try:
-        report = analyze_trace(args.trace)
+        if getattr(args, "follow", False):
+            events = _follow_events(args)
+            report = analyze_trace(events)
+            print()
+        else:
+            report = analyze_trace(args.trace)
     except FileNotFoundError:
         print(f"no such trace file: {args.trace}", file=sys.stderr)
         return 2
@@ -229,6 +284,120 @@ def _cmd_trace_report(args) -> int:
         # Output piped into head/less and the pager closed early: not an error.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0 if report.replay_consistent else 1
+
+
+def _follow_events(args) -> list:
+    """Tail the trace, narrating heartbeats live; return all events seen."""
+    from repro.obs import follow_trace
+
+    events = []
+    for ev in follow_trace(args.trace, poll_s=max(0.05, args.poll),
+                           timeout_s=args.idle_timeout):
+        events.append(ev)
+        if ev.get("ev") == "log" and ev.get("kind") == "heartbeat":
+            print(_heartbeat_line(ev.get("fields", {})), flush=True)
+        elif ev.get("ev") == "trace_end":
+            print("trace end reached", flush=True)
+    return events
+
+
+def _heartbeat_line(fields: dict) -> str:
+    parts = []
+    if "algorithm" in fields:
+        parts.append(f"[{fields['algorithm']}]")
+    if "round" in fields:
+        parts.append(f"round {fields['round']:>5}")
+    if "sim_time_s" in fields:
+        parts.append(f"sim {fields['sim_time_s']:.2f}s")
+    if "worst_accuracy" in fields:
+        parts.append(f"worst acc {fields['worst_accuracy']:.4f}")
+    if "average_accuracy" in fields:
+        parts.append(f"avg acc {fields['average_accuracy']:.4f}")
+    if not parts:
+        parts.append(str(fields))
+    return "heartbeat  " + "  ".join(parts)
+
+
+def _cmd_trace_profile(args) -> int:
+    from repro.obs.profile import (folded_stacks, format_profile,
+                                   profile_trace, write_speedscope)
+
+    try:
+        profile = profile_trace(args.trace)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse trace: {exc}", file=sys.stderr)
+        return 2
+    if args.speedscope:
+        write_speedscope(profile, args.speedscope, name=args.trace)
+        print(f"wrote speedscope profile to {args.speedscope}",
+              file=sys.stderr)
+    if args.folded:
+        for line in folded_stacks(profile, clock=args.folded):
+            print(line)
+    else:
+        print(format_profile(profile, sort=args.sort,
+                             limit=max(0, args.limit)))
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.perfcheck import (DEFAULT_RATIO_TOL, compare_bench,
+                                     format_perfcheck, load_bench)
+
+    base_dir = Path(args.baseline_dir)
+    results_dir = Path(args.results_dir)
+    if args.bench:
+        names = [f"BENCH_{b}.json" for b in args.bench]
+    else:
+        names = sorted(p.name for p in base_dir.glob("BENCH_*.json"))
+        if not names and args.update:
+            # First adoption: promote whatever the benches produced.
+            names = sorted(p.name for p in results_dir.glob("BENCH_*.json"))
+    if not names:
+        print(f"no BENCH_*.json baselines in {base_dir}", file=sys.stderr)
+        return 2
+    failed = missing = 0
+    for name in names:
+        baseline, current = base_dir / name, results_dir / name
+        if args.update:
+            if not current.exists():
+                print(f"{name}: no fresh result in {results_dir}; "
+                      f"run the benchmarks first", file=sys.stderr)
+                missing += 1
+                continue
+            baseline.write_text(current.read_text())
+            print(f"{name}: baseline updated from {current}")
+            continue
+        if not baseline.exists():
+            print(f"{name}: no committed baseline in {base_dir}",
+                  file=sys.stderr)
+            missing += 1
+            continue
+        if not current.exists():
+            print(f"{name}: no fresh result in {results_dir}; "
+                  f"run the benchmarks first", file=sys.stderr)
+            missing += 1
+            continue
+        try:
+            result = compare_bench(
+                load_bench(baseline), load_bench(current),
+                ratio_tol=(args.ratio_tol if args.ratio_tol is not None
+                           else DEFAULT_RATIO_TOL))
+        except ValueError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            missing += 1
+            continue
+        print(format_perfcheck(result))
+        if not result.ok:
+            failed += 1
+    if missing:
+        return 2
+    return 1 if failed else 0
 
 
 def _cmd_degradation(args) -> int:
@@ -450,6 +619,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_tradeoff(args)
     if args.command == "trace-report":
         return _cmd_trace_report(args)
+    if args.command == "trace-profile":
+        return _cmd_trace_profile(args)
+    if args.command == "perf-check":
+        return _cmd_perf_check(args)
     if args.command == "degradation":
         return _cmd_degradation(args)
     if args.command == "byzantine":

@@ -230,6 +230,12 @@ class FederatedAlgorithm(ABC):
         # Let pooled backends ship the engine + full client roster to their
         # workers once, up front, instead of lazily on the first dispatch.
         self.backend.prepare(self.engine, self._client_actors())
+        if obs.enabled and self.timing.enabled:
+            # A live tracer can persist the virtual clock's per-round
+            # dependency tree, so record it.  Recording is purely additive
+            # bookkeeping (no RNG, no arithmetic change): makespans and
+            # results are bit-identical with it on or off.
+            self.timing.record = True
         with obs.span("run", algorithm=self.name, rounds=rounds) as run_span:
             if eval_at_start:
                 with obs.span("evaluate", round=-1):
@@ -248,6 +254,12 @@ class FederatedAlgorithm(ABC):
                                              "floats": delta.floats})
                         if self.timing.enabled:
                             round_span.set(sim_s=self.timing.last_round_s)
+                            tree = self.timing.last_round_tree
+                            if tree is not None:
+                                # The round's client→edge→cloud dependency
+                                # graph — what the critical-path analyzer
+                                # replays into per-entity blame.
+                                round_span.set(sim_tree=tree)
                 self.rounds_completed = k + 1
                 if obs.enabled:
                     obs.count("rounds_total")
@@ -259,6 +271,11 @@ class FederatedAlgorithm(ABC):
                     with obs.span("evaluate", round=k):
                         point = self._evaluation_point(k)
                     history.append(point)
+                    if obs.enabled:
+                        obs.gauge("worst_group_accuracy",
+                                  point.record.worst_accuracy)
+                        obs.gauge("average_accuracy",
+                                  point.record.average_accuracy)
                     self.logger({
                         "event": "round", "algorithm": self.name, "round": k,
                         "avg_acc": point.record.average_accuracy,
@@ -269,6 +286,19 @@ class FederatedAlgorithm(ABC):
                         and (k + 1) % checkpoint_every == 0):
                     with obs.span("checkpoint", round=k):
                         self.save_checkpoint(checkpoint_path)
+                if obs.enabled:
+                    # Live progress channel: one (throttled) heartbeat per
+                    # round so long runs can be tailed with
+                    # ``trace-report --follow``.
+                    hb = {"algorithm": self.name, "round": k,
+                          "rounds_completed": self.rounds_completed}
+                    if self.timing.enabled:
+                        hb["sim_time_s"] = self.timing.elapsed_s
+                    last = history.final() if len(history) else None
+                    if last is not None:
+                        hb["worst_accuracy"] = last.record.worst_accuracy
+                        hb["average_accuracy"] = last.record.average_accuracy
+                    obs.heartbeat(**hb)
             if obs.enabled:
                 snap = self.tracker.snapshot()
                 run_span.set(comm_total={"cycles": snap.cycles,

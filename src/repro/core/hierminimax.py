@@ -225,10 +225,11 @@ class HierMinimax(FederatedAlgorithm):
             ckpt_entries: list[tuple[str, float, np.ndarray]] = []
             # Sampled edges work concurrently: the synchronous barrier means
             # Phase 1's simulated duration is the slowest edge's leg.
-            with timing.parallel():
+            with timing.parallel("phase1"):
                 for e in sampled:
                     eid = int(e)
-                    with timing.branch():
+                    with timing.branch(f"edge:{eid}" if timing.record
+                                       else None):
                         delivered = self._edge_upload(round_index, eid,
                                                       checkpoint,
                                                       upload_floats)
@@ -312,11 +313,12 @@ class HierMinimax(FederatedAlgorithm):
             self.tracker.record("edge_cloud", "down", count=len(probed), floats=d)
             losses: dict[int, float] = {}
             # Probed edges answer concurrently; Phase 2 costs the slowest probe.
-            with timing.parallel():
+            with timing.parallel("phase2"):
                 for e in probed:
                     eid = int(e)
                     est: float | None = None
-                    with timing.branch():
+                    with timing.branch(f"edge:{eid}" if timing.record
+                                       else None):
                         if not (injecting and faults.edge_dark(round_index,
                                                                eid)):
                             if timing.enabled:

@@ -117,7 +117,8 @@ class SemiAsyncHierMinimax(HierMinimax):
                 if eid in busy:
                     continue
                 dispatched.append(eid)
-                with timing.measure() as leg:
+                with timing.measure(f"edge:{eid}" if timing.record
+                                    else None) as leg:
                     delivered = self._edge_upload(round_index, eid, checkpoint,
                                                   upload_floats)
                 w_e, w_ckpt = (None, None) if delivered is None else delivered
@@ -154,8 +155,15 @@ class SemiAsyncHierMinimax(HierMinimax):
                 forced = [min(self._inflight, key=remaining)]
             else:
                 forced = []
-            wait = max((remaining(f) for f in forced), default=0.0)
-            timing.advance(wait)
+            if forced:
+                # The flight the merge actually waits on — the staleness
+                # barrier's blame handle in the recorded timing tree.
+                blamed = max(forced, key=remaining)
+                wait = remaining(blamed)
+                timing.advance(wait, f"edge:{blamed['eid']}"
+                               if timing.record else None)
+            else:
+                wait = 0.0
             horizon = timing.now
             forced_ids = {id(f) for f in forced}
             collected = [f for f in self._inflight

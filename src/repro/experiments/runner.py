@@ -258,6 +258,18 @@ def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
                 if after[span]["total_s"]
                 - before.get(span, {}).get("total_s", 0.0) > 0.0
             }
+        # Progress marker between roster entries: lets `trace-report --follow`
+        # (and any offline reader) see which algorithms have finished while
+        # the rest of the roster is still training.
+        res = results[name]
+        done_fields = {"algorithm": name, "rounds": res.rounds_run,
+                       "wall_s": timers.summary().get(name, 0.0)}
+        if res.sim_time_s:
+            done_fields["sim_time_s"] = res.sim_time_s
+        if res.history.points:
+            done_fields["worst_accuracy"] = float(
+                res.history.final().record.worst_accuracy)
+        obs.event("algorithm_done", **done_fields)
 
 
 def monotone_envelope(y: np.ndarray) -> np.ndarray:

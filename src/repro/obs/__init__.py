@@ -10,13 +10,30 @@ Three cooperating parts (see DESIGN.md §"Observability"):
   ``snapshot()`` API;
 * :mod:`repro.obs.events` + :mod:`repro.obs.report` — the JSONL run-record
   schema, the :class:`TraceWriter` sink, and the offline ``trace-report``
-  analyzer.
+  analyzer (plus :func:`follow_trace`, the live tail behind
+  ``trace-report --follow``);
+* :mod:`repro.obs.profile` — the ``trace-profile`` span profiler:
+  self/cumulative time tables (wall *and* simulated clock), folded stacks,
+  speedscope export;
+* :mod:`repro.obs.critical_path` — replays the timing trees recorded by
+  :class:`~repro.simtime.SimTimer` into per-round critical chains,
+  per-entity blame, and parallelism efficiency;
+* :mod:`repro.obs.perfcheck` — normalized ``BENCH_*.json`` bench documents
+  and the ``perf-check`` regression gate over them.
 
 Every algorithm, actor, and the experiment runner accept an ``obs=`` keyword
 (default :data:`NULL_TRACER`); hot loops pay ~zero cost when tracing is off and
 results are bit-identical either way, because the tracer never touches an RNG.
 """
 
+from repro.obs.critical_path import (
+    ChainStep,
+    CriticalPathReport,
+    RoundCriticalPath,
+    analyze_critical_paths,
+    analyze_round_tree,
+    format_critical_path,
+)
 from repro.obs.events import EVENT_KINDS, TraceWriter, format_event
 from repro.obs.metrics import (
     Counter,
@@ -24,10 +41,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.perfcheck import (
+    PerfCheckResult,
+    compare_bench,
+    format_perfcheck,
+    load_bench,
+    write_bench,
+)
+from repro.obs.profile import (
+    SpanProfile,
+    folded_stacks,
+    format_profile,
+    profile_trace,
+    speedscope_document,
+)
 from repro.obs.report import (
     RoundRecord,
     TraceReport,
     analyze_trace,
+    follow_trace,
     format_trace_report,
     load_trace,
 )
@@ -50,4 +82,21 @@ __all__ = [
     "load_trace",
     "analyze_trace",
     "format_trace_report",
+    "follow_trace",
+    "SpanProfile",
+    "profile_trace",
+    "format_profile",
+    "folded_stacks",
+    "speedscope_document",
+    "ChainStep",
+    "RoundCriticalPath",
+    "CriticalPathReport",
+    "analyze_round_tree",
+    "analyze_critical_paths",
+    "format_critical_path",
+    "PerfCheckResult",
+    "load_bench",
+    "write_bench",
+    "compare_bench",
+    "format_perfcheck",
 ]

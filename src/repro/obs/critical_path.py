@@ -1,0 +1,281 @@
+"""Critical-path analysis of recorded simulated-time dependency trees.
+
+A round's makespan under the virtual clock (:mod:`repro.simtime`) is the
+longest chain through its client→edge→cloud dependency graph: serial scopes
+chain their children, ``parallel()`` barriers wait for their slowest branch.
+When a :class:`~repro.simtime.SimTimer` records (``record=True``, flipped
+automatically by traced runs), every ``cloud_round`` span carries the round's
+timing tree in its ``sim_tree`` attribute; this module replays those trees
+and answers *why the clock advanced*:
+
+* the **critical chain** of each round — the sequence of ``compute`` /
+  ``transfer`` / ``probe`` / ``wait`` leaves whose durations sum exactly to
+  the round's makespan;
+* **per-entity blame** — simulated seconds of the chain attributed to the
+  participant that was waited on (the innermost scope label, ``"edge:3"`` /
+  ``"client:12"``, falling back to the leaf's charged entity), aggregated
+  per round and across the run;
+* **kind@link attribution** — chain seconds by action kind and link
+  (``transfer@edge_cloud``, ``compute``, ``wait``), separating bandwidth
+  from straggler problems;
+* the **parallelism efficiency** — total simulated work ÷ (makespan ×
+  concurrency slots).  1.0 means the schedule kept every slot busy; low
+  values quantify barrier waste, i.e. the headroom a semi-asynchronous
+  schedule can reclaim.
+
+``trace-report`` appends this analysis to its output when a trace contains
+recorded trees; ``trace-report --json`` embeds it as structured data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+__all__ = ["ChainStep", "RoundCriticalPath", "CriticalPathReport",
+           "analyze_round_tree", "analyze_critical_paths",
+           "format_critical_path"]
+
+#: Interior (scope) node kinds of a timing tree; everything else is a leaf.
+SCOPE_KINDS = frozenset({"round", "parallel", "branch", "measure", "scope"})
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One leaf action on a round's critical chain."""
+
+    kind: str                 # compute | transfer | probe | wait
+    dur_s: float
+    blame: str                # participant charged for this step
+    entity: Any = None
+    link: str | None = None
+
+    @property
+    def attribution(self) -> str:
+        """``kind@link`` bucket of this step (kind alone without a link)."""
+        return f"{self.kind}@{self.link}" if self.link else self.kind
+
+
+@dataclass(frozen=True)
+class RoundCriticalPath:
+    """The critical chain of one recorded round."""
+
+    round_index: int
+    makespan_s: float
+    work_s: float             # sum of every leaf duration in the tree
+    width: int                # concurrency slots the schedule could use
+    chain: tuple[ChainStep, ...]
+    blame: Mapping[str, float]
+    by_kind: Mapping[str, float]
+
+    @property
+    def chain_s(self) -> float:
+        """Duration of the critical chain (= makespan, modulo rounding)."""
+        return sum(s.dur_s for s in self.chain)
+
+    @property
+    def efficiency(self) -> float:
+        """Work ÷ (makespan × width): 1.0 = perfectly parallel schedule."""
+        denom = self.makespan_s * self.width
+        return self.work_s / denom if denom > 0 else 1.0
+
+    @property
+    def top_blame(self) -> str | None:
+        """The participant the round waited on longest (None if idle)."""
+        if not self.blame:
+            return None
+        return max(self.blame, key=lambda k: (self.blame[k], k))
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Aggregated critical-path analysis over a run's recorded rounds."""
+
+    rounds: tuple[RoundCriticalPath, ...]
+    makespan_s: float
+    work_s: float
+    blame: Mapping[str, float]
+    by_kind: Mapping[str, float]
+
+    @property
+    def efficiency(self) -> float:
+        """Run-level parallelism efficiency (work ÷ Σ makespan·width)."""
+        denom = sum(r.makespan_s * r.width for r in self.rounds)
+        return self.work_s / denom if denom > 0 else 1.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (per-round chains trimmed to blame handles)."""
+        return {
+            "rounds": [
+                {
+                    "round": r.round_index,
+                    "makespan_s": r.makespan_s,
+                    "work_s": r.work_s,
+                    "width": r.width,
+                    "efficiency": r.efficiency,
+                    "top_blame": r.top_blame,
+                    "chain": [
+                        {"kind": s.kind, "dur_s": s.dur_s, "blame": s.blame,
+                         **({"link": s.link} if s.link else {})}
+                        for s in r.chain
+                    ],
+                    "blame": dict(r.blame),
+                }
+                for r in self.rounds
+            ],
+            "makespan_s": self.makespan_s,
+            "work_s": self.work_s,
+            "efficiency": self.efficiency,
+            "blame": dict(self.blame),
+            "by_kind": dict(self.by_kind),
+        }
+
+
+def _is_scope(node: Mapping[str, Any]) -> bool:
+    return str(node.get("kind", "")) in SCOPE_KINDS
+
+
+def _walk_chain(node: Mapping[str, Any], label: str | None,
+                out: list[ChainStep]) -> None:
+    """Collect the critical chain's leaves under ``node`` into ``out``."""
+    own = node.get("label")
+    if own is not None:
+        label = str(own)
+    if _is_scope(node):
+        children = node.get("children") or ()
+        if not children:
+            return
+        if node.get("kind") == "parallel":
+            # The barrier waits for the slowest branch only.
+            best = max(children, key=lambda c: float(c.get("dur_s", 0.0)))
+            _walk_chain(best, label, out)
+        else:
+            for child in children:
+                _walk_chain(child, label, out)
+        return
+    entity = node.get("entity")
+    if label is None:
+        label = str(entity) if entity is not None else str(
+            node.get("kind", "?"))
+    link = node.get("link")
+    out.append(ChainStep(kind=str(node.get("kind", "?")),
+                         dur_s=float(node.get("dur_s", 0.0)),
+                         blame=label, entity=entity,
+                         link=str(link) if link is not None else None))
+
+
+def _work(node: Mapping[str, Any]) -> float:
+    """Total simulated work: every leaf duration in the tree."""
+    if _is_scope(node):
+        return sum(_work(c) for c in node.get("children") or ())
+    return float(node.get("dur_s", 0.0))
+
+
+def _width(node: Mapping[str, Any]) -> int:
+    """Concurrency slots: parallel scopes add branches, serial ones don't."""
+    children = node.get("children") or ()
+    if not _is_scope(node) or not children:
+        return 1
+    widths = [_width(c) for c in children]
+    if node.get("kind") == "parallel":
+        return sum(widths)
+    return max(widths)
+
+
+def analyze_round_tree(tree: Mapping[str, Any]) -> RoundCriticalPath:
+    """Replay one recorded round tree into its critical-path summary."""
+    chain: list[ChainStep] = []
+    _walk_chain(tree, None, chain)
+    blame: dict[str, float] = {}
+    by_kind: dict[str, float] = {}
+    for step in chain:
+        blame[step.blame] = blame.get(step.blame, 0.0) + step.dur_s
+        key = step.attribution
+        by_kind[key] = by_kind.get(key, 0.0) + step.dur_s
+    return RoundCriticalPath(
+        round_index=int(tree.get("round", -1)),
+        makespan_s=float(tree.get("dur_s", 0.0)),
+        work_s=_work(tree),
+        width=_width(tree),
+        chain=tuple(chain),
+        blame=blame,
+        by_kind=by_kind,
+    )
+
+
+def analyze_critical_paths(trees: Iterable[Mapping[str, Any]],
+                           ) -> CriticalPathReport:
+    """Analyze every recorded round tree and aggregate blame across them."""
+    rounds = tuple(analyze_round_tree(t) for t in trees)
+    blame: dict[str, float] = {}
+    by_kind: dict[str, float] = {}
+    for r in rounds:
+        for k, v in r.blame.items():
+            blame[k] = blame.get(k, 0.0) + v
+        for k, v in r.by_kind.items():
+            by_kind[k] = by_kind.get(k, 0.0) + v
+    return CriticalPathReport(
+        rounds=rounds,
+        makespan_s=sum(r.makespan_s for r in rounds),
+        work_s=sum(r.work_s for r in rounds),
+        blame=blame,
+        by_kind=by_kind,
+    )
+
+
+def format_critical_path(report: CriticalPathReport, *, top: int = 8,
+                         timeline: int = 5) -> str:
+    """Human-readable critical-path section (for ``trace-report``).
+
+    Parameters
+    ----------
+    top:
+        Rows shown in the blame and kind@link tables.
+    timeline:
+        Per-round lines from the start and end of the run (0 hides them).
+    """
+    lines: list[str] = []
+    n = len(report.rounds)
+    lines.append(f"critical path ({n} recorded rounds):")
+    lines.append(f"  total makespan        : {report.makespan_s:.3f} s "
+                 f"(simulated)")
+    lines.append(f"  total work            : {report.work_s:.3f} s across all "
+                 f"participants")
+    lines.append(f"  parallelism efficiency: {report.efficiency:.1%} "
+                 f"(work / makespan / slots)")
+    if report.blame:
+        lines.append("  blame (chain seconds waited on each participant):")
+        ordered = sorted(report.blame.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, s in ordered[:top]:
+            share = s / report.makespan_s if report.makespan_s > 0 else 0.0
+            lines.append(f"    {name:<22s} {s:10.3f} s  {share:6.1%}")
+        if len(ordered) > top:
+            lines.append(f"    … {len(ordered) - top} participants elided …")
+    if report.by_kind:
+        lines.append("  chain composition (kind@link):")
+        for key, s in sorted(report.by_kind.items(),
+                             key=lambda kv: (-kv[1], kv[0]))[:top]:
+            share = s / report.makespan_s if report.makespan_s > 0 else 0.0
+            lines.append(f"    {key:<22s} {s:10.3f} s  {share:6.1%}")
+    if timeline > 0 and report.rounds:
+        lines.append("  per-round longest chain:")
+        shown = list(report.rounds)
+        if len(shown) > 2 * timeline:
+            head, tail = shown[:timeline], shown[-timeline:]
+            gap = len(shown) - 2 * timeline
+        else:
+            head, tail, gap = shown, [], 0
+        for r in head:
+            lines.append(_round_line(r))
+        if gap:
+            lines.append(f"    … {gap} rounds elided …")
+            for r in tail:
+                lines.append(_round_line(r))
+    return "\n".join(lines)
+
+
+def _round_line(r: RoundCriticalPath) -> str:
+    blame = r.top_blame or "-"
+    return (f"    round {r.round_index:>5d}  {r.makespan_s * 1e3:9.2f} sim-ms"
+            f"  x{r.width:<3d} slots  eff {r.efficiency:6.1%}  "
+            f"{len(r.chain):3d} steps  waits on {blame}")

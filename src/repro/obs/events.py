@@ -15,12 +15,21 @@ tooling parse exactly these shapes):
     ``/``-joined names of the enclosing spans (e.g.
     ``"run/cloud_round/phase1_model_update"``), ``depth`` the nesting level
     (0 for a root span), and ``attrs`` its structured attributes (round index,
-    edge id, communication deltas, …).  Spans are written at *close* time, so
-    children precede their parents in the file.
+    edge id, communication deltas, …).  On traced runs with a live
+    :class:`~repro.simtime.SimTimer`, ``cloud_round`` spans also carry
+    ``sim_s`` (the round's simulated makespan) and ``sim_tree`` (the recorded
+    dependency tree :mod:`repro.obs.critical_path` replays).  Spans are
+    written at *close* time, so children precede their parents in the file.
 ``log``
     ``{"ev": "log", "t": <float>, "kind": <str>, "fields": {...}}`` — a
     point-in-time progress event (the schema the
     :class:`~repro.utils.logging.RunLogger` events are routed through).
+    Kind ``"heartbeat"`` is the live progress channel written once per cloud
+    round by :meth:`~repro.obs.tracer.Tracer.heartbeat` (throttled by its
+    ``heartbeat_every``): ``fields`` carries ``algorithm``, ``round``,
+    ``rounds_completed``, ``sim_time_s`` (when a cost model is installed),
+    the latest ``worst_accuracy`` / ``average_accuracy``, and a ``gauges``
+    sub-dict of current gauge values — what ``trace-report --follow`` tails.
 ``metrics``
     ``{"ev": "metrics", "t": <float>, "data": {"counters": {...},
     "gauges": {...}, "histograms": {...}}}`` — a full

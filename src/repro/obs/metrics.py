@@ -15,15 +15,24 @@ instrumentation machinery.
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left
+from math import ceil
 from typing import Dict, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "RAW_SAMPLE_LIMIT", "DEFAULT_MAX_SERIES"]
 
 #: Default histogram bucket upper bounds: decades from 1 µs to 1000 s, built for
 #: the step/round wall-clock times this repo observes.
 DEFAULT_BUCKETS: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 4))
+
+#: Raw samples a histogram retains verbatim; while ``count`` stays at or below
+#: this, percentiles are exact (nearest-rank over the sorted samples).
+RAW_SAMPLE_LIMIT = 256
+
+#: Default cap on unique metric series a registry will register.
+DEFAULT_MAX_SERIES = 4096
 
 
 class Counter:
@@ -65,7 +74,7 @@ class Histogram:
         :data:`DEFAULT_BUCKETS`.
     """
 
-    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max", "raw")
 
     def __init__(self, buckets: Sequence[float] | None = None) -> None:
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
@@ -77,6 +86,7 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.raw: list[float] = []  # first RAW_SAMPLE_LIMIT samples, verbatim
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -88,11 +98,42 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.raw) < RAW_SAMPLE_LIMIT:
+            self.raw.append(value)
 
     @property
     def mean(self) -> float:
         """Mean of the observed samples (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile ``q`` (0–100) of the observed samples.
+
+        The rule, spelled out (small samples included): with ``n`` samples the
+        reported value is the ``ceil(q/100 · n)``-th smallest sample (1-based;
+        ``q=0`` maps to the minimum).  So a single sample answers every
+        percentile with itself, and two samples report the smaller for
+        ``q ≤ 50`` and the larger above — no interpolation between samples is
+        invented.  While ``n ≤`` :data:`RAW_SAMPLE_LIMIT` every sample is
+        retained and the answer is *exact*; beyond that the rank is looked up
+        in the fixed buckets and the answer is the bucket's upper bound
+        (clamped to the observed maximum) — a conservative estimate.  Returns
+        ``None`` when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        n = self.count
+        if n == 0:
+            return None
+        rank = max(1, ceil(q / 100.0 * n))
+        if n <= len(self.raw):
+            return sorted(self.raw)[rank - 1]
+        seen = 0
+        for bound, c in zip(self.buckets, self.counts):
+            seen += c
+            if seen >= rank:
+                return min(bound, self.max)
+        return self.max
 
     def as_dict(self) -> dict:
         """JSON-ready summary (bucket bounds are stringified keys)."""
@@ -102,6 +143,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "buckets": {f"{b:g}": c for b, c in zip(self.buckets, self.counts)},
         }
         out["buckets"]["+inf"] = self.counts[-1]
@@ -113,12 +157,31 @@ class MetricsRegistry:
 
     A name may hold only one metric type; asking for the same name with a
     different type raises, which catches instrument-naming typos early.
+
+    Parameters
+    ----------
+    max_series:
+        Cardinality guard: cap on *unique* metric names across all three
+        types.  A name that would exceed the cap is not registered; the call
+        warns once per registry and returns a shared overflow sink of the
+        right type, so instrumented code keeps working while memory stays
+        bounded (the failure mode is an entity id leaking into metric names —
+        one series per client round).  Dropped registration attempts are
+        counted and surfaced as ``"overflow"`` in :meth:`snapshot`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_series: int = DEFAULT_MAX_SERIES) -> None:
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        self.max_series = int(max_series)
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._overflow = 0
+        self._overflow_warned = False
+        self._sink_counter = Counter()
+        self._sink_gauge = Gauge()
+        self._sink_histogram = Histogram()
 
     def _check_unique(self, name: str, kind: str) -> None:
         owners = {"counter": self._counters, "gauge": self._gauges,
@@ -128,10 +191,36 @@ class MetricsRegistry:
                 raise ValueError(
                     f"metric {name!r} already registered as a {other_kind}")
 
+    @property
+    def series(self) -> int:
+        """Unique metric names currently registered."""
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    @property
+    def overflow(self) -> int:
+        """Registration attempts dropped by the ``max_series`` guard."""
+        return self._overflow
+
+    def _over_cap(self, name: str) -> bool:
+        if self.series < self.max_series:
+            return False
+        self._overflow += 1
+        if not self._overflow_warned:
+            self._overflow_warned = True
+            warnings.warn(
+                f"metrics registry hit max_series={self.max_series} "
+                f"registering {name!r}; further new series go to a shared "
+                f"overflow sink (is an entity id leaking into metric names?)",
+                stacklevel=3)
+        return True
+
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``."""
         c = self._counters.get(name)
         if c is None:
+            if self._over_cap(name):
+                return self._sink_counter
             self._check_unique(name, "counter")
             c = self._counters[name] = Counter()
         return c
@@ -140,6 +229,8 @@ class MetricsRegistry:
         """Return (creating if needed) the gauge called ``name``."""
         g = self._gauges.get(name)
         if g is None:
+            if self._over_cap(name):
+                return self._sink_gauge
             self._check_unique(name, "gauge")
             g = self._gauges[name] = Gauge()
         return g
@@ -149,20 +240,31 @@ class MetricsRegistry:
         """Return (creating if needed) the histogram called ``name``."""
         h = self._histograms.get(name)
         if h is None:
+            if self._over_cap(name):
+                return self._sink_histogram
             self._check_unique(name, "histogram")
             h = self._histograms[name] = Histogram(buckets)
         return h
 
+    def gauge_values(self) -> dict:
+        """Current value of every gauge (the heartbeat payload)."""
+        return {k: g.value for k, g in self._gauges.items()}
+
     def snapshot(self) -> dict:
         """Plain-dict copy of every metric: the ``metrics`` event payload."""
-        return {
+        snap = {
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()},
             "histograms": {k: h.as_dict() for k, h in self._histograms.items()},
         }
+        if self._overflow:
+            snap["overflow"] = self._overflow
+        return snap
 
     def reset(self) -> None:
         """Drop every registered metric (between repetitions)."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._overflow = 0
+        self._overflow_warned = False

@@ -1,0 +1,346 @@
+"""Span profiler: self/cumulative time tables, folded stacks, speedscope.
+
+``python -m repro trace-profile run.trace.jsonl`` aggregates a JSONL trace
+(written by :class:`~repro.obs.tracer.Tracer`) into profiler views:
+
+* **wall-clock table** — per span name: count, *cumulative* time (span
+  durations summed) and *self* time (duration minus time attributed to child
+  spans), reconstructed from the flat span stream;
+* **simulated-time table** — the same self/cumulative split over the timing
+  trees recorded by :class:`~repro.simtime.SimTimer` (``compute`` /
+  ``transfer`` / ``probe`` / ``wait`` leaves under ``round`` / ``parallel`` /
+  ``branch`` scopes), so the virtual clock is profiled with the same
+  vocabulary as the wall clock;
+* **folded stacks** (``--folded wall|sim``) — one ``seg;seg;seg value`` line
+  per unique stack, the input format of Brendan Gregg's ``flamegraph.pl``
+  and of speedscope's "folded" importer;
+* **speedscope JSON** (``--speedscope out.json``) — an evented profile per
+  ``run``/root span, loadable at https://speedscope.app for an interactive
+  timeline.
+
+Tree reconstruction relies on the writer's ordering contract: spans are
+emitted when they *close*, so every child record precedes its parent and a
+single backward scan rebuilds the forest without timestamps.  Spans dropped
+by ``write_max_depth`` only ever truncate the bottom of the tree (their time
+then counts as the parent's self time), never the middle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["ProfileNode", "SpanProfile", "build_span_forest", "profile_trace",
+           "profile_events", "folded_stacks", "speedscope_document",
+           "format_profile", "write_speedscope"]
+
+
+@dataclass
+class ProfileNode:
+    """One span replayed from the trace, re-linked to its children."""
+
+    name: str
+    path: str
+    depth: int
+    start_s: float
+    dur_s: float
+    attrs: Mapping[str, Any]
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (clamped at zero)."""
+        return max(0.0, self.dur_s - sum(c.dur_s for c in self.children))
+
+
+def build_span_forest(events: Iterable[dict]) -> list[ProfileNode]:
+    """Re-link the flat ``span`` event stream into a forest of trees.
+
+    Spans are written at close time, children before parents; a span of depth
+    ``d`` therefore adopts the trailing pending spans deeper than ``d``.
+    Multiple roots arise naturally (``data_gen`` before ``run``, several runs
+    per trace, concatenated killed+resumed traces).
+    """
+    pending: list[ProfileNode] = []
+    for ev in events:
+        if ev.get("ev") != "span":
+            continue
+        node = ProfileNode(
+            name=str(ev.get("name", "?")),
+            path=str(ev.get("path", ev.get("name", "?"))),
+            depth=int(ev.get("depth", 0)),
+            start_s=float(ev.get("t", 0.0)),
+            dur_s=float(ev.get("dur_s", 0.0)),
+            attrs=ev.get("attrs", {}),
+        )
+        kids: list[ProfileNode] = []
+        while pending and pending[-1].depth > node.depth:
+            kids.append(pending.pop())
+        kids.reverse()  # restore close order ≈ execution order
+        node.children = kids
+        pending.append(node)
+    return pending
+
+
+# --------------------------------------------------------------------- tables
+def _wall_table(forest: list[ProfileNode]) -> dict[str, dict]:
+    table: dict[str, dict] = {}
+    stack = list(forest)
+    while stack:
+        node = stack.pop()
+        slot = table.setdefault(node.name,
+                                {"count": 0, "self_s": 0.0, "cum_s": 0.0})
+        slot["count"] += 1
+        slot["self_s"] += node.self_s
+        slot["cum_s"] += node.dur_s
+        stack.extend(node.children)
+    return table
+
+
+def _sim_key(node: Mapping[str, Any]) -> str:
+    """Aggregation key of a timing-tree node: its label, else its kind."""
+    label = node.get("label")
+    return str(label) if label is not None else str(node.get("kind", "?"))
+
+
+def _sim_table(trees: Iterable[Mapping[str, Any]]) -> dict[str, dict]:
+    table: dict[str, dict] = {}
+    stack = list(trees)
+    while stack:
+        node = stack.pop()
+        children = node.get("children", ())
+        dur = float(node.get("dur_s", 0.0))
+        self_s = (dur if not children
+                  else max(0.0, dur - sum(float(c.get("dur_s", 0.0))
+                                          for c in children)))
+        slot = table.setdefault(_sim_key(node),
+                                {"count": 0, "self_s": 0.0, "cum_s": 0.0})
+        slot["count"] += 1
+        slot["self_s"] += self_s
+        slot["cum_s"] += dur
+        stack.extend(children)
+    return table
+
+
+@dataclass(frozen=True)
+class SpanProfile:
+    """Everything :func:`profile_trace` aggregates from one trace."""
+
+    forest: tuple[ProfileNode, ...]
+    #: Per span name: {count, self_s, cum_s} over the wall clock.
+    wall: Mapping[str, Mapping[str, float]]
+    #: Per timing-tree label/kind: {count, self_s, cum_s} over the sim clock.
+    sim: Mapping[str, Mapping[str, float]]
+    #: The recorded per-round timing trees (``sim_tree`` span attributes).
+    sim_trees: tuple[Mapping[str, Any], ...]
+
+    @property
+    def wall_total_s(self) -> float:
+        """Wall-clock covered by root spans."""
+        return sum(n.dur_s for n in self.forest)
+
+    @property
+    def sim_total_s(self) -> float:
+        """Simulated seconds covered by the recorded round trees."""
+        return sum(float(t.get("dur_s", 0.0)) for t in self.sim_trees)
+
+
+def profile_events(events: Iterable[dict]) -> SpanProfile:
+    """Aggregate a parsed event stream into a :class:`SpanProfile`."""
+    events = list(events)
+    forest = build_span_forest(events)
+    sim_trees = tuple(ev["attrs"]["sim_tree"] for ev in events
+                      if ev.get("ev") == "span"
+                      and "sim_tree" in ev.get("attrs", {}))
+    return SpanProfile(
+        forest=tuple(forest),
+        wall=_wall_table(forest),
+        sim=_sim_table(sim_trees),
+        sim_trees=sim_trees,
+    )
+
+
+def profile_trace(source: "str | Path | Iterable[dict]") -> SpanProfile:
+    """Profile ``source`` (a trace path or parsed event stream)."""
+    from repro.obs.report import load_trace
+    events = (load_trace(source) if isinstance(source, (str, Path))
+              else source)
+    return profile_events(events)
+
+
+# -------------------------------------------------------------- folded stacks
+def folded_stacks(profile: SpanProfile, *, clock: str = "wall",
+                  ) -> list[str]:
+    """Render the profile as folded stacks (``a;b;c <value>`` lines).
+
+    ``clock="wall"`` folds the span forest with *self* wall-clock values;
+    ``clock="sim"`` folds the recorded timing trees with leaf sim durations.
+    Values are integer microseconds (flamegraph.pl wants integers); identical
+    stacks are merged.  Lines are sorted for deterministic output.
+    """
+    folded: dict[str, int] = {}
+
+    def add(stack: str, seconds: float) -> None:
+        us = int(round(seconds * 1e6))
+        if us > 0:
+            folded[stack] = folded.get(stack, 0) + us
+
+    if clock == "wall":
+        nodes = list(profile.forest)
+        while nodes:
+            node = nodes.pop()
+            add(node.path.replace("/", ";"), node.self_s)
+            nodes.extend(node.children)
+    elif clock == "sim":
+        def walk(node: Mapping[str, Any], prefix: str) -> None:
+            seg = _sim_seg(node)
+            stack = f"{prefix};{seg}" if prefix else seg
+            children = node.get("children", ())
+            if not children:
+                add(stack, float(node.get("dur_s", 0.0)))
+                return
+            for child in children:
+                walk(child, stack)
+
+        for tree in profile.sim_trees:
+            walk(tree, "")
+    else:
+        raise ValueError(f"clock must be 'wall' or 'sim', got {clock!r}")
+    return [f"{stack} {value}" for stack, value in sorted(folded.items())]
+
+
+def _sim_seg(node: Mapping[str, Any]) -> str:
+    """Folded-stack segment of a timing-tree node."""
+    kind = str(node.get("kind", "?"))
+    if kind == "round":
+        return "round"
+    label = node.get("label")
+    if kind in ("compute", "transfer", "probe", "wait"):
+        parts = [kind]
+        link = node.get("link")
+        if link is not None:
+            parts.append(str(link))
+        entity = node.get("entity")
+        if entity is not None:
+            parts.append(str(entity))
+        if label is not None:
+            parts.append(str(label))
+        return ":".join(parts)
+    return str(label) if label is not None else kind
+
+
+# ----------------------------------------------------------------- speedscope
+def speedscope_document(profile: SpanProfile, *, name: str = "trace") -> dict:
+    """Build a speedscope-format document from the wall-clock span forest.
+
+    One evented profile per root span (typically one per ``run``); open at
+    https://speedscope.app or with the ``speedscope`` CLI.
+    """
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+
+    def frame(name: str) -> int:
+        idx = frame_index.get(name)
+        if idx is None:
+            idx = frame_index[name] = len(frames)
+            frames.append({"name": name})
+        return idx
+
+    profiles = []
+    for i, root in enumerate(profile.forest):
+        events: list[dict] = []
+
+        def emit(node: ProfileNode, at_floor: float) -> float:
+            # Clamp into monotone order: a child's recorded start may precede
+            # the last emitted instant by rounding; never go backwards.
+            start = max(node.start_s, at_floor)
+            end = max(start, node.start_s + node.dur_s)
+            events.append({"type": "O", "frame": frame(node.name),
+                           "at": start})
+            floor = start
+            for child in sorted(node.children, key=lambda c: c.start_s):
+                floor = emit(child, floor)
+            end = max(end, floor)
+            events.append({"type": "C", "frame": frame(node.name), "at": end})
+            return end
+
+        end = emit(root, root.start_s)
+        profiles.append({
+            "type": "evented",
+            "name": f"{name}: {root.name} #{i}",
+            "unit": "seconds",
+            "startValue": root.start_s,
+            "endValue": end,
+            "events": events,
+        })
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": profiles,
+        "activeProfileIndex": 0,
+        "exporter": "repro trace-profile",
+    }
+
+
+# ------------------------------------------------------------------ rendering
+def format_profile(profile: SpanProfile, *, sort: str = "self",
+                   limit: int = 0) -> str:
+    """Human-readable self/cumulative tables (wall and, when recorded, sim).
+
+    Parameters
+    ----------
+    sort:
+        Order rows by ``"self"`` or ``"cum"`` time, descending.
+    limit:
+        Keep at most this many rows per table (0 = all).
+    """
+    if sort not in ("self", "cum"):
+        raise ValueError(f"sort must be 'self' or 'cum', got {sort!r}")
+    key = "self_s" if sort == "self" else "cum_s"
+    lines: list[str] = []
+
+    def table(title: str, rows: Mapping[str, Mapping[str, float]],
+              total: float) -> None:
+        lines.append(title)
+        lines.append(f"  {'name':<28s} {'count':>7s} {'self':>12s} "
+                     f"{'cum':>12s} {'self%':>7s}")
+        ordered = sorted(rows.items(), key=lambda kv: -kv[1][key])
+        if limit > 0 and len(ordered) > limit:
+            dropped = len(ordered) - limit
+            ordered = ordered[:limit]
+        else:
+            dropped = 0
+        for name, slot in ordered:
+            share = slot["self_s"] / total if total > 0 else 0.0
+            lines.append(f"  {name:<28s} {int(slot['count']):>7d} "
+                         f"{slot['self_s']:>10.4f} s {slot['cum_s']:>10.4f} s "
+                         f"{share:>6.1%}")
+        if dropped:
+            lines.append(f"  … {dropped} rows elided …")
+
+    lines.append(f"profile: {len(profile.forest)} root spans, "
+                 f"{profile.wall_total_s:.3f} s wall"
+                 + (f", {profile.sim_total_s:.3f} s simulated"
+                    if profile.sim_trees else ""))
+    lines.append("")
+    table("wall-clock (per span name):", profile.wall, profile.wall_total_s)
+    if profile.sim:
+        lines.append("")
+        # Self-time shares are of total *work* (sum over all concurrent
+        # participants), which exceeds the makespan on parallel schedules.
+        sim_work = sum(s["self_s"] for s in profile.sim.values())
+        table(f"simulated time (per scope label / leaf kind; "
+              f"{len(profile.sim_trees)} recorded rounds, "
+              f"{sim_work:.3f} s total work):",
+              profile.sim, sim_work)
+    return "\n".join(lines)
+
+
+def write_speedscope(profile: SpanProfile, path: "str | Path", *,
+                     name: str = "trace") -> None:
+    """Write the speedscope document for ``profile`` to ``path``."""
+    doc = speedscope_document(profile, name=name)
+    Path(path).write_text(json.dumps(doc) + "\n")

@@ -24,12 +24,14 @@ trace written by :class:`~repro.obs.tracer.Tracer` and reports
 from __future__ import annotations
 
 import json
+import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = ["TraceReport", "RoundRecord", "load_trace", "analyze_trace",
-           "format_trace_report", "PHASE_SPANS"]
+           "format_trace_report", "follow_trace", "PHASE_SPANS"]
 
 #: Span names treated as "phases" in the breakdown, in display order.
 PHASE_SPANS = ("data_gen", "phase1_model_update", "phase2_weight_update",
@@ -83,6 +85,11 @@ class TraceReport:
     defense_totals: Mapping[str, int] = field(default_factory=dict)
     byzantine_by_round: Mapping[int, Mapping[str, int]] = field(
         default_factory=dict)
+    #: Recorded per-round timing trees (``sim_tree`` attrs of ``cloud_round``
+    #: spans) — input of :mod:`repro.obs.critical_path`.
+    sim_trees: tuple = ()
+    #: Heartbeat progress records replayed from the trace, in file order.
+    heartbeats: tuple = ()
 
     @property
     def attacks_injected(self) -> int:
@@ -122,8 +129,14 @@ class TraceReport:
         return sum(n for k, n in self.fault_totals.items() if _is_recovery(k))
 
 
-def load_trace(path: str | Path) -> list[dict]:
-    """Parse a JSONL trace file into a list of event dicts."""
+def load_trace(path: str | Path, *, strict: bool = False) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    A run killed mid-write (OOM, SIGKILL, full disk) leaves a truncated final
+    line; by default such malformed lines are *skipped with a warning* so the
+    surviving prefix still profiles and reports.  Pass ``strict=True`` to get
+    the old behaviour: a :class:`ValueError` naming the offending line.
+    """
     events = []
     with Path(path).open() as fh:
         for line_no, line in enumerate(fh, 1):
@@ -133,9 +146,56 @@ def load_trace(path: str | Path) -> list[dict]:
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_no}: not a JSON trace record: {exc}") from exc
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a JSON trace record: "
+                        f"{exc}") from exc
+                warnings.warn(
+                    f"{path}:{line_no}: skipping malformed trace record "
+                    f"(truncated write?): {exc}", stacklevel=2)
     return events
+
+
+def follow_trace(path: str | Path, *, poll_s: float = 0.5,
+                 timeout_s: float | None = None) -> Iterator[dict]:
+    """Tail a live trace file, yielding events as the writer appends them.
+
+    Buffers the (possibly partial) final line until its newline arrives, so a
+    mid-write poll never yields a truncated record.  Stops when a
+    ``trace_end`` event is seen — the writer's close marker — or, when
+    ``timeout_s`` is set, after that many seconds without a new event.
+    Malformed *complete* lines are skipped with a warning, as in
+    :func:`load_trace`.
+    """
+    buf = ""
+    idle_s = 0.0
+    with Path(path).open() as fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                idle_s = 0.0
+                buf += chunk
+                while True:
+                    nl = buf.find("\n")
+                    if nl < 0:
+                        break
+                    line, buf = buf[:nl].strip(), buf[nl + 1:]
+                    if not line:
+                        continue
+                    try:
+                        ev = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        warnings.warn(f"{path}: skipping malformed trace "
+                                      f"record: {exc}", stacklevel=2)
+                        continue
+                    yield ev
+                    if ev.get("ev") == "trace_end":
+                        return
+            else:
+                if timeout_s is not None and idle_s >= timeout_s:
+                    return
+                time.sleep(poll_s)
+                idle_s += poll_s
 
 
 def _merge_numeric(into: dict, frm: Mapping, cast=float) -> None:
@@ -176,12 +236,16 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     attack_totals: dict[str, int] = {}
     defense_totals: dict[str, int] = {}
     byzantine_by_round: dict[int, dict[str, int]] = {}
+    sim_trees: list = []
+    heartbeats: list[dict] = []
     for ev in events:
         kind = ev.get("ev")
         if kind == "trace_start":
             meta = ev.get("meta", {})
         elif kind == "metrics":
             metrics = ev.get("data", metrics)
+        elif kind == "log" and ev.get("kind") == "heartbeat":
+            heartbeats.append(ev.get("fields", {}))
         elif kind == "log" and ev.get("kind") == "fault":
             fields = ev.get("fields", {})
             fault = str(fields.get("fault", "?"))
@@ -216,6 +280,8 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
             slot["total_s"] += float(ev.get("dur_s", 0.0))
             attrs = ev.get("attrs", {})
             if name == "cloud_round":
+                if "sim_tree" in attrs:
+                    sim_trees.append(attrs["sim_tree"])
                 comm = attrs.get("comm", {})
                 _merge_numeric(delta_cycles, comm.get("cycles", {}), int)
                 _merge_numeric(delta_messages, comm.get("messages", {}), int)
@@ -275,6 +341,8 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         attack_totals=attack_totals,
         defense_totals=defense_totals,
         byzantine_by_round=byzantine_by_round,
+        sim_trees=tuple(sim_trees),
+        heartbeats=tuple(heartbeats),
     )
 
 
@@ -306,6 +374,8 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
     lines: list[str] = []
     algos = sorted({r.algorithm for r in report.rounds})
     lines.append(f"trace: {report.events} events, {len(report.rounds)} rounds"
+                 + (f", {len(report.heartbeats)} heartbeats"
+                    if report.heartbeats else "")
                  + (f", algorithms: {', '.join(algos)}" if algos else ""))
     if report.meta:
         lines.append(f"meta : {json.dumps(dict(report.meta), sort_keys=True)}")
@@ -340,6 +410,13 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
         mb = report.comm_floats[key] * _BYTES_PER_FLOAT / 1e6
         msgs = report.comm_messages.get(key, 0)
         lines.append(f"    {key:<20s} {mb:10.3f} MB  ({msgs} messages)")
+    if report.sim_trees:
+        # Imported lazily to keep the module dependency one-way.
+        from repro.obs.critical_path import (analyze_critical_paths,
+                                             format_critical_path)
+        lines.append("")
+        lines.append(format_critical_path(
+            analyze_critical_paths(report.sim_trees), timeline=timeline))
     if timeline > 0 and report.rounds:
         lines.append("")
         lines.append("round timeline:")

@@ -118,6 +118,9 @@ class NullTracer:
     def event(self, kind: str, **fields: Any) -> None:
         """Discard a point-in-time event."""
 
+    def heartbeat(self, **fields: Any) -> None:
+        """Discard a progress heartbeat."""
+
     def snapshot(self) -> dict:
         """Empty metrics snapshot."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
@@ -159,6 +162,10 @@ class Tracer:
         in :meth:`span_totals`) but not written to the trace file — a knob to
         keep long runs' traces compact (e.g. ``3`` drops the per-client
         ``client_local_steps`` records).
+    heartbeat_every:
+        Throttle for :meth:`heartbeat`: write every N-th heartbeat record
+        (1 = all of them).  Long million-round runs tail comfortably with a
+        coarser cadence.
     """
 
     enabled = True
@@ -166,15 +173,21 @@ class Tracer:
     def __init__(self, writer: TraceWriter | str | None = None, *,
                  metrics: MetricsRegistry | None = None,
                  meta: dict | None = None,
-                 write_max_depth: int | None = None) -> None:
+                 write_max_depth: int | None = None,
+                 heartbeat_every: int = 1) -> None:
         if writer is not None and not isinstance(writer, TraceWriter):
             writer = TraceWriter(writer)
+        if heartbeat_every < 1:
+            raise ValueError(
+                f"heartbeat_every must be >= 1, got {heartbeat_every}")
         self.writer = writer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._stack: list[Span] = []
         self._totals: dict[str, list] = {}  # name -> [count, total_seconds]
         self._t0 = _TIME()
         self._write_max_depth = write_max_depth
+        self._heartbeat_every = int(heartbeat_every)
+        self._heartbeats_seen = 0
         self._closed = False
         if self.writer is not None:
             self.writer.write({"ev": "trace_start", "t": 0.0,
@@ -236,6 +249,26 @@ class Tracer:
         if self.writer is not None:
             self.writer.write({"ev": "log", "t": _TIME() - self._t0,
                                "kind": kind, "fields": fields})
+
+    def heartbeat(self, **fields: Any) -> None:
+        """Write a throttled ``heartbeat`` progress record.
+
+        Every ``heartbeat_every``-th call produces one ``log`` event of kind
+        ``heartbeat`` carrying ``fields`` plus the current gauge values —
+        the live progress channel ``trace-report --follow`` tails.  No-op
+        without a writer (heartbeats are a file-tailing feature).
+        """
+        if self.writer is None:
+            return
+        seen = self._heartbeats_seen
+        self._heartbeats_seen = seen + 1
+        if seen % self._heartbeat_every:
+            return
+        gauges = self.metrics.gauge_values()
+        if gauges:
+            fields = {**fields, "gauges": gauges}
+        self.writer.write({"ev": "log", "t": _TIME() - self._t0,
+                           "kind": "heartbeat", "fields": fields})
 
     # ----------------------------------------------------------------- close
     def close(self) -> None:

@@ -208,11 +208,14 @@ class EdgeServer:
                 if timing is not None and timing.enabled:
                     # Price the block: clients work concurrently, so the block
                     # costs the slowest (down + compute + up) chain.
-                    with timing.parallel():
+                    with timing.parallel(f"block:{t2}" if timing.record
+                                         else None):
                         for weight, client, steps, takes_ckpt in participants:
                             scale = (faults.plan.straggler_slowdown
                                      if injecting and steps < tau1 else 1.0)
-                            with timing.branch():
+                            with timing.branch(
+                                    f"client:{client.client_id}"
+                                    if timing.record else None):
                                 timing.transfer("client_edge",
                                                 client.client_id, d)
                                 timing.compute(client.client_id, steps,
@@ -372,9 +375,10 @@ class EdgeServer:
             # Probes run concurrently: the estimate costs the slowest client's
             # (broadcast + forward pass + scalar reply) chain.  Clients whose
             # reply was lost in transit still did the work, so they count.
-            with timing.parallel():
+            with timing.parallel("probe_fanout"):
                 for cid in probed:
-                    with timing.branch():
+                    with timing.branch(f"client:{cid}" if timing.record
+                                       else None):
                         timing.transfer("client_edge", cid, d)
                         timing.probe(cid)
                         timing.transfer("client_edge", cid, 1)

@@ -128,6 +128,98 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram(buckets=(2.0, 1.0))
 
+    def test_percentile_nearest_rank_small_samples(self):
+        # The documented rule: rank = max(1, ceil(q/100 * n)), 1-based over
+        # the sorted samples — no interpolation is invented.
+        h1 = Histogram()
+        h1.observe(7.0)
+        assert h1.percentile(0) == h1.percentile(50) == h1.percentile(99) == 7.0
+        h2 = Histogram()
+        h2.observe(10.0)
+        h2.observe(2.0)
+        assert h2.percentile(50) == 2.0   # ceil(0.5*2)=1 -> smaller sample
+        assert h2.percentile(51) == 10.0  # ceil(0.51*2)=2 -> larger sample
+        assert h2.percentile(100) == 10.0
+
+    def test_percentile_exact_while_raw_retained(self):
+        from repro.obs.metrics import RAW_SAMPLE_LIMIT
+
+        h = Histogram(buckets=(1.0, 100.0))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count <= RAW_SAMPLE_LIMIT
+        assert h.percentile(95) == 95.0  # exact despite the coarse buckets
+        assert h.as_dict()["p50"] == 50.0
+
+    def test_percentile_bucket_fallback_beyond_raw_limit(self):
+        from repro.obs.metrics import RAW_SAMPLE_LIMIT
+
+        h = Histogram(buckets=(1.0, 10.0))
+        for _ in range(200):
+            h.observe(0.5)
+        for _ in range(100):
+            h.observe(5.0)
+        assert h.count > RAW_SAMPLE_LIMIT
+        # Conservative estimate: the covering bucket's upper bound ...
+        assert h.percentile(50) == 1.0
+        # ... clamped to the observed maximum when the bound overshoots it.
+        assert h.percentile(99) == 5.0  # min(bound 10.0, max 5.0)
+        low = Histogram(buckets=(1.0,))
+        for _ in range(300):
+            low.observe(0.25)
+        assert low.percentile(99) == 0.25
+
+    def test_percentile_empty_and_invalid_q(self):
+        h = Histogram()
+        assert h.percentile(50) is None
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_cardinality_guard_caps_series(self):
+        reg = MetricsRegistry(max_series=2)
+        real = reg.counter("a")
+        reg.gauge("b")
+        with pytest.warns(UserWarning, match="max_series=2"):
+            sink = reg.counter("leak:client:0")
+        assert sink is not real
+        sink.inc(5)  # keeps working, just unregistered
+        assert reg.series == 2 and reg.overflow == 1
+        assert "leak:client:0" not in reg.snapshot()["counters"]
+        assert reg.snapshot()["overflow"] == 1
+
+    def test_cardinality_guard_warns_once_and_shares_sinks(self):
+        import warnings as _warnings
+
+        reg = MetricsRegistry(max_series=1)
+        reg.counter("only")
+        with pytest.warns(UserWarning):
+            first = reg.histogram("leak:0")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # a second warning would raise
+            second = reg.histogram("leak:1")
+            assert reg.gauge("leak:2") is reg.gauge("leak:3")
+        assert first is second
+        assert reg.overflow == 4
+        # Existing series stay live and writable at the cap.
+        reg.counter("only").inc()
+        assert reg.snapshot()["counters"]["only"] == 1
+
+    def test_cardinality_guard_reset_clears_overflow(self):
+        reg = MetricsRegistry(max_series=1)
+        reg.counter("x")
+        with pytest.warns(UserWarning):
+            reg.counter("y")
+        reg.reset()
+        assert reg.series == 0 and reg.overflow == 0
+        assert "overflow" not in reg.snapshot()
+        reg.counter("fresh")  # re-registers without warning after reset
+
+    def test_max_series_validated(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series=0)
+
     def test_tracer_delegates(self):
         obs = Tracer()
         obs.count("sgd_steps_total", 4)
@@ -339,3 +431,18 @@ class TestRunnerIntegration:
         assert out.phase_times["hierminimax"]["phase2_weight_update"] > 0
         assert out.metrics["counters"]["sgd_steps_total"] > 0
         assert out.setup_times["data_gen"] > 0
+
+    def test_runner_marks_each_algorithm_done(self, tmp_path):
+        from repro.experiments.presets import fig3_preset
+        from repro.experiments.runner import run_experiment
+        from repro.obs import load_trace
+
+        preset = fig3_preset(scale="tiny").with_overrides(
+            slots=48, eval_points=2, algorithms=("fedavg", "hierminimax"))
+        path = tmp_path / "exp.trace.jsonl"
+        with Tracer(str(path)) as obs:
+            run_experiment(preset, seed=0, obs=obs)
+        done = [e["fields"] for e in load_trace(path)
+                if e.get("ev") == "log" and e.get("kind") == "algorithm_done"]
+        assert [d["algorithm"] for d in done] == ["fedavg", "hierminimax"]
+        assert all(d["rounds"] > 0 and "worst_accuracy" in d for d in done)
