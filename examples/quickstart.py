@@ -36,6 +36,13 @@ synchronous run exactly)::
     python examples/quickstart.py --cost-model hetero,seed=1,slow_factor=10
     python examples/quickstart.py --cost-model hetero,seed=1,slow_factor=10 \
         --staleness 1
+
+Dynamic-membership demo — clients arrive and depart, edges crash and recover,
+and the hierarchy self-heals by re-homing orphaned clients to surviving
+edges (every decision a pure function of ``(seed, round, entity)``)::
+
+    python examples/quickstart.py \
+        --churn arrive=0.05,depart=0.02,edge_mttf=40,edge_mttr=4,seed=1
 """
 
 from __future__ import annotations
@@ -84,6 +91,10 @@ def main() -> None:
                              "(bit-identical results for every choice)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker count for thread/process backends")
+    parser.add_argument("--churn", default=None, metavar="SPEC",
+                        help="dynamic-membership plan, e.g. "
+                             "'arrive=0.05,depart=0.02,edge_mttf=40,seed=1' "
+                             "(client churn, edge failover, self-healing)")
     parser.add_argument("--cost-model", default=None, metavar="SPEC",
                         help="simulated-time cost model, e.g. "
                              "'hetero,seed=1,slow_factor=10' (prices compute "
@@ -123,6 +134,8 @@ def main() -> None:
         print(f"attack : {args.attack}")
     if args.defense:
         print(f"defense: {args.defense}")
+    if args.churn:
+        print(f"churn  : {args.churn}")
     backend = resolve_backend(args.backend, args.workers)
     if backend.name != "serial":
         print(f"backend: {backend.name}")
@@ -146,6 +159,7 @@ def main() -> None:
         backend=backend,
         defense=args.defense,
         timing=timing,
+        churn=args.churn,
         **extra_kwargs,
     )
 

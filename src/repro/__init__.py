@@ -56,6 +56,7 @@ from repro.faults import (
     load_checkpoint_file,
     save_checkpoint_file,
 )
+from repro.membership import ChurnPlan, MembershipManager, resolve_membership
 from repro.metrics import EvaluationRecord, TrainingHistory, evaluate_record
 from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
 from repro.obs import (
@@ -113,6 +114,9 @@ __all__ = [
     "RetryPolicy",
     "load_checkpoint_file",
     "save_checkpoint_file",
+    "ChurnPlan",
+    "MembershipManager",
+    "resolve_membership",
     "EvaluationRecord",
     "TrainingHistory",
     "evaluate_record",

@@ -53,11 +53,11 @@ class DRFA(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
@@ -66,6 +66,8 @@ class DRFA(FederatedAlgorithm):
         check_fraction(self.m_clients, n, "m_clients")
         self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
                                           rng_factory=self.rng_factory)
+        # Flat topology: client arrivals/departures only (no edges to fail).
+        self.membership.bind_flat(self.clients)
         self.cloud = CloudServer(
             n, weight_projection=projection_q if projection_q is not None
             else project_simplex)
@@ -116,8 +118,12 @@ class DRFA(FederatedAlgorithm):
             # the dispatcher chains duplicate occurrences so its minibatch
             # stream advances exactly as this loop used to advance it.
             work: list[ClientWork] = []
+            membership = self.membership
             for i in sampled:
                 client = self.clients[int(i)]
+                if membership.enabled and not membership.client_active(
+                        client.client_id):
+                    continue
                 steps = self.tau1 if not injecting else faults.client_steps(
                     round_index, client.client_id, self.tau1)
                 if steps < 1:
@@ -224,8 +230,10 @@ class DRFA(FederatedAlgorithm):
                     client = self.clients[cid]
                     est: float | None = None
                     with timing.branch():
-                        if not injecting or faults.client_available(round_index,
-                                                                    cid):
+                        if (membership.client_active(cid)
+                                and (not injecting
+                                     or faults.client_available(round_index,
+                                                                cid))):
                             if timing.enabled:
                                 timing.transfer("client_cloud", cid, d)
                                 timing.probe(cid)

@@ -48,11 +48,11 @@ class FedAvg(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         self.tau1 = check_positive_int(tau1, "tau1")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -61,6 +61,8 @@ class FedAvg(FederatedAlgorithm):
         self.weight_by_data = bool(weight_by_data)
         self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
                                           rng_factory=self.rng_factory)
+        # Flat topology: client arrivals/departures only (no edges to fail).
+        self.membership.bind_flat(self.clients)
 
     @property
     def slots_per_round(self) -> int:
@@ -82,8 +84,12 @@ class FedAvg(FederatedAlgorithm):
             cloud_agg = self._cloud_agg
             entries: list[tuple[str, float, np.ndarray]] = []
             work: list[ClientWork] = []
+            membership = self.membership
             for i in sampled:
                 client = self.clients[int(i)]
+                if membership.enabled and not membership.client_active(
+                        client.client_id):
+                    continue
                 steps = self.tau1 if not injecting else faults.client_steps(
                     round_index, client.client_id, self.tau1)
                 if steps < 1:

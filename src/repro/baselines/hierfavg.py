@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FederatedAlgorithm
+from repro.core.base import EDGE_UNAVAILABLE, FederatedAlgorithm
 from repro.data.dataset import FederatedDataset
 from repro.defense.policy import robust_combine
 from repro.nn.models import ModelFactory
@@ -49,11 +49,11 @@ class HierFAVG(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
         n_e = dataset.num_edges
@@ -62,6 +62,7 @@ class HierFAVG(FederatedAlgorithm):
         self.weight_by_data = bool(weight_by_data)
         self.edges = build_edge_servers(dataset, batch_size=self.batch_size,
                                         rng_factory=self.rng_factory)
+        self.membership.bind(self.edges)
 
     @property
     def slots_per_round(self) -> int:
@@ -93,6 +94,9 @@ class HierFAVG(FederatedAlgorithm):
                         if injecting and faults.edge_dark(round_index,
                                                           edge.edge_id):
                             continue
+                        roster = self._edge_roster(edge.edge_id)
+                        if roster is EDGE_UNAVAILABLE:
+                            continue
                         if timing.enabled:
                             timing.transfer("edge_cloud", edge.edge_id, d)
                         w_e, _ = edge.model_update(
@@ -103,7 +107,7 @@ class HierFAVG(FederatedAlgorithm):
                             weight_by_data=self.weight_by_data,
                             obs=obs, faults=faults, round_index=round_index,
                             backend=self.backend, defense=self._edge_agg,
-                            timing=timing)
+                            timing=timing, roster=roster)
                         self.tracker.record("edge_cloud", "up", count=1,
                                             floats=d)
                         if timing.enabled:

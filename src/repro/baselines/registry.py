@@ -41,7 +41,7 @@ _EXTRA_KEYS: dict[str, frozenset[str]] = {
 }
 _COMMON_KEYS = frozenset(
     {"batch_size", "eta_w", "seed", "projection_w", "logger", "obs", "faults",
-     "backend", "defense", "timing"})
+     "backend", "defense", "timing", "churn"})
 
 # Minimax weight learning rate aliases: the paper's η_p maps onto the two-layer
 # baselines' η_q so one experiment config drives all methods.

@@ -49,11 +49,11 @@ class StochasticAFL(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         n = dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
@@ -61,6 +61,8 @@ class StochasticAFL(FederatedAlgorithm):
         check_fraction(self.m_clients, n, "m_clients")
         self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
                                           rng_factory=self.rng_factory)
+        # Flat topology: client arrivals/departures only (no edges to fail).
+        self.membership.bind_flat(self.clients)
         # The "cloud" here aggregates over clients; reuse CloudServer with N slots.
         self.cloud = CloudServer(
             n, weight_projection=projection_q if projection_q is not None
@@ -106,8 +108,12 @@ class StochasticAFL(FederatedAlgorithm):
             entries: list[tuple[str, float, np.ndarray]] = []
             # With-replacement sampling: duplicates chain in the dispatcher.
             work: list[ClientWork] = []
+            membership = self.membership
             for i in sampled:
                 client = self.clients[int(i)]
+                if membership.enabled and not membership.client_active(
+                        client.client_id):
+                    continue
                 # Single-step rounds: a straggler that cannot finish its one
                 # step within the round is a dropout.
                 steps = 1 if not injecting else faults.client_steps(
@@ -175,8 +181,10 @@ class StochasticAFL(FederatedAlgorithm):
                     cid = int(i)
                     est: float | None = None
                     with timing.branch():
-                        if not injecting or faults.client_available(round_index,
-                                                                    cid):
+                        if (membership.client_active(cid)
+                                and (not injecting
+                                     or faults.client_available(round_index,
+                                                                cid))):
                             if timing.enabled:
                                 timing.transfer("client_cloud", cid, d)
                                 timing.probe(cid)

@@ -15,6 +15,7 @@ Usage::
     python -m repro degradation --scale tiny --faults client_dropout=0.2,seed=1
     python -m repro byzantine --attack sign_flip --defense trimmed_mean
     python -m repro timesim --cost-model hetero,seed=1,slow_factor=10
+    python -m repro churn --churn arrive=0.05,depart=0.02,edge_mttf=5,seed=1
     python -m repro info
 
 Every subcommand prints the same reports the benchmark harness archives; ``--out``
@@ -178,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_ts.add_argument("--staleness", type=int, default=1,
                       help="semi-async staleness bound S (0 reproduces the "
                            "synchronous trajectory and makespan exactly)")
+
+    p_ch = sub.add_parser(
+        "churn",
+        help="dynamic-membership demo: clean vs churn+re-homing vs churn "
+             "without failover")
+    p_ch.add_argument("--scale", default="tiny", choices=("tiny", "small"))
+    p_ch.add_argument("--rounds", type=int, default=150)
+    p_ch.add_argument("--seed", type=int, default=0)
+    p_ch.add_argument("--churn",
+                      default="arrive=0.05,depart=0.02,edge_mttf=5,"
+                              "edge_mttr=4,seed=1",
+                      help="ChurnPlan spec for repro.membership.ChurnPlan"
+                           ".parse; edge_mttf=5 is a 20%% per-round "
+                           "edge-crash campaign")
+    p_ch.add_argument("--cost-model",
+                      default="hetero,seed=1",
+                      help="CostModel spec pricing failover traffic "
+                           "(simulated makespan; numerical results "
+                           "unchanged)")
+    p_ch.add_argument("--tolerance", type=float, default=0.15,
+                      help="max tolerated worst-edge accuracy drop of the "
+                           "re-homed run vs the clean run")
 
     sub.add_parser("info", help="version and system inventory")
     return parser
@@ -584,6 +607,97 @@ def _cmd_timesim(args) -> int:
     return 0 if faster and close else 1
 
 
+def _cmd_churn(args) -> int:
+    """Clean vs churned-with-re-homing vs churned-without-failover HierMinimax.
+
+    The acceptance demo of the dynamic-membership layer: under a 20%%
+    per-round edge-crash campaign with client churn, the self-healing run
+    (orphans re-homed to surviving edges) must hold its worst-edge accuracy
+    within ``--tolerance`` of the clean run and at least match the run where
+    failover is disabled.  The membership ledger must balance: arrivals minus
+    departures equal the net change of the active population.  Exit code 1
+    signals any of those checks failed.
+    """
+    from dataclasses import replace
+
+    from repro.core.hierminimax import HierMinimax
+    from repro.data.registry import make_federated_dataset
+    from repro.membership import ChurnPlan
+    from repro.nn.models import make_model_factory
+    from repro.obs import Tracer
+    from repro.simtime import SimTimer, make_cost_model
+
+    plan = ChurnPlan.parse(args.churn)
+    cost = make_cost_model(args.cost_model) if args.cost_model else None
+    dataset = make_federated_dataset("emnist_digits", seed=args.seed,
+                                     scale=args.scale)
+    factory = make_model_factory("logistic", dataset.input_dim,
+                                 dataset.num_classes)
+    print(f"dataset : {dataset}")
+    print(f"churn   : {args.churn}")
+
+    def run(churn, obs=None):
+        timing = SimTimer(cost) if cost is not None else None
+        algo = HierMinimax(dataset, factory, batch_size=8, eta_w=0.05,
+                           eta_p=2e-3, tau1=2, tau2=2, m_edges=5,
+                           seed=args.seed, obs=obs, churn=churn,
+                           timing=timing)
+        initial = len(algo.membership.active) if algo.membership.enabled else 0
+        res = algo.run(rounds=args.rounds,
+                       eval_every=max(1, args.rounds // 10))
+        final = len(algo.membership.active) if algo.membership.enabled else 0
+        return res, initial, final
+
+    clean, _, _ = run(None)
+    obs = Tracer(None)  # metrics-only: collect the membership counters
+    rehomed, initial, final = run(plan, obs=obs)
+    norehome, _, _ = run(replace(plan, rehome=False))
+    counters = obs.snapshot()["counters"]
+
+    recs = {name: res.history.final().record
+            for name, res in (("clean", clean), ("re-homed", rehomed),
+                              ("no-failover", norehome))}
+    print(f"\n{'':24s} {'clean':>12s} {'re-homed':>12s} {'no-failover':>12s}")
+    for label, attr in (("worst edge accuracy", "worst_accuracy"),
+                        ("average accuracy", "average_accuracy")):
+        vals = [getattr(recs[n], attr)
+                for n in ("clean", "re-homed", "no-failover")]
+        print(f"{label:<24s} " + " ".join(f"{v:12.4f}" for v in vals))
+    print(f"{'total traffic (MB)':<24s} "
+          + " ".join(f"{res.comm.total_bytes / 1e6:12.2f}"
+                     for res in (clean, rehomed, norehome)))
+    if cost is not None:
+        print(f"{'simulated time (s)':<24s} "
+              + " ".join(f"{res.sim_time_s:12.3f}"
+                         for res in (clean, rehomed, norehome)))
+    print("\nmembership counters (re-homed run):")
+    for key in ("membership_joined_total", "membership_left_total",
+                "membership_rehomed_total", "membership_edge_crashes_total",
+                "membership_recovered_total", "membership_partitions_total",
+                "membership_heals_total", "membership_handoffs_total"):
+        if key in counters:
+            print(f"  {key:<30s} {counters[key]:g}")
+
+    joined = int(counters.get("membership_joined_total", 0))
+    left = int(counters.get("membership_left_total", 0))
+    balanced = joined - left == final - initial
+    print(f"\nledger: {joined} joined - {left} left == "
+          f"{final} - {initial} active "
+          f"({'balanced' if balanced else 'IMBALANCED'})")
+    drop = recs["clean"].worst_accuracy - recs["re-homed"].worst_accuracy
+    survives = (recs["re-homed"].worst_accuracy
+                >= recs["no-failover"].worst_accuracy)
+    ok = balanced and survives and drop <= args.tolerance
+    print(f"re-homed worst-edge accuracy drop {drop:+.4f} "
+          f"{'within' if drop <= args.tolerance else 'EXCEEDS'} tolerance "
+          f"{args.tolerance:.2f}; re-homing "
+          f"{'recovers' if survives else 'DOES NOT recover'} the "
+          f"no-failover accuracy "
+          f"({recs['re-homed'].worst_accuracy:.4f} vs "
+          f"{recs['no-failover'].worst_accuracy:.4f})")
+    return 0 if ok else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -629,4 +743,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_byzantine(args)
     if args.command == "timesim":
         return _cmd_timesim(args)
+    if args.command == "churn":
+        return _cmd_churn(args)
     return _cmd_info()

@@ -23,6 +23,7 @@ from repro.defense.policy import clip_loss_reports, resolve_defense
 from repro.faults.checkpoint import load_checkpoint_file, save_checkpoint_file
 from repro.faults.injector import resolve_injector
 from repro.metrics.evaluation import evaluate_record
+from repro.membership import resolve_membership
 from repro.metrics.history import HistoryPoint, TrainingHistory, \
     history_from_state, history_state
 from repro.nn.models import ModelFactory
@@ -35,7 +36,12 @@ from repro.utils.logging import NullLogger
 from repro.utils.rng import RngFactory, restore_generator
 from repro.utils.validation import check_positive_float, check_positive_int
 
-__all__ = ["FederatedAlgorithm", "RunResult"]
+__all__ = ["FederatedAlgorithm", "RunResult", "EDGE_UNAVAILABLE"]
+
+#: Sentinel returned by :meth:`FederatedAlgorithm._edge_roster` when the
+#: membership layer has taken an edge out of service for the round (crashed,
+#: partitioned, or left without a single active client).
+EDGE_UNAVAILABLE = object()
 
 
 # Retained name: the canonical implementation now lives in repro.utils.rng
@@ -135,6 +141,18 @@ class FederatedAlgorithm(ABC):
         :class:`~repro.metrics.history.HistoryPoint` / :class:`RunResult`.
         Defaults to the no-op :data:`~repro.simtime.NULL_TIMING`; the clock
         is purely arithmetic — results are bit-identical with or without it.
+    churn:
+        Optional dynamic membership: a
+        :class:`~repro.membership.ChurnPlan`, a spec string
+        (``"arrive=0.05,depart=0.02,edge_mttf=40"``), or a pre-built
+        :class:`~repro.membership.MembershipManager`.  Client arrivals and
+        departures, edge crash/recover episodes, and edge–cloud partitions
+        are advanced at every round boundary; on hierarchical topologies a
+        crashed edge's clients are re-homed to surviving edges (see
+        :mod:`repro.membership`).  ``None`` falls back to ``faults.churn``
+        when the fault plan carries one; otherwise the shared
+        :data:`~repro.membership.NULL_MEMBERSHIP` keeps the static topology
+        — bit-identical to a build without the membership layer.
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -148,7 +166,7 @@ class FederatedAlgorithm(ABC):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         self.dataset = dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
@@ -172,6 +190,11 @@ class FederatedAlgorithm(ABC):
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
         self.timing = resolve_timing(timing)
+        if churn is None:
+            # A fault spec can carry the churn tier (churn_* keys); an
+            # explicit churn= argument wins over it.
+            churn = self.faults.plan.churn
+        self.membership = resolve_membership(churn, obs=self.obs)
         self.w: np.ndarray = self.engine.get_params()
         self.rounds_completed = 0
         self._history: TrainingHistory | None = None
@@ -246,6 +269,13 @@ class FederatedAlgorithm(ABC):
                 with obs.span("cloud_round", algorithm=self.name,
                               round=k) as round_span:
                     with self.timing.round(k):
+                        # Membership transitions happen at the round boundary,
+                        # before the round body: detection waits and
+                        # handoff/warm-sync transfers land on this round's
+                        # clock and in its communication delta.
+                        self.membership.begin_round(k, tracker=self.tracker,
+                                                    timing=self.timing,
+                                                    dim=self.w.size)
                         self.run_round(k)
                     if obs.enabled:
                         delta = self.tracker.snapshot().diff(comm_before)
@@ -389,6 +419,7 @@ class FederatedAlgorithm(ABC):
             "history": (history_state(self._history)
                         if self._history is not None else None),
             "faults": self.faults.state_dict(),
+            "membership": self.membership.state_dict(),
             "sim_time_s": self.timing.elapsed_s,
             "extra": self._extra_state(),
         }
@@ -434,6 +465,9 @@ class FederatedAlgorithm(ABC):
         if state.get("history") is not None:
             self._resume_history = history_from_state(state["history"])
         self.faults.load_state_dict(state.get("faults", {}))
+        # Checkpoints capture the live topology (active set, home map, edge
+        # and link episode states), so resume mid-failover is bit-identical.
+        self.membership.load_state_dict(state.get("membership", {}))
         if self.timing.enabled:
             # The shared NULL_TIMING is never mutated; a real timer resumes
             # its virtual clock exactly where the checkpointed run left it.
@@ -442,6 +476,25 @@ class FederatedAlgorithm(ABC):
         return self.rounds_completed
 
     # ---------------------------------------------------------------- helpers
+    def _edge_roster(self, edge_id: int):
+        """The edge's membership-adjusted roster for this round.
+
+        ``None`` means "use the construction-time roster" (membership
+        disabled — the byte-identical static path);
+        :data:`EDGE_UNAVAILABLE` means the edge must be skipped this round
+        (crashed, partitioned, or drained of active clients); any list is
+        the live roster to train/probe with.
+        """
+        membership = self.membership
+        if not membership.enabled:
+            return None
+        if not membership.edge_available(edge_id):
+            return EDGE_UNAVAILABLE
+        roster = membership.roster(edge_id)
+        if roster is not None and not roster:
+            return EDGE_UNAVAILABLE
+        return roster
+
     def _clip_losses(self, round_index: int, losses: dict,
                      entity_prefix: str) -> dict:
         """Score-damped minimax weight update: cap reports at the policy's

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import FederatedAlgorithm, _restore_generator
+from repro.core.base import EDGE_UNAVAILABLE, FederatedAlgorithm, \
+    _restore_generator
 from repro.data.dataset import FederatedDataset
 from repro.defense.policy import robust_combine
 from repro.nn.models import ModelFactory
@@ -94,11 +95,11 @@ class HierMinimax(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         self.eta_p = check_positive_float(eta_p, "eta_p")
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
@@ -107,6 +108,7 @@ class HierMinimax(FederatedAlgorithm):
         check_fraction(self.m_edges, n_e, "m_edges")
         self.edges = build_edge_servers(dataset, batch_size=self.batch_size,
                                         rng_factory=self.rng_factory)
+        self.membership.bind(self.edges)
         self.cloud = CloudServer(
             n_e, weight_projection=projection_p if projection_p is not None
             else project_simplex)
@@ -161,6 +163,9 @@ class HierMinimax(FederatedAlgorithm):
         d = self._dim
         if faults.enabled and faults.edge_dark(round_index, eid):
             return None
+        roster = self._edge_roster(eid)
+        if roster is EDGE_UNAVAILABLE:
+            return None
         if timing.enabled:
             # Cloud -> edge: w^(k) plus the (c1, c2) checkpoint slot.
             timing.transfer("edge_cloud", eid, d + 2)
@@ -171,7 +176,7 @@ class HierMinimax(FederatedAlgorithm):
             compressor=self.compressor, comp_rng=self._comp_rng,
             obs=self.obs, faults=faults, round_index=round_index,
             backend=self.backend, defense=self._edge_agg,
-            timing=timing)
+            timing=timing, roster=roster)
         if self.compressor is not None:
             # Edge transmits compressed deltas against the broadcast w^(k).
             w_e = self.w + self.compressor.compress(w_e - self.w,
@@ -317,16 +322,19 @@ class HierMinimax(FederatedAlgorithm):
                 for e in probed:
                     eid = int(e)
                     est: float | None = None
+                    roster = self._edge_roster(eid)
                     with timing.branch(f"edge:{eid}" if timing.record
                                        else None):
-                        if not (injecting and faults.edge_dark(round_index,
+                        if roster is not EDGE_UNAVAILABLE and not (
+                                injecting and faults.edge_dark(round_index,
                                                                eid)):
                             if timing.enabled:
                                 timing.transfer("edge_cloud", eid, d)
                             est = self.edges[eid].estimate_loss(
                                 self.engine, w_checkpoint, tracker=self.tracker,
                                 faults=faults, round_index=round_index,
-                                loss_clip=self._loss_clip, timing=timing)
+                                loss_clip=self._loss_clip, timing=timing,
+                                roster=roster)
                             if est is not None:
                                 self.tracker.record("edge_cloud", "up", count=1,
                                                     floats=1)

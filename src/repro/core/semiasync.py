@@ -185,6 +185,21 @@ class SemiAsyncHierMinimax(HierMinimax):
         """Fold the collected flights into ``w`` / the checkpoint model."""
         d = self._dim
         faults = self.faults
+        membership = self.membership
+        if membership.enabled:
+            # An edge that crashed or was partitioned after dispatch never
+            # lands its upload: the flight still occupied its slot, but it
+            # contributes nothing at merge time.
+            for f in collected:
+                if f["w_e"] is not None and not membership.edge_available(
+                        f["eid"]):
+                    f["w_e"] = None
+                    f["w_ckpt"] = None
+                    self.obs.event("membership", round=round_index,
+                                   action="flight_dropped",
+                                   entity=f"edge:{f['eid']}",
+                                   dispatched=f["round"])
+                    self.obs.count("membership_stale_flights_total")
         cloud_agg = self._cloud_agg
         w_ref = self.w
         if cloud_agg is not None:

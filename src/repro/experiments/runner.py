@@ -22,6 +22,7 @@ from repro.baselines.registry import make_algorithm
 from repro.core.base import RunResult
 from repro.defense.attacks import AttackPlan, apply_label_flip
 from repro.faults import FaultPlan, resolve_injector
+from repro.membership import ChurnPlan
 from repro.data.dataset import FederatedDataset
 from repro.data.registry import make_federated_dataset
 from repro.exec import ExecutionBackend, resolve_backend
@@ -97,7 +98,7 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    checkpoint_dir=None, checkpoint_every: int | None = None,
                    resume: bool = False,
                    backend=None, workers: int | None = None,
-                   cost_model=None) -> ExperimentOutput:
+                   cost_model=None, churn=None) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -155,6 +156,14 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         per-evaluation clocks on each history point's ``sim_time_s``.
         Numerical trajectories are unaffected (the clock is purely
         observational).
+    churn:
+        Optional dynamic-membership plan — a
+        :class:`~repro.membership.ChurnPlan` or a spec string for
+        :meth:`ChurnPlan.parse` (``"arrive=0.05,depart=0.02,edge_mttf=40"``).
+        Each algorithm gets a *fresh*
+        :class:`~repro.membership.MembershipManager` so churn decisions stay
+        a pure function of ``(plan.seed, round, entity)`` and are identical
+        across the roster.
     """
     obs = obs if obs is not None else NULL_TRACER
     if resume and checkpoint_dir is None:
@@ -170,6 +179,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                 raise TypeError("run_experiment takes a FaultPlan when "
                                 "combining faults with an attack")
             faults = replace(base, byzantine=plan)
+    if churn is not None and isinstance(churn, str):
+        churn = ChurnPlan.parse(churn)
     owns_backend = not isinstance(backend, ExecutionBackend)
     backend = resolve_backend(backend, workers)
     setup = TimerBank()
@@ -192,7 +203,7 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                     timers, seed=seed, logger=logger, obs=obs, faults=faults,
                     defense=defense, checkpoint_dir=checkpoint_dir,
                     checkpoint_every=checkpoint_every, resume=resume,
-                    backend=backend, cost_model=cost_model)
+                    backend=backend, cost_model=cost_model, churn=churn)
     finally:
         if owns_backend:
             backend.close()
@@ -207,7 +218,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
 
 def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
                 timers, *, seed, logger, obs, faults, defense, checkpoint_dir,
-                checkpoint_every, resume, backend, cost_model=None) -> None:
+                checkpoint_every, resume, backend, cost_model=None,
+                churn=None) -> None:
     """Execute each algorithm of ``roster`` in turn, filling the result maps."""
     for name in roster:
         # A fresh timer per algorithm: one run's makespan never leaks into
@@ -225,7 +237,7 @@ def _run_roster(preset, roster, dataset, model_factory, results, phase_times,
             batch_size=preset.batch_size, eta_w=preset.eta_w, eta_p=preset.eta_p,
             tau1=preset.tau1, tau2=preset.tau2, m_edges=preset.m_edges,
             seed=seed, logger=logger, obs=obs, faults=injector,
-            backend=backend, defense=defense, timing=timing)
+            backend=backend, defense=defense, timing=timing, churn=churn)
         rounds = preset.rounds_for(algo.slots_per_round)
         eval_every = preset.eval_every_for(algo.slots_per_round)
         ckpt_path = None

@@ -234,7 +234,9 @@ class FaultInjector:
                     if tracker is not None:
                         tracker.record(link, direction, count=1, floats=floats)
                     self.obs.count("retries_total")
-                    wait = policy.backoff_s(attempt)
+                    wait = policy.backoff_s(attempt, seed=self.plan.seed,
+                                            round_index=round_index,
+                                            entity=f"{link}:{sender}")
                     self.backoff_s_total += wait
                     self.obs.count("retry_backoff_s_total", wait)
             if not delivered:

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+import numpy as np
+
 from repro.defense.attacks import AttackPlan
+from repro.membership.plan import ChurnPlan
+from repro.utils.rng import stable_key
 from repro.utils.validation import check_probability
 
 __all__ = ["FaultPlan", "RetryPolicy"]
@@ -39,11 +43,23 @@ class RetryPolicy:
         The ``n``-th retry waits ``backoff_base_s * backoff_factor**n``
         (simulated) seconds.  The time is accumulated into the
         ``retry_backoff_s_total`` metric, never slept.
+    max_backoff_s:
+        Cap on any single backoff wait, so exponential growth cannot run
+        unbounded under long loss episodes.  ``None`` (default) leaves the
+        geometric schedule uncapped — bit-identical to the pre-cap policy.
+    jitter:
+        Optional deterministic jitter fraction in ``[0, 1]``: each wait is
+        scaled by a factor drawn uniformly from ``[1 - jitter, 1 + jitter]``
+        as a pure function of ``(seed, round, entity, attempt)`` — seeded
+        de-synchronization, not wall-clock randomness.  ``0`` (default)
+        disables jitter and skips the draw entirely.
     """
 
     max_retries: int = 2
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
+    max_backoff_s: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_retries, int) or self.max_retries < 0:
@@ -55,10 +71,32 @@ class RetryPolicy:
         if self.backoff_factor < 1.0:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_backoff_s is not None and self.max_backoff_s < 0:
+            raise ValueError(
+                f"max_backoff_s must be >= 0 or None, got {self.max_backoff_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff_s(self, attempt: int) -> float:
-        """Simulated wait before retry number ``attempt`` (0-based)."""
-        return self.backoff_base_s * self.backoff_factor ** attempt
+    def backoff_s(self, attempt: int, *, seed: int | None = None,
+                  round_index: int = 0, entity: str = "") -> float:
+        """Simulated wait before retry number ``attempt`` (0-based).
+
+        With ``jitter`` set and a ``seed`` supplied, the wait is perturbed by
+        a factor that is a pure function of
+        ``(seed, round_index, entity, attempt)``; the cap applies before the
+        jitter, so a capped schedule still de-synchronizes.
+        """
+        wait = self.backoff_base_s * self.backoff_factor ** attempt
+        if self.max_backoff_s is not None:
+            wait = min(wait, self.max_backoff_s)
+        if self.jitter > 0.0 and seed is not None:
+            ss = np.random.SeedSequence(
+                entropy=seed,
+                spawn_key=(stable_key("retry_jitter"), round_index,
+                           stable_key(entity), attempt))
+            u = np.random.default_rng(ss).random()
+            wait *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return wait
 
 
 @dataclass(frozen=True)
@@ -115,6 +153,16 @@ class FaultPlan:
         the NaN guard.  ``0`` disables the guard.  It only arms when the plan
         is otherwise active (faults or an attack), so it never changes a
         healthy run's code paths.
+    churn:
+        Optional :class:`~repro.membership.plan.ChurnPlan` — the dynamic
+        membership tier (client arrivals/departures, edge crash/recover,
+        partitions).  Carried here so one spec string configures a whole
+        degraded run (``churn_arrive=0.05,churn_edge_mttf=40,...``), but
+        *activated* by the :mod:`repro.membership` layer, not the fault
+        injector: ``FederatedAlgorithm`` resolves it into a
+        :class:`~repro.membership.manager.MembershipManager` when no
+        explicit ``churn=`` argument is given.  It does not arm the injector
+        (:attr:`is_null` ignores it).
     """
 
     client_dropout: float = 0.0
@@ -128,6 +176,7 @@ class FaultPlan:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     byzantine: AttackPlan | None = None
     guard_zscore: float = 0.0
+    churn: ChurnPlan | None = None
 
     def __post_init__(self) -> None:
         for name in ("client_dropout", "client_straggle", "edge_outage",
@@ -146,6 +195,9 @@ class FaultPlan:
         if self.guard_zscore < 0:
             raise ValueError(
                 f"guard_zscore must be >= 0, got {self.guard_zscore}")
+        if self.churn is not None and not isinstance(self.churn, ChurnPlan):
+            raise TypeError(f"churn must be a ChurnPlan or None, "
+                            f"got {type(self.churn).__name__}")
 
     # ------------------------------------------------------------- inspection
     @property
@@ -163,6 +215,11 @@ class FaultPlan:
     def has_attack(self) -> bool:
         """True when the plan carries an active Byzantine attack."""
         return self.byzantine is not None and not self.byzantine.is_null
+
+    @property
+    def has_churn(self) -> bool:
+        """True when the plan carries active membership dynamics."""
+        return self.churn is not None and not self.churn.is_null
 
     def straggler_steps(self, tau1: int) -> int:
         """Local steps a straggler completes before the round deadline.
@@ -191,13 +248,16 @@ class FaultPlan:
         fields — e.g.
         ``"attack=sign_flip,attack_fraction=0.2,attack_seed=1"`` (also
         ``attack_scale``, ``attack_start_round``, ``attack_colluding``,
-        ``attack_clients=0|3|7``).
+        ``attack_clients=0|3|7``) — plus the ``churn_``-prefixed
+        :class:`~repro.membership.plan.ChurnPlan` fields, e.g.
+        ``"churn_arrive=0.05,churn_depart=0.02,churn_edge_mttf=40"``.
         """
         plan_kwargs: dict = {}
         retry_kwargs: dict = {}
         attack_parts: list[str] = []
+        churn_parts: list[str] = []
         plan_fields = {f.name: f.type for f in fields(cls)
-                       if f.name not in ("retry", "byzantine")}
+                       if f.name not in ("retry", "byzantine", "churn")}
         retry_fields = {f.name for f in fields(RetryPolicy)}
         for part in spec.split(","):
             part = part.strip()
@@ -214,6 +274,9 @@ class FaultPlan:
             if key.startswith("attack_"):
                 attack_parts.append(f"{key[len('attack_'):]}={raw}")
                 continue
+            if key.startswith("churn_"):
+                churn_parts.append(f"{key[len('churn_'):]}={raw}")
+                continue
             if key in ("seed", "round_timeout_slots", "max_retries"):
                 value: object = int(raw)
             else:
@@ -226,11 +289,14 @@ class FaultPlan:
                 raise ValueError(
                     f"unknown fault spec key {key!r}; options: "
                     f"{sorted(plan_fields) + sorted(retry_fields)} "
-                    f"plus attack / attack_* keys")
+                    f"plus attack / attack_* / churn_* keys")
         plan = cls(**plan_kwargs)
         if retry_kwargs:
             plan = replace(plan, retry=RetryPolicy(**retry_kwargs))
         if attack_parts:
             plan = replace(plan,
                            byzantine=AttackPlan.parse(",".join(attack_parts)))
+        if churn_parts:
+            plan = replace(plan,
+                           churn=ChurnPlan.parse(",".join(churn_parts)))
         return plan

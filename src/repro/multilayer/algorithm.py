@@ -78,11 +78,11 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None) -> None:
+                 defense=None, timing=None, churn=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
                          logger=logger, obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing)
+                         defense=defense, timing=timing, churn=churn)
         if tree is None:
             counts = dataset.clients_per_edge()
             if len(set(counts)) != 1:
@@ -112,6 +112,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         # Replace the base tracker with one that knows the per-level links.
         self.tracker = CommunicationTracker(extra_links=tuple(tree.link_names()))
         self._top_nodes = tree.children_of(0, 0)
+        # Level-1 subtrees are structural (a client's leaf position is fixed by
+        # the tree), so churn runs in flat mode: arrivals/departures plus
+        # crash/partition episodes on the top areas, without re-homing.
+        self.membership.bind_flat(self.clients, num_edges=tree.num_top_areas)
         self._last_losses: dict[int, float] = {}
 
     # ---------------------------------------------------------- checkpointing
@@ -161,6 +165,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
             # Leaf: taus[-1] local SGD steps; snapshot after (leaf digit + 1).
             steps_full = self.taus[depth - 1]
             client = self.clients[node]
+            membership = self.membership
+            if membership.enabled and not membership.client_active(
+                    client.client_id):
+                return None, None
             steps = steps_full if not injecting else faults.client_steps(
                 round_index, client.client_id, steps_full)
             if steps < 1:
@@ -318,8 +326,13 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         work: list[ClientWork] = []
         members: list[int] = []
         outcomes: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
+        membership = self.membership
         for k in kids:
             client = self.clients[k]
+            if membership.enabled and not membership.client_active(
+                    client.client_id):
+                outcomes[k] = (None, None)
+                continue
             steps = steps_full if not injecting else faults.client_steps(
                 round_index, client.client_id, steps_full)
             if steps < 1:
@@ -365,6 +378,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         timing = self.timing
         if level == depth:
             client = self.clients[node]
+            membership = self.membership
+            if membership.enabled and not membership.client_active(
+                    client.client_id):
+                return None
             if injecting and not faults.client_available(round_index,
                                                          client.client_id):
                 return None
@@ -449,8 +466,11 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                     with timing.branch():
                         # Top areas are the generalization of edge servers: an
                         # edge outage blacks out the whole level-1 subtree for
-                        # the round.
+                        # the round, whether faulted or churned away.
                         if injecting and faults.edge_dark(round_index, aid):
+                            continue
+                        if (self.membership.enabled
+                                and not self.membership.edge_available(aid)):
                             continue
                         if timing.enabled:
                             timing.transfer("level_1", aid,
@@ -536,8 +556,10 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                     aid = int(a)
                     est: float | None = None
                     with timing.branch():
-                        if not (injecting and faults.edge_dark(round_index,
-                                                               aid)):
+                        if (not (injecting and faults.edge_dark(round_index,
+                                                                aid))
+                                and (not self.membership.enabled
+                                     or self.membership.edge_available(aid))):
                             if timing.enabled:
                                 timing.transfer("level_1", aid, d)
                             est = self._subtree_loss(1, self._top_nodes[aid],

@@ -17,7 +17,11 @@ trace written by :class:`~repro.obs.tracer.Tracer` and reports
   recoveries the run survived, in total and per round,
 * the byzantine ledger replayed from ``attack``/``defense`` events — uploads
   tampered by the :class:`~repro.defense.AttackPlan` versus the rejections
-  and clips the installed :class:`~repro.defense.DefensePolicy` took, and
+  and clips the installed :class:`~repro.defense.DefensePolicy` took,
+* the membership ledger replayed from ``membership`` events written by
+  :class:`~repro.membership.MembershipManager` — client arrivals and
+  departures, edge crash/recover episodes, re-homings and partition heals,
+  with a joined/left balance check against the population delta, and
 * the final metrics snapshot (counters / gauges / histograms).
 """
 
@@ -85,6 +89,14 @@ class TraceReport:
     defense_totals: Mapping[str, int] = field(default_factory=dict)
     byzantine_by_round: Mapping[int, Mapping[str, int]] = field(
         default_factory=dict)
+    membership_totals: Mapping[str, int] = field(default_factory=dict)
+    membership_by_round: Mapping[int, Mapping[str, int]] = field(
+        default_factory=dict)
+    #: Population before round 0 (from the ``population`` ledger entry; -1
+    #: when the trace has no membership events).
+    membership_initial: int = -1
+    #: Population after the last membership transition (-1 when absent).
+    membership_final: int = -1
     #: Recorded per-round timing trees (``sim_tree`` attrs of ``cloud_round``
     #: spans) — input of :mod:`repro.obs.critical_path`.
     sim_trees: tuple = ()
@@ -116,6 +128,27 @@ class TraceReport:
         """Replayed cycles on the cloud-facing links (the theory's measure)."""
         return sum(v for k, v in self.comm_cycles.items()
                    if k in ("edge_cloud", "client_cloud", "level_1"))
+
+    @property
+    def members_joined(self) -> int:
+        """Total client arrivals replayed from the ``membership`` ledger."""
+        return self.membership_totals.get("joined", 0)
+
+    @property
+    def members_left(self) -> int:
+        """Total client departures replayed from the ``membership`` ledger."""
+        return self.membership_totals.get("left", 0)
+
+    @property
+    def membership_net_delta(self) -> int:
+        """Population change across the trace (final − initial active set).
+
+        The ledger balances when this equals ``members_joined −
+        members_left``; 0 when the trace carries no membership events.
+        """
+        if self.membership_initial < 0 or self.membership_final < 0:
+            return 0
+        return self.membership_final - self.membership_initial
 
     @property
     def faults_injected(self) -> int:
@@ -236,6 +269,10 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     attack_totals: dict[str, int] = {}
     defense_totals: dict[str, int] = {}
     byzantine_by_round: dict[int, dict[str, int]] = {}
+    membership_totals: dict[str, int] = {}
+    membership_by_round: dict[int, dict[str, int]] = {}
+    membership_initial = -1
+    membership_final = -1
     sim_trees: list = []
     heartbeats: list[dict] = []
     for ev in events:
@@ -265,6 +302,20 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
             slot = byzantine_by_round.setdefault(
                 rnd, {"attacked": 0, "filtered": 0})
             slot["attacked"] += 1
+        elif kind == "log" and ev.get("kind") == "membership":
+            fields = ev.get("fields", {})
+            action = str(fields.get("action", "?"))
+            membership_totals[action] = membership_totals.get(action, 0) + 1
+            rnd = int(fields.get("round", -1))
+            slot = membership_by_round.setdefault(rnd, {})
+            slot[action] = slot.get(action, 0) + 1
+            active = fields.get("active")
+            if active is not None:
+                # The opening `population` entry sets the baseline; every
+                # later transition carries the post-transition head count.
+                if action == "population" or membership_initial < 0:
+                    membership_initial = int(active)
+                membership_final = int(active)
         elif kind == "log" and ev.get("kind") == "defense":
             fields = ev.get("fields", {})
             action = str(fields.get("action", "?"))
@@ -341,6 +392,10 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         attack_totals=attack_totals,
         defense_totals=defense_totals,
         byzantine_by_round=byzantine_by_round,
+        membership_totals=membership_totals,
+        membership_by_round=membership_by_round,
+        membership_initial=membership_initial,
+        membership_final=membership_final,
         sim_trees=tuple(sim_trees),
         heartbeats=tuple(heartbeats),
     )
@@ -481,6 +536,43 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
                 lines.append(f"  … {gap} rounds elided …")
                 for rnd, slot in tail:
                     lines.append(_byz_round_line(rnd, slot))
+    if report.membership_totals:
+        lines.append("")
+        balance = report.members_joined - report.members_left
+        lines.append(
+            f"membership: {report.members_joined} joined, "
+            f"{report.members_left} left, "
+            f"{report.membership_totals.get('re-homed', 0)} re-homed, "
+            f"{report.membership_totals.get('edge_crash', 0)} edge crashes, "
+            f"{report.membership_totals.get('edge_recover', 0)} recoveries")
+        if report.membership_initial >= 0:
+            lines.append(
+                f"  population            : {report.membership_initial} -> "
+                f"{report.membership_final} "
+                f"(net {report.membership_net_delta:+d}; ledger "
+                + ("balanced" if balance == report.membership_net_delta
+                   else f"IMBALANCED: joined-left={balance:+d}") + ")")
+        for action in sorted(report.membership_totals):
+            if action == "population":
+                continue
+            lines.append(f"  {action:<22s} "
+                         f"{report.membership_totals[action]:6d}")
+        by_round = sorted(r for r in report.membership_by_round if r >= 0)
+        if timeline > 0 and by_round:
+            lines.append("membership timeline:")
+            if len(by_round) > 2 * timeline:
+                head, tail = by_round[:timeline], by_round[-timeline:]
+                gap = len(by_round) - 2 * timeline
+            else:
+                head, tail, gap = by_round, [], 0
+            for rnd in head:
+                lines.append(_membership_round_line(
+                    rnd, report.membership_by_round[rnd]))
+            if gap:
+                lines.append(f"  … {gap} rounds elided …")
+                for rnd in tail:
+                    lines.append(_membership_round_line(
+                        rnd, report.membership_by_round[rnd]))
     counters = report.metrics.get("counters", {}) if report.metrics else {}
     gauges = report.metrics.get("gauges", {}) if report.metrics else {}
     if counters or gauges:
@@ -496,6 +588,11 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
 def _byz_round_line(rnd: int, slot: Mapping[str, int]) -> str:
     return (f"  round {rnd:>5d}  {slot.get('attacked', 0):4d} attacked  "
             f"{slot.get('filtered', 0):4d} filtered")
+
+
+def _membership_round_line(rnd: int, slot: Mapping[str, int]) -> str:
+    parts = "  ".join(f"{slot[a]} {a}" for a in sorted(slot))
+    return f"  round {rnd:>5d}  {parts}"
 
 
 def _fault_round_line(rnd: int, slot: Mapping[str, int]) -> str:

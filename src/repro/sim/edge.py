@@ -75,6 +75,7 @@ class EdgeServer:
                      backend=None,
                      defense=None,
                      timing=None,
+                     roster: Sequence[Client] | None = None,
                      ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the ModelUpdate procedure from global model ``w_start``.
 
@@ -136,6 +137,11 @@ class EdgeServer:
             ``straggler_slowdown`` pace — the truncated update still occupies
             the device for (roughly) the full round deadline.  The charge is
             purely additive arithmetic: numerical results are unaffected.
+        roster:
+            Optional client list overriding the construction-time roster —
+            the :mod:`repro.membership` layer passes the edge's *current*
+            clients (survivors of churn plus adoptees of a failover).
+            ``None`` (default) uses ``self.clients``, byte-identically.
 
         Returns
         -------
@@ -156,9 +162,13 @@ class EdgeServer:
             if not 0 <= c2 < tau2:
                 raise ValueError(f"c2 must be in [0, {tau2}), got {c2}")
         d = w_start.size
-        n0 = self.num_clients
+        clients = self.clients if roster is None else list(roster)
+        if not clients:
+            raise ValueError(f"edge server {self.edge_id} cannot run a model "
+                             f"update with an empty roster")
+        n0 = len(clients)
         if weight_by_data:
-            agg_weights = np.array([c.num_samples for c in self.clients],
+            agg_weights = np.array([c.num_samples for c in clients],
                                    dtype=np.float64)
             agg_weights /= agg_weights.sum()
         else:
@@ -189,7 +199,7 @@ class EdgeServer:
                 # before dispatch changes no bit) ...
                 work: list[ClientWork] = []
                 participants: list[tuple[float, Client, int, bool]] = []
-                for weight, client in zip(agg_weights, self.clients):
+                for weight, client in zip(agg_weights, clients):
                     steps = tau1 if not injecting else faults.client_steps(
                         round_index, client.client_id, tau1)
                     if steps < 1:
@@ -328,7 +338,8 @@ class EdgeServer:
                       tracker: CommunicationTracker | None = None,
                       faults=None, round_index: int = 0,
                       loss_clip: float | None = None,
-                      timing=None) -> float | None:
+                      timing=None,
+                      roster: Sequence[Client] | None = None) -> float | None:
         """LossEstimation: average the clients' minibatch losses at ``w``.
 
         With an active fault injector the average runs over the clients that
@@ -344,14 +355,15 @@ class EdgeServer:
         """
         injecting = faults is not None and faults.enabled
         d = w.size
+        clients = self.clients if roster is None else list(roster)
         if tracker is not None:
-            tracker.record("client_edge", "down", count=self.num_clients, floats=d)
+            tracker.record("client_edge", "down", count=len(clients), floats=d)
         reports: dict[int, float] | None = {} if loss_clip is not None else None
         charge = timing is not None and timing.enabled
         probed: list[int] = []
         total = 0.0
         replied = 0
-        for client in self.clients:
+        for client in clients:
             if injecting and not faults.client_available(round_index,
                                                          client.client_id):
                 continue
