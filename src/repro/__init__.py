@@ -68,6 +68,13 @@ from repro.obs import (
     format_trace_report,
 )
 from repro.nn import NeuralNetwork, logistic_regression, make_model_factory, mlp
+from repro.population import (
+    ClientStateStore,
+    EagerPopulation,
+    PopulationSpec,
+    VirtualPopulation,
+    as_population,
+)
 from repro.simtime import (
     HeterogeneousCostModel,
     NullCostModel,
@@ -95,6 +102,11 @@ __all__ = [
     "Dataset",
     "FederatedDataset",
     "make_federated_dataset",
+    "PopulationSpec",
+    "VirtualPopulation",
+    "EagerPopulation",
+    "ClientStateStore",
+    "as_population",
     "IdentityCompressor",
     "QSGDQuantizer",
     "TopKSparsifier",

@@ -20,7 +20,6 @@ from repro.defense.policy import robust_combine
 from repro.exec import ClientWork, run_local_steps
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
-from repro.sim.builder import build_flat_clients
 from repro.sim.cloud import CloudServer
 from repro.topology.sampling import sample_by_weight, sample_uniform_subset
 from repro.utils.validation import check_fraction, check_positive_float, check_positive_int
@@ -53,19 +52,20 @@ class DRFA(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None, churn=None) -> None:
+                 defense=None, timing=None, churn=None,
+                 population=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing, churn=churn)
+                         defense=defense, timing=timing, churn=churn,
+                         population=population)
         self.eta_q = check_positive_float(eta_q, "eta_q")
         self.tau1 = check_positive_int(tau1, "tau1")
-        n = dataset.num_clients
+        n = self.dataset.num_clients
         self.m_clients = n if m_clients is None else check_positive_int(
             m_clients, "m_clients")
         check_fraction(self.m_clients, n, "m_clients")
-        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
-                                          rng_factory=self.rng_factory)
+        self.clients = self._build_clients()
         # Flat topology: client arrivals/departures only (no edges to fail).
         self.membership.bind_flat(self.clients)
         self.cloud = CloudServer(

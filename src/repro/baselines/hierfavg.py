@@ -16,7 +16,6 @@ from repro.data.dataset import FederatedDataset
 from repro.defense.policy import robust_combine
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection
-from repro.sim.builder import build_edge_servers
 from repro.topology.sampling import sample_uniform_subset
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -49,19 +48,20 @@ class HierFAVG(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None, churn=None) -> None:
+                 defense=None, timing=None, churn=None,
+                 population=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size, eta_w=eta_w,
                          seed=seed, projection_w=projection_w, logger=logger,
                          obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing, churn=churn)
+                         defense=defense, timing=timing, churn=churn,
+                         population=population)
         self.tau1 = check_positive_int(tau1, "tau1")
         self.tau2 = check_positive_int(tau2, "tau2")
-        n_e = dataset.num_edges
+        n_e = self.dataset.num_edges
         self.m_edges = n_e if m_edges is None else check_positive_int(m_edges, "m_edges")
         check_fraction(self.m_edges, n_e, "m_edges")
         self.weight_by_data = bool(weight_by_data)
-        self.edges = build_edge_servers(dataset, batch_size=self.batch_size,
-                                        rng_factory=self.rng_factory)
+        self.edges = self._build_edges()
         self.membership.bind(self.edges)
 
     @property

@@ -41,7 +41,7 @@ _EXTRA_KEYS: dict[str, frozenset[str]] = {
 }
 _COMMON_KEYS = frozenset(
     {"batch_size", "eta_w", "seed", "projection_w", "logger", "obs", "faults",
-     "backend", "defense", "timing", "churn"})
+     "backend", "defense", "timing", "churn", "population"})
 
 # Minimax weight learning rate aliases: the paper's η_p maps onto the two-layer
 # baselines' η_q so one experiment config drives all methods.
@@ -61,11 +61,27 @@ def make_algorithm(name: str, dataset, model_factory, **kwargs: Any,
     baselines.  ``m_edges`` supplied to a two-layer method is converted to the
     equivalent client count (``m_edges × N0``) so the participation *fraction*
     matches across architectures, as in the paper's comparisons.
+
+    ``dataset`` may also be a :class:`~repro.population.PopulationSpec` (or a
+    pre-built population): shape queries then run against its lazy dataset
+    view and each call builds a fresh virtual population, so clients are
+    derived on demand instead of materialized (see :mod:`repro.population`).
     """
     if name not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {name!r}; options: {sorted(ALGORITHMS)}")
     cls = ALGORITHMS[name]
     kwargs = dict(kwargs)
+
+    shape = dataset
+    if getattr(dataset, "is_population_spec", False):
+        # Shape queries (clients_per_edge and friends) live on the lazy view;
+        # the spec itself flows through to the constructor, where each
+        # algorithm resolves its own fresh VirtualPopulation.
+        from repro.population import VirtualPopulation
+
+        shape = VirtualPopulation(dataset).dataset
+    elif getattr(dataset, "is_population", False):
+        shape = dataset.dataset
 
     # eta alias: accept eta_p for every minimax method.
     if "eta_p" in kwargs and _ETA_ALIASES.get(name) == "eta_q":
@@ -75,10 +91,10 @@ def make_algorithm(name: str, dataset, model_factory, **kwargs: Any,
     if "m_edges" in kwargs and name in ("fedavg", "stochastic_afl", "drfa"):
         m_edges = kwargs.pop("m_edges")
         if m_edges is not None and "m_clients" not in kwargs:
-            counts = dataset.clients_per_edge()
+            counts = shape.clients_per_edge()
             n0 = counts[0] if len(set(counts)) == 1 else max(
-                1, dataset.num_clients // dataset.num_edges)
-            kwargs["m_clients"] = min(dataset.num_clients, int(m_edges) * int(n0))
+                1, shape.num_clients // shape.num_edges)
+            kwargs["m_clients"] = min(shape.num_clients, int(m_edges) * int(n0))
 
     allowed = _COMMON_KEYS | _EXTRA_KEYS[name]
     filtered = {k: v for k, v in kwargs.items() if k in allowed}

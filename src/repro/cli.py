@@ -202,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="max tolerated worst-edge accuracy drop of the "
                            "re-homed run vs the clean run")
 
+    p_pop = sub.add_parser(
+        "population",
+        help="virtual-population gate: eager-wrap bit-identity plus a "
+             "fixed-memory scale run")
+    p_pop.add_argument("--clients", type=int, default=100_000,
+                       help="population size of the scale gate "
+                            "(default 100k)")
+    p_pop.add_argument("--edges", type=int, default=None,
+                       help="edge count of the scale gate (default: "
+                            "clients // 100, at least 10)")
+    p_pop.add_argument("--rounds", type=int, default=2)
+    p_pop.add_argument("--m-edges", type=int, default=5,
+                       help="edges sampled per round (the cohort knob)")
+    p_pop.add_argument("--budget-mb", type=float, default=256.0,
+                       help="tracemalloc peak budget for the scale run; "
+                            "exceeding it fails the gate")
+    p_pop.add_argument("--seed", type=int, default=0)
+    p_pop.add_argument("--skip-equivalence", action="store_true",
+                       help="run only the scale gate")
+
     sub.add_parser("info", help="version and system inventory")
     return parser
 
@@ -698,6 +718,78 @@ def _cmd_churn(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_population(args) -> int:
+    """Acceptance gate of the virtual-population layer; exit 1 on failure.
+
+    Gate 1 (equivalence): HierMinimax on a tiny eager dataset must produce
+    bit-identical parameters when the same dataset is wrapped as a degenerate
+    population (``population=as_population(dataset)``) — the virtual plumbing
+    may not perturb a single floating-point operation of the eager path.
+
+    Gate 2 (scale): a ``--clients``-sized virtual population (default 100k)
+    trains for ``--rounds`` rounds while a tracemalloc peak tracker watches
+    Python-heap allocations; the peak must stay under ``--budget-mb``, which
+    only holds if per-round memory is O(sampled cohort), not O(population).
+    """
+    import numpy as np
+
+    from repro.core.hierminimax import HierMinimax
+    from repro.data.registry import make_federated_dataset
+    from repro.nn.models import make_model_factory
+    from repro.obs import PeakMemoryTracker
+    from repro.population import PopulationSpec, as_population
+
+    ok = True
+    if not args.skip_equivalence:
+        dataset = make_federated_dataset("emnist_digits", seed=args.seed,
+                                         scale="tiny")
+        factory = make_model_factory("logistic", dataset.input_dim,
+                                     dataset.num_classes)
+        kwargs = dict(tau1=2, tau2=2, m_edges=3, batch_size=8,
+                      seed=args.seed)
+        eager = HierMinimax(dataset, factory, **kwargs).run(rounds=3)
+        wrapped = HierMinimax(None, factory,
+                              population=as_population(dataset),
+                              **kwargs).run(rounds=3)
+        identical = (np.array_equal(eager.final_params,
+                                    wrapped.final_params)
+                     and np.array_equal(eager.final_weights,
+                                        wrapped.final_weights))
+        print(f"equivalence: eager vs wrapped-eager "
+              f"{'bit-identical' if identical else 'DIVERGED'}")
+        ok = ok and identical
+
+    edges = args.edges or max(10, args.clients // 100)
+    spec = PopulationSpec(num_edges=edges,
+                          clients_per_edge=args.clients // edges,
+                          samples_per_client=8, test_per_edge=16,
+                          eval_edges=min(5, edges), seed=args.seed)
+    factory = make_model_factory("logistic", spec.input_dim,
+                                 spec.num_classes)
+    tracker = PeakMemoryTracker()
+    try:
+        algo = HierMinimax(spec, factory, tau1=2, tau2=2,
+                           m_edges=min(args.m_edges, edges), batch_size=8,
+                           seed=args.seed)
+        result = algo.run(rounds=args.rounds)
+        peak_mb = tracker.peak_bytes() / 1e6
+        pop = algo.population
+        print(f"scale: {spec.num_clients:,} clients / {edges:,} edges, "
+              f"{args.rounds} rounds -> "
+              f"avg acc {result.history.final().record.average_accuracy:.4f}")
+        print(f"cohort: materialized {pop.clients_materialized_total:,} "
+              f"total, max {pop.max_live_clients:,} live, "
+              f"{len(pop.store):,} with stored state")
+        within = peak_mb <= args.budget_mb
+        print(f"memory: tracemalloc peak {peak_mb:.1f} MB "
+              f"{'within' if within else 'EXCEEDS'} budget "
+              f"{args.budget_mb:.0f} MB")
+        ok = ok and within
+    finally:
+        tracker.close()
+    return 0 if ok else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -745,4 +837,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_timesim(args)
     if args.command == "churn":
         return _cmd_churn(args)
+    if args.command == "population":
+        return _cmd_population(args)
     return _cmd_info()

@@ -29,6 +29,7 @@ from repro.metrics.history import HistoryPoint, TrainingHistory, \
 from repro.nn.models import ModelFactory
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
+from repro.population import resolve_population
 from repro.simtime import resolve_timing
 from repro.topology.comm import CommSnapshot, CommunicationTracker
 from repro.exec import ExecutionBackend, resolve_backend
@@ -153,6 +154,17 @@ class FederatedAlgorithm(ABC):
         when the fault plan carries one; otherwise the shared
         :data:`~repro.membership.NULL_MEMBERSHIP` keeps the static topology
         — bit-identical to a build without the membership layer.
+    population:
+        Optional virtual population: a
+        :class:`~repro.population.PopulationSpec`, a spec string
+        (``"clients=1000000,edges=1000,samples=2"``), or a pre-built
+        :class:`~repro.population.Population`.  When given (``dataset`` must
+        then be ``None`` — or the spec may simply be passed in the
+        ``dataset`` position), clients are derived on demand each round and
+        discarded after, holding memory at O(cohort) regardless of
+        population size.  ``None`` wraps ``dataset`` as a degenerate
+        :class:`~repro.population.EagerPopulation` — byte-identical to the
+        pre-population code path (see :mod:`repro.population`).
     """
 
     #: Human-readable algorithm name (subclasses override).
@@ -166,8 +178,13 @@ class FederatedAlgorithm(ABC):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None, churn=None) -> None:
-        self.dataset = dataset
+                 defense=None, timing=None, churn=None,
+                 population=None) -> None:
+        self.population = resolve_population(population, dataset)
+        # For the eager wrap this is the dataset object itself — every
+        # downstream consumer sees exactly what it saw before populations
+        # existed; for virtual populations it is the lazy dataset view.
+        self.dataset = self.population.dataset
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.eta_w = check_positive_float(eta_w, "eta_w")
         self.projection_w = projection_w
@@ -250,9 +267,15 @@ class FederatedAlgorithm(ABC):
             history = TrainingHistory(self.name)
         self._history = history
         obs = self.obs
-        # Let pooled backends ship the engine + full client roster to their
-        # workers once, up front, instead of lazily on the first dispatch.
-        self.backend.prepare(self.engine, self._client_actors())
+        if not self.population.virtual:
+            # Let pooled backends ship the engine + full client roster to
+            # their workers once, up front, instead of lazily on the first
+            # dispatch.  Virtual populations must not warm-start: enumerating
+            # every client here would materialize the whole population —
+            # pooled backends instead receive each round's cohort lazily at
+            # dispatch time (and drop it again via ``forget_clients``).
+            self.backend.prepare(self.engine, self._client_actors())
+        mem_tracker = getattr(obs, "mem_tracker", None)
         if obs.enabled and self.timing.enabled:
             # A live tracer can persist the virtual clock's per-round
             # dependency tree, so record it.  Recording is purely additive
@@ -290,6 +313,12 @@ class FederatedAlgorithm(ABC):
                                 # graph — what the critical-path analyzer
                                 # replays into per-entity blame.
                                 round_span.set(sim_tree=tree)
+                # Cohort lifecycle boundary: flush live clients' surviving
+                # state (sampler cursors, step counters) to the population's
+                # state store and discard the materialized cohort, so peak
+                # memory tracks the cohort — not the population.  A no-op for
+                # eager populations.
+                self.population.end_round(k, backend=self.backend)
                 self.rounds_completed = k + 1
                 if obs.enabled:
                     obs.count("rounds_total")
@@ -297,6 +326,8 @@ class FederatedAlgorithm(ABC):
                     obs.observe("round_time_s", round_span.duration)
                     if self.timing.enabled:
                         obs.gauge("sim_time_s", self.timing.elapsed_s)
+                    if mem_tracker is not None:
+                        obs.gauge("mem_peak_bytes", mem_tracker.peak_bytes())
                 if (k + 1) % eval_every == 0 or k == first + rounds - 1:
                     with obs.span("evaluate", round=k):
                         point = self._evaluation_point(k)
@@ -397,17 +428,22 @@ class FederatedAlgorithm(ABC):
         :meth:`save_checkpoint`.
         """
         clients = {}
-        for client in self._client_actors():
-            sampler = client.sampler
-            clients[str(client.client_id)] = {
-                "rng": sampler._rng,
-                "order": np.asarray(sampler._order),
-                "cursor": sampler._cursor,
-                "batches_drawn": sampler.batches_drawn,
-                "sgd_steps_taken": client.sgd_steps_taken,
-            }
+        if not self.population.virtual:
+            # Eager runs snapshot every client inline — the format predating
+            # populations, byte for byte.  Virtual runs keep per-client state
+            # in the sharded store instead (flushed inside its state_dict);
+            # enumerating 10^6 clients here would defeat the subsystem.
+            for client in self._client_actors():
+                sampler = client.sampler
+                clients[str(client.client_id)] = {
+                    "rng": sampler._rng,
+                    "order": np.asarray(sampler._order),
+                    "cursor": sampler._cursor,
+                    "batches_drawn": sampler.batches_drawn,
+                    "sgd_steps_taken": client.sgd_steps_taken,
+                }
         snap = self.tracker.snapshot()
-        return {
+        state = {
             "algorithm": self.name,
             "round": self.rounds_completed,
             "w": self.w,
@@ -423,6 +459,9 @@ class FederatedAlgorithm(ABC):
             "sim_time_s": self.timing.elapsed_s,
             "extra": self._extra_state(),
         }
+        if self.population.virtual:
+            state["population"] = self.population.state_dict()
+        return state
 
     def save_checkpoint(self, path) -> None:
         """Atomically write :meth:`state_dict` to ``path``."""
@@ -443,20 +482,25 @@ class FederatedAlgorithm(ABC):
         self.w = np.asarray(state["w"], dtype=np.float64)
         self.rounds_completed = int(state["round"])
         _restore_generator(self.rng, state["rng"])
-        client_states = state["clients"]
-        for client in self._client_actors():
-            try:
-                cs = client_states[str(client.client_id)]
-            except KeyError as exc:
-                raise RuntimeError(
-                    f"checkpoint has no state for client {client.client_id}; "
-                    f"was it written with a different dataset?") from exc
-            sampler = client.sampler
-            _restore_generator(sampler._rng, cs["rng"])
-            sampler._order = np.asarray(cs["order"], dtype=np.int64)
-            sampler._cursor = int(cs["cursor"])
-            sampler.batches_drawn = int(cs["batches_drawn"])
-            client.sgd_steps_taken = int(cs["sgd_steps_taken"])
+        if self.population.virtual:
+            # Per-client state lives in the sharded store; clients re-derive
+            # from it lazily the next time the cohort samples them.
+            self.population.load_state_dict(state.get("population", {}))
+        else:
+            client_states = state["clients"]
+            for client in self._client_actors():
+                try:
+                    cs = client_states[str(client.client_id)]
+                except KeyError as exc:
+                    raise RuntimeError(
+                        f"checkpoint has no state for client {client.client_id}; "
+                        f"was it written with a different dataset?") from exc
+                sampler = client.sampler
+                _restore_generator(sampler._rng, cs["rng"])
+                sampler._order = np.asarray(cs["order"], dtype=np.int64)
+                sampler._cursor = int(cs["cursor"])
+                sampler.batches_drawn = int(cs["batches_drawn"])
+                client.sgd_steps_taken = int(cs["sgd_steps_taken"])
         comm = state["comm"]
         self.tracker.restore(CommSnapshot(
             cycles={k: int(v) for k, v in comm["cycles"].items()},
@@ -476,6 +520,22 @@ class FederatedAlgorithm(ABC):
         return self.rounds_completed
 
     # ---------------------------------------------------------------- helpers
+    def _build_edges(self):
+        """Edge servers (with client actors) from the population.
+
+        For an eager population this is exactly the old
+        ``build_edge_servers(dataset, ...)`` call — same builders, same RNG
+        streams, same actor graph; for a virtual population it returns lazy
+        edge servers that materialize their cohort on access.
+        """
+        return self.population.build_edges(batch_size=self.batch_size,
+                                           rng_factory=self.rng_factory)
+
+    def _build_clients(self):
+        """Flat client roster from the population (two-layer baselines)."""
+        return self.population.build_flat_clients(batch_size=self.batch_size,
+                                                  rng_factory=self.rng_factory)
+
     def _edge_roster(self, edge_id: int):
         """The edge's membership-adjusted roster for this round.
 
@@ -513,7 +573,12 @@ class FederatedAlgorithm(ABC):
         return clipped
 
     def _evaluation_point(self, round_index: int) -> HistoryPoint:
-        record = evaluate_record(self.engine, self.w, self.dataset)
+        # eval_edge_ids is None unless an evaluation cohort was requested
+        # (spec.eval_edges / EagerPopulation(eval_edges=...)), in which case a
+        # seeded per-round subset of edges is scored instead of all of them —
+        # see the estimator note on evaluate_per_edge.
+        record = evaluate_record(self.engine, self.w, self.dataset,
+                                 edge_ids=self.population.eval_edge_ids(round_index))
         weights = self.current_weights()
         return HistoryPoint(
             round_index=round_index,

@@ -163,6 +163,15 @@ class ExecutionBackend(ABC):
         than per task.  No-op by default.
         """
 
+    def forget_clients(self, client_ids: Sequence[int]) -> None:
+        """Drop any per-client state cached for ``client_ids``.
+
+        Virtual populations call this after each round so pooled backends do
+        not accumulate every client ever dispatched (a 1M-client run would
+        otherwise re-materialize the population inside the backend's shard
+        registry).  No-op by default — stateless backends have nothing cached.
+        """
+
     @abstractmethod
     def run_tasks(self, engine: NeuralNetwork, w_start: np.ndarray,
                   tasks: Sequence[LocalStepsTask], *, obs=None,

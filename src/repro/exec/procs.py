@@ -146,6 +146,20 @@ class ProcessBackend(ExecutionBackend):
             self._engine = engine
             self._stale = True
 
+    def forget_clients(self, client_ids: Sequence[int]) -> None:
+        """Evict shards from the registry (virtual-cohort discard).
+
+        Marks the pool stale so the *workers'* copies are dropped at the next
+        (re)creation too; without this a long virtual run would accumulate
+        every client ever dispatched in both the parent and each worker.
+        """
+        dropped = False
+        for cid in client_ids:
+            if self._registry.pop(int(cid), None) is not None:
+                dropped = True
+        if dropped:
+            self._stale = True
+
     def _ensure_pool(self):
         if self._pool is not None and not self._stale:
             return self._pool

@@ -98,7 +98,8 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
                    checkpoint_dir=None, checkpoint_every: int | None = None,
                    resume: bool = False,
                    backend=None, workers: int | None = None,
-                   cost_model=None, churn=None) -> ExperimentOutput:
+                   cost_model=None, churn=None,
+                   population=None) -> ExperimentOutput:
     """Run every algorithm of ``preset`` on a shared dataset; return paired results.
 
     Parameters
@@ -164,6 +165,18 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
         :class:`~repro.membership.MembershipManager` so churn decisions stay
         a pure function of ``(plan.seed, round, entity)`` and are identical
         across the roster.
+    population:
+        Optional virtual population replacing the preset's materialized
+        dataset: a :class:`~repro.population.PopulationSpec` or a spec string
+        for :meth:`PopulationSpec.parse`
+        (``"clients=1000000,edges=1000,samples=2"``).  The preset's data
+        knobs (``dataset``/``scale``/``partition``) are ignored; its
+        algorithm roster, slot budget, and hyperparameters still apply.
+        Each algorithm builds its *own* fresh
+        :class:`~repro.population.VirtualPopulation` over the shared spec, so
+        cohort derivations stay pure functions of ``(spec.seed, client_id)``
+        and runs remain paired.  Incompatible with ``label_flip`` attacks
+        (data poisoning needs a materialized dataset).
     """
     obs = obs if obs is not None else NULL_TRACER
     if resume and checkpoint_dir is None:
@@ -181,16 +194,32 @@ def run_experiment(preset: ExperimentPreset, *, seed: int = 0,
             faults = replace(base, byzantine=plan)
     if churn is not None and isinstance(churn, str):
         churn = ChurnPlan.parse(churn)
+    if population is not None and isinstance(population, str):
+        from repro.population import PopulationSpec
+
+        population = PopulationSpec.parse(population)
     owns_backend = not isinstance(backend, ExecutionBackend)
     backend = resolve_backend(backend, workers)
     setup = TimerBank()
     with setup("data_gen"), obs.span("data_gen", dataset=preset.dataset,
                                      scale=preset.scale, seed=seed):
-        dataset = build_preset_dataset(preset, seed=seed)
-        if (faults is not None and isinstance(faults, FaultPlan)
-                and faults.has_attack):
-            # Data poisoning happens once, before any algorithm trains.
-            dataset = apply_label_flip(dataset, faults.byzantine)
+        if population is not None:
+            # Virtual population: nothing to materialize — the "dataset" the
+            # roster shares is the spec itself; each algorithm derives its
+            # own lazy cohorts from it.
+            if (faults is not None and isinstance(faults, FaultPlan)
+                    and faults.has_attack
+                    and faults.byzantine.attack == "label_flip"):
+                raise ValueError("label_flip attacks poison materialized "
+                                 "shards and cannot run against a virtual "
+                                 "population")
+            dataset = population
+        else:
+            dataset = build_preset_dataset(preset, seed=seed)
+            if (faults is not None and isinstance(faults, FaultPlan)
+                    and faults.has_attack):
+                # Data poisoning happens once, before any algorithm trains.
+                dataset = apply_label_flip(dataset, faults.byzantine)
         model_factory = build_preset_model(preset, dataset)
     if cost_model is not None and not isinstance(cost_model, CostModel):
         cost_model = make_cost_model(cost_model)

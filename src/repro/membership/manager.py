@@ -88,6 +88,25 @@ class NullMembership:
 NULL_MEMBERSHIP = NullMembership()
 
 
+class _LazyActorMap:
+    """``client_id -> actor`` mapping that resolves through a population.
+
+    Stands in for the eager ``_actors`` dict when the manager is bound to a
+    virtual topology: holding real actor references for every client would
+    materialize the population, so lookups defer to the population's
+    ``client(cid)`` (which returns the live cohort member or materializes it
+    on the spot).
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve) -> None:
+        self._resolve = resolve
+
+    def __getitem__(self, client_id: int):
+        return self._resolve(client_id)
+
+
 class MembershipManager:
     """Per-run membership oracle plus the self-healing bookkeeping.
 
@@ -144,16 +163,29 @@ class MembershipManager:
 
     # ---------------------------------------------------------------- binding
     def bind(self, edges) -> None:
-        """Bind a hierarchical topology: rosters, homes, and re-homing apply."""
+        """Bind a hierarchical topology: rosters, homes, and re-homing apply.
+
+        Virtual edge servers (anything exposing ``client_ids()`` +
+        ``resolve_client``) bind *lazily*: the manager keeps ids and homes
+        only, and actors are materialized through the population exactly when
+        a roster is assembled.  Membership state is O(population ids) either
+        way — ids, not clients — which is the documented cost of composing
+        churn with a virtual population.
+        """
         if not self.enabled:
             return
         self._num_edges = len(edges)
-        self._actors = {client.client_id: client
-                        for edge in edges for client in edge.clients}
-        self._initial_home = {client.client_id: edge.edge_id
-                              for edge in edges for client in edge.clients}
+        if edges and hasattr(edges[0], "client_ids"):
+            self._actors = _LazyActorMap(edges[0].resolve_client)
+            self._initial_home = {cid: edge.edge_id
+                                  for edge in edges for cid in edge.client_ids()}
+        else:
+            self._actors = {client.client_id: client
+                            for edge in edges for client in edge.clients}
+            self._initial_home = {client.client_id: edge.edge_id
+                                  for edge in edges for client in edge.clients}
         self._rehoming = True
-        self._init_population(sorted(self._actors))
+        self._init_population(sorted(self._initial_home))
 
     def bind_flat(self, clients, num_edges: int = 0) -> None:
         """Bind a flat topology: client churn only (no rosters to move).
@@ -162,6 +194,9 @@ class MembershipManager:
         caller's ``num_edges`` top-level areas — they go dark and recover,
         but their clients are never re-homed across subtrees (the data
         assignment is structural there; documented limitation).
+
+        A virtual client roster (exposing ``client_ids()``) binds by id
+        without materializing a single client.
         """
         if not self.enabled:
             return
@@ -169,7 +204,10 @@ class MembershipManager:
         self._actors = {}
         self._initial_home = {}
         self._rehoming = False
-        self._init_population(sorted(c.client_id for c in clients))
+        if hasattr(clients, "client_ids"):
+            self._init_population(sorted(clients.client_ids()))
+        else:
+            self._init_population(sorted(c.client_id for c in clients))
 
     def _init_population(self, client_ids) -> None:
         self._client_ids = tuple(client_ids)

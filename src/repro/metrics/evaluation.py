@@ -60,33 +60,55 @@ class EvaluationRecord:
 
 
 def evaluate_per_edge(engine: NeuralNetwork, w: np.ndarray,
-                      dataset: FederatedDataset) -> tuple[np.ndarray, np.ndarray]:
-    """Accuracy and loss of ``w`` on every edge area's test set.
+                      dataset: FederatedDataset, *,
+                      edge_ids=None) -> tuple[np.ndarray, np.ndarray]:
+    """Accuracy and loss of ``w`` on edge-area test sets.
 
     Side-effect-free: the engine's parameters are restored on exit, so an
     evaluation mid-round can never leak ``w`` into the next training step
     (algorithms share one engine and set its parameters per local-SGD call).
 
+    Parameters
+    ----------
+    edge_ids:
+        Optional evaluation cohort: the edge indices to score (any int
+        sequence).  ``None`` (default) scores every edge, byte-identically to
+        the pre-cohort code path.  *Estimator note:* statistics over a
+        seeded random cohort are unbiased for the population **mean**
+        accuracy, but worst-of-cohort is an optimistic (upward-biased)
+        estimate of the population worst — with ``m`` of ``N_E`` edges
+        sampled, the true worst edge is only in the cohort with probability
+        ``m/N_E``.  Fairness trends over a fixed-size cohort remain
+        comparable across rounds; absolute worst-case claims need a full
+        evaluation pass.  On virtual populations a full pass materializes
+        ``N_E`` test sets (transiently, one at a time), never the clients.
+
     Returns
     -------
     (accuracies, losses):
-        Two arrays of length ``dataset.num_edges``.
+        Two arrays of length ``dataset.num_edges`` when ``edge_ids`` is None,
+        else of length ``len(edge_ids)`` (in ``edge_ids`` order).
     """
     saved = engine.get_params()
+    ids = (range(dataset.num_edges) if edge_ids is None
+           else [int(e) for e in edge_ids])
     try:
         engine.set_params(w)
-        acc = np.empty(dataset.num_edges, dtype=np.float64)
-        loss = np.empty(dataset.num_edges, dtype=np.float64)
-        for e, edge in enumerate(dataset.edges):
-            acc[e] = engine.accuracy(edge.test.X, edge.test.y)
-            loss[e] = engine.loss(edge.test.X, edge.test.y)
+        acc = np.empty(len(ids), dtype=np.float64)
+        loss = np.empty(len(ids), dtype=np.float64)
+        for j, e in enumerate(ids):
+            edge = dataset.edges[e]
+            test = edge.test
+            acc[j] = engine.accuracy(test.X, test.y)
+            loss[j] = engine.loss(test.X, test.y)
     finally:
         engine.set_params(saved)
     return acc, loss
 
 
 def evaluate_record(engine: NeuralNetwork, w: np.ndarray,
-                    dataset: FederatedDataset, **extra) -> EvaluationRecord:
+                    dataset: FederatedDataset, *, edge_ids=None,
+                    **extra) -> EvaluationRecord:
     """Full :class:`EvaluationRecord` of ``w`` on ``dataset``.
 
     When the layout is too small for a true worst-10% statistic
@@ -94,9 +116,15 @@ def evaluate_record(engine: NeuralNetwork, w: np.ndarray,
     :func:`~repro.metrics.fairness.worst_fraction_mean` degrades to the plain
     worst accuracy; the record flags this as ``extra["worst10_degraded"]`` so
     downstream tables do not mislabel the column.
+
+    With ``edge_ids`` the record is computed over that evaluation cohort only
+    (flagged as ``extra["eval_edges"]``; see the estimator note on
+    :func:`evaluate_per_edge`).
     """
-    acc, loss = evaluate_per_edge(engine, w, dataset)
+    acc, loss = evaluate_per_edge(engine, w, dataset, edge_ids=edge_ids)
     extra = dict(extra)
+    if edge_ids is not None:
+        extra.setdefault("eval_edges", [int(e) for e in edge_ids])
     if int(np.floor(0.10 * acc.size)) < 1:
         extra.setdefault("worst10_degraded", True)
     return EvaluationRecord(

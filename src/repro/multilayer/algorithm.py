@@ -35,7 +35,6 @@ from repro.exec import ClientWork, run_local_steps
 from repro.multilayer.tree import HierarchyTree
 from repro.nn.models import ModelFactory
 from repro.ops.projections import Projection, identity_projection, project_simplex
-from repro.sim.builder import build_flat_clients
 from repro.sim.cloud import CloudServer
 from repro.topology.comm import CommunicationTracker
 from repro.topology.sampling import sample_by_weight, sample_uniform_subset
@@ -78,18 +77,20 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
                  batch_size: int = 1, eta_w: float = 1e-3, seed: int = 0,
                  projection_w: Projection = identity_projection,
                  logger=None, obs=None, faults=None, backend=None,
-                 defense=None, timing=None, churn=None) -> None:
+                 defense=None, timing=None, churn=None,
+                 population=None) -> None:
         super().__init__(dataset, model_factory, batch_size=batch_size,
                          eta_w=eta_w, seed=seed, projection_w=projection_w,
                          logger=logger, obs=obs, faults=faults, backend=backend,
-                         defense=defense, timing=timing, churn=churn)
+                         defense=defense, timing=timing, churn=churn,
+                         population=population)
         if tree is None:
-            counts = dataset.clients_per_edge()
+            counts = self.dataset.clients_per_edge()
             if len(set(counts)) != 1:
                 raise ValueError("default tree requires a uniform dataset layout; "
                                  "pass an explicit HierarchyTree otherwise")
-            tree = HierarchyTree.regular([dataset.num_edges, counts[0]])
-        tree.validate_dataset(dataset)
+            tree = HierarchyTree.regular([self.dataset.num_edges, counts[0]])
+        tree.validate_dataset(self.dataset)
         self.tree = tree
         depth = tree.depth
         if taus is None:
@@ -103,8 +104,7 @@ class MultiLevelHierMinimax(FederatedAlgorithm):
         n_top = tree.num_top_areas
         self.m_top = n_top if m_top is None else check_positive_int(m_top, "m_top")
         check_fraction(self.m_top, n_top, "m_top")
-        self.clients = build_flat_clients(dataset, batch_size=self.batch_size,
-                                          rng_factory=self.rng_factory)
+        self.clients = self._build_clients()
         self.cloud = CloudServer(
             n_top, weight_projection=projection_p if projection_p is not None
             else project_simplex)

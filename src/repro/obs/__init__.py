@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    PeakMemoryTracker,
 )
 from repro.obs.perfcheck import (
     PerfCheckResult,
@@ -77,6 +78,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PeakMemoryTracker",
     "TraceReport",
     "RoundRecord",
     "load_trace",

@@ -21,6 +21,7 @@ from math import ceil
 from typing import Dict, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "PeakMemoryTracker",
            "DEFAULT_BUCKETS", "RAW_SAMPLE_LIMIT", "DEFAULT_MAX_SERIES"]
 
 #: Default histogram bucket upper bounds: decades from 1 µs to 1000 s, built for
@@ -268,3 +269,65 @@ class MetricsRegistry:
         self._histograms.clear()
         self._overflow = 0
         self._overflow_warned = False
+
+
+class PeakMemoryTracker:
+    """Opt-in peak-memory probe backed by :mod:`tracemalloc`.
+
+    Measures the peak of Python-level allocations (numpy buffers included)
+    since :meth:`reset_peak` — the number behind the ``mem_peak_bytes`` gauge
+    that the run loop publishes once per round when a
+    :class:`~repro.obs.tracer.Tracer` is built with ``track_memory=True``.
+
+    tracemalloc instruments every allocation, which costs real time (~2x on
+    allocation-heavy code), so this is strictly opt-in and never touched by
+    the default tracer path.  The tracker only ever *starts* tracemalloc if it
+    is not already tracing, and only stops it on :meth:`close` if it was the
+    one that started it, so nesting with user-level tracemalloc use is safe.
+    """
+
+    def __init__(self, start: bool = True) -> None:
+        self._owns_tracing = False
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        """Begin tracing (no-op if tracemalloc is already running)."""
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracing = True
+
+    @property
+    def tracing(self) -> bool:
+        import tracemalloc
+
+        return tracemalloc.is_tracing()
+
+    def current_bytes(self) -> int:
+        """Bytes currently allocated (0 when not tracing)."""
+        import tracemalloc
+
+        return tracemalloc.get_traced_memory()[0] if tracemalloc.is_tracing() else 0
+
+    def peak_bytes(self) -> int:
+        """Peak traced bytes since start / the last :meth:`reset_peak`."""
+        import tracemalloc
+
+        return tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else 0
+
+    def reset_peak(self) -> None:
+        """Reset the peak to the current allocation level."""
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+
+    def close(self) -> None:
+        """Stop tracing iff this tracker started it.  Idempotent."""
+        import tracemalloc
+
+        if self._owns_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracing = False

@@ -166,15 +166,24 @@ class Tracer:
         Throttle for :meth:`heartbeat`: write every N-th heartbeat record
         (1 = all of them).  Long million-round runs tail comfortably with a
         coarser cadence.
+    track_memory:
+        Opt into a :class:`~repro.obs.metrics.PeakMemoryTracker` (tracemalloc)
+        exposed as :attr:`mem_tracker`; the run loop then publishes a
+        ``mem_peak_bytes`` gauge once per round.  Off by default because
+        tracemalloc instruments every allocation (measurable slowdown).
     """
 
     enabled = True
+
+    #: Peak-memory probe; None unless constructed with ``track_memory=True``.
+    mem_tracker = None
 
     def __init__(self, writer: TraceWriter | str | None = None, *,
                  metrics: MetricsRegistry | None = None,
                  meta: dict | None = None,
                  write_max_depth: int | None = None,
-                 heartbeat_every: int = 1) -> None:
+                 heartbeat_every: int = 1,
+                 track_memory: bool = False) -> None:
         if writer is not None and not isinstance(writer, TraceWriter):
             writer = TraceWriter(writer)
         if heartbeat_every < 1:
@@ -189,6 +198,10 @@ class Tracer:
         self._heartbeat_every = int(heartbeat_every)
         self._heartbeats_seen = 0
         self._closed = False
+        if track_memory:
+            from repro.obs.metrics import PeakMemoryTracker
+
+            self.mem_tracker = PeakMemoryTracker()
         if self.writer is not None:
             self.writer.write({"ev": "trace_start", "t": 0.0,
                                "meta": dict(meta or {})})
@@ -279,6 +292,12 @@ class Tracer:
         if self._closed:
             return
         self._closed = True
+        if self.mem_tracker is not None:
+            # Final peak lands in the trace's closing metrics record even if
+            # the run loop never sampled it (e.g. zero completed rounds).
+            self.metrics.gauge("mem_peak_bytes").set(
+                float(self.mem_tracker.peak_bytes()))
+            self.mem_tracker.close()
         if self.writer is not None:
             t = _TIME() - self._t0
             self.writer.write({"ev": "metrics", "t": t,

@@ -1,0 +1,36 @@
+"""Virtual client populations: spec-defined cohorts in O(cohort) memory.
+
+``repro.population`` inverts client ownership: instead of materializing every
+client and its dataset up front (capping population size at memory), a
+:class:`PopulationSpec` *describes* the population and a
+:class:`VirtualPopulation` derives each round's sampled cohort on demand —
+datasets, RNG streams, and sampler cursors as pure functions of
+``(spec.seed, client_id)`` — then discards it, persisting only what must
+survive in a sharded :class:`ClientStateStore`.  Wrapping a materialized
+dataset with :class:`EagerPopulation` (what ``FederatedAlgorithm`` does when no
+``population=`` is given) reproduces the pre-population behavior byte for byte.
+
+See DESIGN.md "Virtual populations" for the lifecycle and equivalence
+arguments, and ``benchmarks/bench_population.py`` for the measured O(cohort)
+memory claim.
+"""
+
+from repro.population.base import (EagerPopulation, Population, as_population,
+                                   resolve_population)
+from repro.population.spec import PopulationSpec
+from repro.population.store import ClientStateStore
+from repro.population.virtual import (VirtualClientRoster, VirtualDatasetView,
+                                      VirtualEdgeServer, VirtualPopulation)
+
+__all__ = [
+    "Population",
+    "PopulationSpec",
+    "EagerPopulation",
+    "VirtualPopulation",
+    "VirtualEdgeServer",
+    "VirtualClientRoster",
+    "VirtualDatasetView",
+    "ClientStateStore",
+    "as_population",
+    "resolve_population",
+]

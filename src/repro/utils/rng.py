@@ -132,6 +132,20 @@ class RngFactory:
         ss = np.random.SeedSequence(entropy=self._seed, spawn_key=(stable_key(name),))
         return np.random.default_rng(ss)
 
+    def stream_at(self, name: str, i: int) -> np.random.Generator:
+        """Return the ``i``-th stream of the ``name`` family without building the rest.
+
+        ``stream_at(name, i)`` is bit-identical to ``streams(name, n)[i]`` for any
+        ``n > i`` — the stream is a pure function of ``(seed, name, i)``.  This is
+        what lets virtual populations derive a single client's generator on
+        demand out of millions without materializing the full list.
+        """
+        if i < 0:
+            raise ValueError(f"stream index must be >= 0, got {i}")
+        ss = np.random.SeedSequence(entropy=self._seed,
+                                    spawn_key=(stable_key(name), int(i)))
+        return np.random.default_rng(ss)
+
     def streams(self, name: str, n: int) -> list[np.random.Generator]:
         """Return ``n`` independent generators, e.g. one per client."""
         if n < 0:
