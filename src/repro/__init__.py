@@ -21,6 +21,7 @@ record of every experiment.
 """
 
 from repro.baselines import ALGORITHMS, DRFA, FedAvg, HierFAVG, StochasticAFL, make_algorithm
+from repro.chaos import ChaosCrash, ChaosInjector, ChaosPlan, chaos
 from repro.core import (
     FederatedAlgorithm,
     HierMinimax,
@@ -56,6 +57,7 @@ from repro.faults import (
     load_checkpoint_file,
     save_checkpoint_file,
 )
+from repro.invariants import InvariantMonitor, InvariantViolationError, Violation
 from repro.membership import ChurnPlan, MembershipManager, resolve_membership
 from repro.metrics import EvaluationRecord, TrainingHistory, evaluate_record
 from repro.multilayer import HierarchyTree, MultiLevelHierMinimax
@@ -126,6 +128,13 @@ __all__ = [
     "RetryPolicy",
     "load_checkpoint_file",
     "save_checkpoint_file",
+    "ChaosCrash",
+    "ChaosInjector",
+    "ChaosPlan",
+    "chaos",
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "Violation",
     "ChurnPlan",
     "MembershipManager",
     "resolve_membership",

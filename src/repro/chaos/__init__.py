@@ -1,0 +1,46 @@
+"""repro.chaos — deterministic chaos engineering for the training runtime.
+
+Three pieces:
+
+* :class:`ChaosPlan` / :class:`ChaosInjector` — seeded, declarative kill-points
+  whose parameters are pure functions of ``(seed, site, occurrence)``;
+* :mod:`repro.chaos.hooks` — the failpoint registry production code fires into
+  (:func:`fire` is a no-op ``None`` unless a harness installed an injector);
+* :mod:`repro.chaos.campaign` — the acceptance harness behind
+  ``python -m repro chaos``: sweep kill-points × backends and assert every
+  interrupted run recovers bit-identical to the uninterrupted one.
+
+The campaign module is imported lazily (``repro.chaos.campaign`` or the
+``run_campaign`` attribute): it depends on :mod:`repro.core`, which depends on
+:mod:`repro.exec`, whose backends fire chaos hooks — an eager import here
+would close that cycle.
+"""
+
+from repro.chaos.hooks import ChaosCrash, active, chaos, fire, install, uninstall
+from repro.chaos.plan import CHAOS_SITES, ChaosInjector, ChaosPlan
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosInjector",
+    "ChaosCrash",
+    "CHAOS_SITES",
+    "chaos",
+    "install",
+    "uninstall",
+    "active",
+    "fire",
+    "run_campaign",
+    "format_campaign",
+    "campaign_ok",
+]
+
+_CAMPAIGN_ATTRS = ("run_campaign", "format_campaign", "campaign_ok",
+                   "ScenarioOutcome")
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_ATTRS:
+        from repro.chaos import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -222,6 +222,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_pop.add_argument("--skip-equivalence", action="store_true",
                        help="run only the scale gate")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-safety gate: seeded kill-points (worker SIGKILL, torn "
+             "checkpoint write, bit-flipped shard) must all recover "
+             "bit-identically")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="root seed of every injected failure's "
+                              "parameters (same seed = byte-identical "
+                              "failures)")
+    p_chaos.add_argument("--rounds", type=int, default=6,
+                         help="rounds per scenario run (>= 5 so two "
+                              "checkpoint generations exist with training "
+                              "left to resume)")
+    p_chaos.add_argument("--backends", default="serial,process",
+                         help="comma-separated backends for the "
+                              "crash-after-save sweep")
+    p_chaos.add_argument("--workdir", default=None,
+                         help="keep scenario artifacts (checkpoints, "
+                              "shards, quarantined files) here instead of "
+                              "a deleted temp dir")
+
     sub.add_parser("info", help="version and system inventory")
     return parser
 
@@ -790,6 +811,19 @@ def _cmd_population(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Run the deterministic chaos campaign; exit 1 unless every scenario
+    recovers bit-identically (see :mod:`repro.chaos.campaign`)."""
+    from repro.chaos.campaign import (campaign_ok, format_campaign,
+                                      run_campaign)
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    outcomes = run_campaign(seed=args.seed, rounds=args.rounds,
+                            backends=backends, workdir=args.workdir)
+    print(format_campaign(outcomes))
+    return 0 if campaign_ok(outcomes) else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -839,4 +873,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_churn(args)
     if args.command == "population":
         return _cmd_population(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_info()

@@ -15,12 +15,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.data.dataset import FederatedDataset
 from repro.defense.policy import clip_loss_reports, resolve_defense
-from repro.faults.checkpoint import load_checkpoint_file, save_checkpoint_file
+from repro.faults.checkpoint import CheckpointError, load_checkpoint_file, \
+    previous_checkpoint_path, save_checkpoint_file
 from repro.faults.injector import resolve_injector
 from repro.metrics.evaluation import evaluate_record
 from repro.membership import resolve_membership
@@ -30,6 +32,7 @@ from repro.nn.models import ModelFactory
 from repro.obs import NULL_TRACER
 from repro.ops.projections import Projection, identity_projection
 from repro.population import resolve_population
+from repro.population.store import ShardIntegrityError
 from repro.simtime import resolve_timing
 from repro.topology.comm import CommSnapshot, CommunicationTracker
 from repro.exec import ExecutionBackend, resolve_backend
@@ -235,6 +238,7 @@ class FederatedAlgorithm(ABC):
     def run(self, rounds: int, *, eval_every: int = 1,
             eval_at_start: bool = True,
             checkpoint_path=None, checkpoint_every: int | None = None,
+            checkpoint_shard_dir=None,
             ) -> RunResult:
         """Train for ``rounds`` cloud rounds with periodic evaluation.
 
@@ -253,6 +257,12 @@ class FederatedAlgorithm(ABC):
             :meth:`load_checkpoint` and reproduce the uninterrupted run
             exactly.  Checkpoints are written atomically; a kill mid-write
             leaves the previous checkpoint intact.
+        checkpoint_shard_dir:
+            With a virtual population, persist per-client store state as
+            checksummed sidecar shard files in this directory instead of
+            inlining it into the checkpoint (which then embeds only the
+            integrity manifest) — the layout for populations too large for
+            one JSON document.
         """
         rounds = check_positive_int(rounds, "rounds")
         eval_every = check_positive_int(eval_every, "eval_every")
@@ -276,6 +286,11 @@ class FederatedAlgorithm(ABC):
             # dispatch time (and drop it again via ``forget_clients``).
             self.backend.prepare(self.engine, self._client_actors())
         mem_tracker = getattr(obs, "mem_tracker", None)
+        # Optional runtime invariant monitor (see repro.invariants), attached
+        # to the tracer so one obs= argument threads the whole observability
+        # stack.  None on NULL_TRACER and undecorated tracers — the default,
+        # zero-cost path.
+        invariants = getattr(obs, "invariants", None)
         if obs.enabled and self.timing.enabled:
             # A live tracer can persist the virtual clock's per-round
             # dependency tree, so record it.  Recording is purely additive
@@ -320,6 +335,10 @@ class FederatedAlgorithm(ABC):
                 # eager populations.
                 self.population.end_round(k, backend=self.backend)
                 self.rounds_completed = k + 1
+                if invariants is not None:
+                    # Pure reads over already-computed state (no RNG, no
+                    # arithmetic on the model) — bit-identical on or off.
+                    invariants.check_round(self, k, obs=obs)
                 if obs.enabled:
                     obs.count("rounds_total")
                     obs.count("edge_cloud_bytes", delta.edge_cloud_bytes)
@@ -346,7 +365,8 @@ class FederatedAlgorithm(ABC):
                 if (checkpoint_path is not None and checkpoint_every
                         and (k + 1) % checkpoint_every == 0):
                     with obs.span("checkpoint", round=k):
-                        self.save_checkpoint(checkpoint_path)
+                        self.save_checkpoint(checkpoint_path,
+                                             shard_dir=checkpoint_shard_dir)
                 if obs.enabled:
                     # Live progress channel: one (throttled) heartbeat per
                     # round so long runs can be tailed with
@@ -421,11 +441,13 @@ class FederatedAlgorithm(ABC):
     def _restore_extra(self, extra: dict) -> None:
         """Subclass hook: inverse of :meth:`_extra_state`."""
 
-    def state_dict(self) -> dict:
+    def state_dict(self, *, shard_dir=None) -> dict:
         """Everything needed to resume this run bit-identically.
 
         Serializable via :mod:`repro.utils.serialization`; written to disk by
-        :meth:`save_checkpoint`.
+        :meth:`save_checkpoint`.  ``shard_dir`` (virtual populations only)
+        externalizes the client state store into checksummed sidecar shard
+        files there, leaving just the integrity manifest in the payload.
         """
         clients = {}
         if not self.population.virtual:
@@ -460,14 +482,16 @@ class FederatedAlgorithm(ABC):
             "extra": self._extra_state(),
         }
         if self.population.virtual:
-            state["population"] = self.population.state_dict()
+            state["population"] = self.population.state_dict(
+                shard_dir=shard_dir)
         return state
 
-    def save_checkpoint(self, path) -> None:
+    def save_checkpoint(self, path, *, shard_dir=None) -> None:
         """Atomically write :meth:`state_dict` to ``path``."""
-        save_checkpoint_file(path, self.state_dict())
+        save_checkpoint_file(path, self.state_dict(shard_dir=shard_dir))
 
-    def load_checkpoint(self, path) -> int:
+    def load_checkpoint(self, path, *, shard_dir=None,
+                        shard_recovery: str = "fallback") -> int:
         """Restore a checkpoint written by :meth:`save_checkpoint`.
 
         Must be called on a freshly-constructed algorithm with the *same*
@@ -476,16 +500,58 @@ class FederatedAlgorithm(ABC):
         round and appends to the restored history, reproducing the
         uninterrupted run bit-for-bit.
 
+        Recovery: when the current file fails integrity verification (torn
+        write, bit rot — including a corrupted sidecar shard under the
+        default ``shard_recovery="fallback"``), the previous checkpoint
+        generation at :func:`~repro.faults.checkpoint.previous_checkpoint_path`
+        is tried next; a successful fallback emits a ``checkpoint_fallback``
+        trace event and the run resumes bit-identically from that earlier
+        round.  ``shard_recovery="rederive"`` instead quarantines a damaged
+        shard and lets its virtual clients re-derive from ``(spec.seed,
+        cid)`` — loud detection, but only exact for clients that never
+        advanced.
+
         Returns the number of rounds already completed.
         """
-        state = load_checkpoint_file(path, expect_algorithm=self.name)
+        candidates = [Path(path), previous_checkpoint_path(path)]
+        errors: list[str] = []
+        for index, candidate in enumerate(candidates):
+            try:
+                state = load_checkpoint_file(candidate,
+                                             expect_algorithm=self.name)
+                self._restore_state(state, shard_dir=shard_dir,
+                                    shard_recovery=shard_recovery)
+            except (CheckpointError, ShardIntegrityError) as exc:
+                errors.append(f"{candidate}: {exc}")
+                continue
+            if index > 0:
+                # The current generation was unusable; say so loudly.
+                if self.obs.enabled:
+                    self.obs.event("checkpoint_fallback",
+                                   requested=str(path), used=str(candidate),
+                                   round=self.rounds_completed,
+                                   reason=errors[0])
+                    self.obs.count("checkpoint_fallbacks_total")
+                self.logger({"event": "checkpoint_fallback",
+                             "requested": str(path), "used": str(candidate),
+                             "round": self.rounds_completed})
+            return self.rounds_completed
+        raise CheckpointError(
+            "no loadable checkpoint generation: " + "; ".join(errors))
+
+    def _restore_state(self, state: dict, *, shard_dir=None,
+                       shard_recovery: str = "fallback") -> None:
+        """Apply a verified checkpoint payload to this algorithm instance."""
         self.w = np.asarray(state["w"], dtype=np.float64)
         self.rounds_completed = int(state["round"])
         _restore_generator(self.rng, state["rng"])
         if self.population.virtual:
             # Per-client state lives in the sharded store; clients re-derive
             # from it lazily the next time the cohort samples them.
-            self.population.load_state_dict(state.get("population", {}))
+            self.population.load_state_dict(state.get("population", {}),
+                                            shard_dir=shard_dir,
+                                            shard_recovery=shard_recovery,
+                                            obs=self.obs)
         else:
             client_states = state["clients"]
             for client in self._client_actors():
@@ -517,7 +583,6 @@ class FederatedAlgorithm(ABC):
             # its virtual clock exactly where the checkpointed run left it.
             self.timing.elapsed_s = float(state.get("sim_time_s", 0.0))
         self._restore_extra(state.get("extra", {}))
-        return self.rounds_completed
 
     # ---------------------------------------------------------------- helpers
     def _build_edges(self):

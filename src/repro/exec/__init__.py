@@ -53,6 +53,8 @@ __all__ = [
 #: Environment variables consulted by :func:`resolve_backend`.
 BACKEND_ENV = "REPRO_BACKEND"
 WORKERS_ENV = "REPRO_WORKERS"
+#: Per-dispatch supervision timeout (seconds) for pooled backends.
+TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT_S"
 
 _ALIASES = {
     "serial": "serial", "sync": "serial", "none": "serial",
@@ -79,7 +81,9 @@ def make_backend(name: str, workers: int | None = None) -> ExecutionBackend:
             f"unknown execution backend {name!r}; "
             f"choose from {available_backends()}")
     if key in _POOLED:
-        return _POOLED[key](workers=workers)
+        env_timeout = os.environ.get(TIMEOUT_ENV, "").strip()
+        timeout_s = float(env_timeout) if env_timeout else None
+        return _POOLED[key](workers=workers, timeout_s=timeout_s)
     if key == "vectorized":
         return VectorizedBackend()
     return SERIAL_BACKEND if workers in (None, 0, 1) else SerialBackend()

@@ -28,6 +28,17 @@ For a fixed seed every backend must produce *bit-identical* outputs to
 
 This invariant is what lets fault injection, checkpoint/resume, and the
 algorithm-equivalence tests keep holding under any backend.
+
+Supervision corollary
+---------------------
+Because every task is a *pure* function of its descriptor (the kernel consumes
+no RNG; batch randomness is fixed before dispatch), a pooled backend may
+re-execute a task whose worker died or hung and obtain bit-identical outputs.
+:class:`~repro.exec.procs.ProcessBackend` and
+:class:`~repro.exec.threads.ThreadBackend` exploit exactly this: per-dispatch
+timeouts, dead-worker detection, pool respawn, and bounded deterministic
+retries (see :func:`resolve_retry`) — crash recovery without any change to the
+determinism contract.
 """
 
 from __future__ import annotations
@@ -43,9 +54,37 @@ from repro.nn.network import NeuralNetwork
 from repro.ops.projections import Projection, identity_projection
 
 __all__ = ["LocalStepsTask", "LocalStepsResult", "ExecutionBackend",
-           "run_local_steps_kernel"]
+           "run_local_steps_kernel", "resolve_retry", "check_timeout"]
 
 _TIME = time.perf_counter
+
+
+def resolve_retry(retry):
+    """Normalize a supervised backend's ``retry=`` argument.
+
+    ``None`` becomes the default :class:`~repro.faults.plan.RetryPolicy`
+    (bounded retries with seeded backoff — the same policy object the fault
+    layer uses, so retry budgets are configured in one vocabulary).  Imported
+    lazily: :mod:`repro.faults` sits above :mod:`repro.exec` in the layering.
+    """
+    from repro.faults.plan import RetryPolicy
+
+    if retry is None:
+        return RetryPolicy()
+    if not isinstance(retry, RetryPolicy):
+        raise TypeError(
+            f"retry must be a RetryPolicy or None, got {type(retry).__name__}")
+    return retry
+
+
+def check_timeout(timeout_s) -> float | None:
+    """Validate a per-dispatch supervision timeout (``None`` disables it)."""
+    if timeout_s is None:
+        return None
+    timeout_s = float(timeout_s)
+    if timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+    return timeout_s
 
 
 @dataclass

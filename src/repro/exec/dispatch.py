@@ -16,6 +16,13 @@ backends:
 * **Client-side bookkeeping** (``sgd_steps_taken``, the ``sgd_steps_total``
   counter) happens here, identically for every backend.
 
+This split is also what makes supervised *retry* safe: a task carries
+everything its unit needs (weights snapshot, sampler-state token, step spec)
+and nothing main-side mutates until results return, so a pooled backend that
+loses a worker mid-dispatch can re-execute the lost units from their original
+descriptors and obtain bit-identical outputs (see ``repro.exec.procs``
+"Supervision").
+
 Intentionally imports no actor classes — clients are duck-typed
 (``client_id``, ``sampler``, ``sgd_steps_taken``) so ``repro.sim`` can import
 the execution package without a cycle.

@@ -19,23 +19,42 @@ Occurrences of the same client within one dispatch (with-replacement
 sampling) are chained into a single worker unit so their draws consume the
 client's stream in serial order — a bit-exactness requirement, not an
 optimization.
+
+Supervision
+-----------
+Dispatches are *supervised*: units are submitted individually and a watch
+loop polls for completed results, dead workers (the pool's live pid set
+changing — a SIGKILL, an OOM kill), and an optional per-dispatch deadline
+(``timeout_s``).  On death or timeout the pool is torn down and respawned and
+the unfinished units are resubmitted — safe, because every unit is a pure
+function of its descriptor (the kernel consumes no RNG), so a re-executed
+unit returns bit-identical outputs.  Retries are bounded by a
+:class:`~repro.faults.plan.RetryPolicy`; exhausting the budget raises instead
+of looping forever.  Each recovery emits ``worker_respawn`` / ``exec_retry``
+trace events and bumps the matching counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.pool as mp_pool
+import os
 import pickle
+import signal
 import time
 from multiprocessing import shared_memory
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.chaos.hooks import fire as chaos_fire
 from repro.data.batching import MinibatchSampler
 from repro.exec.base import (
     ExecutionBackend,
     LocalStepsResult,
     LocalStepsTask,
+    check_timeout,
+    resolve_retry,
     run_local_steps_kernel,
 )
 from repro.exec.dispatch import restore_sampler_state, sampler_state_token
@@ -117,15 +136,27 @@ class ProcessBackend(ExecutionBackend):
     workers:
         Pool size; defaults to
         :func:`~repro.exec.threads.default_worker_count`.
+    timeout_s:
+        Per-dispatch supervision deadline.  When the batch has not finished
+        within this many wall-clock seconds the pool is respawned and the
+        unfinished units are retried.  ``None`` (default) disables the
+        deadline — dead workers are still detected via the pid watch.
+    retry:
+        :class:`~repro.faults.plan.RetryPolicy` bounding per-unit retries
+        after a worker death or timeout (default policy: 2 retries with
+        seeded exponential backoff).
     """
 
     name = "process"
     wants_sampler_state = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, *,
+                 timeout_s: float | None = None, retry=None) -> None:
         self.workers = int(workers) if workers else default_worker_count()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self.timeout_s = check_timeout(timeout_s)
+        self.retry = resolve_retry(retry)
         methods = mp.get_all_start_methods()
         self._ctx = mp.get_context("fork" if "fork" in methods else None)
         self._pool = None
@@ -255,22 +286,154 @@ class ProcessBackend(ExecutionBackend):
 
     def _run_pooled(self, w_start: np.ndarray, units: list[tuple],
                     obs) -> list[tuple]:
-        pool = self._ensure_pool()
         w_start = np.ascontiguousarray(w_start, dtype=np.float64)
         shm = shared_memory.SharedMemory(create=True, size=w_start.nbytes)
         try:
             np.ndarray(w_start.shape, dtype=np.float64,
                        buffer=shm.buf)[:] = w_start
-            submitted = _CLOCK()
-            payloads = [(shm.name, w_start.size, unit, submitted)
-                        for unit in units]
-            unit_results = pool.map(_run_unit, payloads)
+            unit_results = self._supervised_map(shm.name, w_start.size,
+                                                units, obs)
         finally:
             shm.close()
             shm.unlink()
         if obs.enabled:
             obs.count("exec_broadcast_bytes", w_start.nbytes)
         return unit_results
+
+    def _supervised_map(self, shm_name: str, dim: int, units: list[tuple],
+                        obs) -> list[tuple]:
+        """Fan units out with death/timeout supervision; results in unit order.
+
+        Each outer iteration submits the still-unfinished units to a healthy
+        pool and watches three conditions: results completing (collected
+        immediately), the pool's live pid set changing (a worker died — its
+        in-flight unit would otherwise hang the dispatch forever), and the
+        optional wall-clock deadline.  Death or deadline tears the pool down
+        and retries the unfinished units — bit-identical by kernel purity —
+        up to ``retry.max_retries`` times per unit.  A worker-side *exception*
+        (a real bug, not a crash) propagates immediately and is never retried.
+        """
+        results: dict[int, tuple] = {}
+        attempts = {i: 0 for i in range(len(units))}
+        pending = list(range(len(units)))
+        while pending:
+            pool = self._ensure_pool()
+            # Snapshot the healthy pid set *before* anything can die: the
+            # pool's own maintenance thread replaces dead workers (with new
+            # pids), so a post-mortem snapshot could look "normal" while the
+            # dead worker's in-flight unit is lost forever.
+            known = {p.pid for p in pool._pool}
+            submitted = _CLOCK()
+            inflight = {
+                i: pool.apply_async(
+                    _run_unit, ((shm_name, dim, units[i], submitted),))
+                for i in pending}
+            # The chaos kill lands after submission so an in-flight unit can
+            # genuinely be lost; with no injector installed this is a no-op.
+            self._chaos_kill(pool, obs)
+            deadline = (None if self.timeout_s is None
+                        else submitted + self.timeout_s)
+            failure = None
+            while inflight:
+                for i in [i for i, r in inflight.items() if r.ready()]:
+                    results[i] = inflight.pop(i).get()
+                if not inflight:
+                    break
+                alive = {p.pid for p in pool._pool if p.is_alive()}
+                if alive != known:
+                    failure = "worker_death"
+                    break
+                if deadline is not None and _CLOCK() > deadline:
+                    failure = "timeout"
+                    break
+                next(iter(inflight.values())).wait(0.02)
+            if failure is None:
+                alive = {p.pid for p in pool._pool if p.is_alive()}
+                if alive != known:
+                    # Every unit completed, but a worker died inside the
+                    # dispatch window anyway (e.g. SIGKILLed while idle in
+                    # the task-queue read).  Its death may have taken a
+                    # shared queue lock with it, which would wedge the
+                    # *next* dispatch forever — retire the pool now; there
+                    # is nothing to retry.
+                    self._respawn()
+                    if obs.enabled:
+                        obs.event("worker_respawn", backend=self.name,
+                                  reason="worker_death", resubmitted=0)
+                        obs.count("worker_respawns_total")
+                break
+            # Harvest anything that finished between the last sweep and the
+            # failure detection, then retry the rest on a fresh pool.
+            for i in [i for i, r in list(inflight.items()) if r.ready()]:
+                results[i] = inflight.pop(i).get()
+            pending = sorted(inflight)
+            self._respawn()
+            max_attempt = 0
+            for i in pending:
+                attempts[i] += 1
+                max_attempt = max(max_attempt, attempts[i])
+                if attempts[i] > self.retry.max_retries:
+                    raise RuntimeError(
+                        f"exec unit for client {units[i][0]} failed "
+                        f"{attempts[i]} times ({failure}); retry budget "
+                        f"({self.retry.max_retries}) exhausted")
+            if obs.enabled:
+                obs.event("worker_respawn", backend=self.name,
+                          reason=failure, resubmitted=len(pending))
+                obs.count("worker_respawns_total")
+                if pending:
+                    obs.count("exec_retries_total", len(pending))
+                    for i in pending:
+                        obs.event("exec_retry", backend=self.name,
+                                  client=units[i][0], attempt=attempts[i],
+                                  reason=failure)
+            if pending and max_attempt > 0:
+                # Wall-clock-only pause before hammering a possibly-sick
+                # host again; never affects result bits.
+                time.sleep(self.retry.backoff_s(max_attempt - 1,
+                                                seed=0, entity="exec"))
+        return [results[i] for i in range(len(units))]
+
+    def _respawn(self) -> None:
+        """Abandon the (possibly wedged) pool; the next dispatch rebuilds it.
+
+        Deliberately NOT ``Pool.terminate()``: a worker that died from
+        SIGKILL/OOM can take a shared queue lock down with it, after which
+        the cooperative shutdown (and the finalizer registered at pool
+        creation) blocks forever trying to acquire that lock.  Instead the
+        maintenance loop is stopped (so it stops replacing workers), the
+        remaining daemonic workers are SIGKILLed, the finalizer is
+        cancelled, and the daemonic helper threads are simply abandoned —
+        they die with the process.  Only the failure path pays this; healthy
+        lifecycle teardown (:meth:`close`, stale rebuilds) stays cooperative.
+        """
+        pool, self._pool = self._pool, None
+        self._stale = True
+        if pool is None:
+            return
+        pool._state = mp_pool.TERMINATE
+        pool._worker_handler._state = mp_pool.TERMINATE
+        for p in pool._pool:
+            if p.is_alive():
+                p.kill()
+        for p in pool._pool:
+            p.join(timeout=1.0)
+        pool._terminate.cancel()
+
+    def _chaos_kill(self, pool, obs) -> None:
+        """Chaos site ``worker_kill``: SIGKILL a derived victim worker."""
+        decision = chaos_fire("worker_kill")
+        if decision is None:
+            return
+        procs = [p for p in pool._pool if p.is_alive()]
+        if not procs:  # pragma: no cover - empty pool cannot be dispatched to
+            return
+        pids = sorted(p.pid for p in procs)
+        victim = pids[decision["victim"] % len(pids)]
+        os.kill(victim, signal.SIGKILL)
+        if obs.enabled:
+            obs.event("chaos", site="worker_kill",
+                      occurrence=decision["occurrence"], pid=victim)
 
     def close(self) -> None:
         """Terminate the worker pool (registry survives for a later reopen)."""

@@ -22,8 +22,10 @@ dark edges — live at the aggregation points of the algorithms themselves.
 
 from repro.faults.checkpoint import (
     CHECKPOINT_FORMAT,
+    CHECKSUM_KEY,
     CheckpointError,
     load_checkpoint_file,
+    previous_checkpoint_path,
     save_checkpoint_file,
 )
 from repro.faults.injector import (
@@ -45,6 +47,8 @@ __all__ = [
     "RECOVERY_KINDS",
     "CheckpointError",
     "CHECKPOINT_FORMAT",
+    "CHECKSUM_KEY",
     "save_checkpoint_file",
     "load_checkpoint_file",
+    "previous_checkpoint_path",
 ]

@@ -9,6 +9,23 @@ layer's quarantine set.  Files are JSON via :mod:`repro.utils.serialization`
 (NumPy arrays and ``np.random.Generator`` states round-trip exactly), so a
 checkpoint is portable and diffable like every other artifact in this repo.
 
+Durability and integrity
+------------------------
+Writes are crash-safe end to end: the payload lands in a sibling temp file
+that is flushed and ``fsync``\\ ed *before* the atomic rename (a kill between
+write and rename can otherwise persist an empty or partial file the rename
+idiom was supposed to prevent), and the directory entry is fsynced after, so
+the rename itself survives a power cut.  The previous checkpoint generation is
+rotated to ``<name>.prev`` rather than overwritten — the fallback target when
+the current generation turns out damaged.
+
+Every file embeds a CRC-32 over the canonical payload bytes
+(:func:`~repro.utils.serialization.canonical_bytes`) under ``__checksum__``;
+:func:`load_checkpoint_file` recomputes and compares it, so torn, truncated,
+*and* bit-flipped files — including flips that still parse as valid JSON — are
+detected instead of silently restored.  Files written before the checksum
+existed load unchanged (the envelope is additive).
+
 The format is versioned; :func:`load_checkpoint_file` refuses files written by
 an incompatible layout or for a different algorithm with a clear error instead
 of mis-restoring state.
@@ -16,48 +33,126 @@ of mis-restoring state.
 
 from __future__ import annotations
 
+import json
+import os
+import zlib
 from pathlib import Path
 
-from repro.utils.serialization import load_json, save_json
+from repro.chaos.hooks import ChaosCrash, fire as chaos_fire
+from repro.utils.serialization import canonical_bytes, from_jsonable, to_jsonable
 
-__all__ = ["CHECKPOINT_FORMAT", "save_checkpoint_file", "load_checkpoint_file",
+__all__ = ["CHECKPOINT_FORMAT", "CHECKSUM_KEY", "save_checkpoint_file",
+           "load_checkpoint_file", "previous_checkpoint_path",
            "CheckpointError"]
 
 #: Bump when the checkpoint payload layout changes incompatibly.
 CHECKPOINT_FORMAT = 1
+
+#: Integrity envelope key; sorts after every payload key an algorithm writes.
+CHECKSUM_KEY = "__checksum__"
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint file is missing, corrupted, or incompatible."""
 
 
-def save_checkpoint_file(path: str | Path, state: dict) -> Path:
-    """Write an algorithm ``state_dict`` atomically to ``path``.
+def previous_checkpoint_path(path: str | Path) -> Path:
+    """Where :func:`save_checkpoint_file` rotates the prior generation."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
 
-    The payload is written to a sibling temp file first and renamed into
-    place, so a kill mid-write never destroys the previous good checkpoint.
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (the rename) to disk; best-effort off-POSIX."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def save_checkpoint_file(path: str | Path, state: dict, *,
+                         keep_previous: bool = True) -> Path:
+    """Write an algorithm ``state_dict`` durably and atomically to ``path``.
+
+    The payload (with its CRC-32 envelope) is written to a sibling temp file,
+    fsynced, renamed into place, and the directory entry fsynced — so neither
+    a kill mid-write nor one mid-rename can destroy the previous good
+    checkpoint, and a kill *after* the write cannot leave the rename only in
+    the page cache.  With ``keep_previous`` (the default) the prior file is
+    rotated to :func:`previous_checkpoint_path` first, preserving one older
+    generation as the recovery target for post-rename corruption.
     """
     path = Path(path)
-    payload = {"format": CHECKPOINT_FORMAT, **state}
+    payload = to_jsonable({"format": CHECKPOINT_FORMAT, **state})
+    crc = zlib.crc32(canonical_bytes(payload))
+    text = json.dumps({**payload, CHECKSUM_KEY: {"alg": "crc32", "value": crc}},
+                      indent=2, sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    save_json(tmp, payload)
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        torn = chaos_fire("torn_write")
+        if torn is not None:
+            # Simulated kill mid-write: persist only a prefix of the payload
+            # and die.  ``path`` still holds the previous good generation.
+            cut = max(1, min(len(text) - 1, int(torn["frac"] * len(text))))
+            fh.truncate(cut)
+            os.fsync(fh.fileno())
+            raise ChaosCrash(
+                f"chaos torn_write occurrence {torn['occurrence']}: "
+                f"checkpoint write to {tmp} torn at byte {cut}/{len(text)}")
+        os.fsync(fh.fileno())
+    if keep_previous and path.exists():
+        path.replace(previous_checkpoint_path(path))
     tmp.replace(path)
+    _fsync_dir(path.parent)
+    crash = chaos_fire("crash_after_save")
+    if crash is not None:
+        raise ChaosCrash(
+            f"chaos crash_after_save occurrence {crash['occurrence']}: "
+            f"killed right after durably writing {path}")
     return path
 
 
 def load_checkpoint_file(path: str | Path, *,
-                         expect_algorithm: str | None = None) -> dict:
-    """Read and validate a checkpoint written by :func:`save_checkpoint_file`."""
+                         expect_algorithm: str | None = None,
+                         verify: bool = True) -> dict:
+    """Read and validate a checkpoint written by :func:`save_checkpoint_file`.
+
+    Verification recomputes the CRC-32 over the canonical payload bytes and
+    compares it with the embedded envelope; a mismatch (bit rot, a torn write
+    that still parses) raises :class:`CheckpointError`.  Legacy files without
+    an envelope are accepted — they predate the checksum.
+    """
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint file at {path}")
     try:
-        state = load_json(path)
-    except ValueError as exc:
-        raise CheckpointError(f"corrupted checkpoint {path}: {exc}") from exc
-    if not isinstance(state, dict) or "format" not in state:
+        raw = json.loads(path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        # ValueError covers JSONDecodeError; bit rot can also break the
+        # UTF-8 encoding itself, which surfaces before the parser runs.
+        raise CheckpointError(
+            f"corrupted checkpoint {path}: not valid JSON "
+            f"(truncated, torn, or bit-flipped?): {exc}") from exc
+    if not isinstance(raw, dict) or "format" not in raw:
         raise CheckpointError(
             f"{path} is not a checkpoint file (no 'format' field)")
+    checksum = raw.pop(CHECKSUM_KEY, None)
+    if verify and checksum is not None:
+        expected = int(checksum.get("value", -1))
+        actual = zlib.crc32(canonical_bytes(raw))
+        if actual != expected:
+            raise CheckpointError(
+                f"corrupted checkpoint {path}: crc32 mismatch "
+                f"(stored {expected}, recomputed {actual}) — the file was "
+                f"bit-flipped or torn after writing")
+    state = from_jsonable(raw)
     if state["format"] != CHECKPOINT_FORMAT:
         raise CheckpointError(
             f"{path} uses checkpoint format {state['format']}, "

@@ -1,0 +1,266 @@
+"""Runtime invariant monitoring: cheap per-round sanity proofs of a live run.
+
+Silent corruption is worse than a crash: a NaN that leaks into the model, a
+mixing weight that drifts off the simplex, or a communication ledger that
+jumps backwards will quietly poison every downstream number.  The
+:class:`InvariantMonitor` checks a small set of *always-true* properties of a
+:class:`~repro.core.base.FederatedAlgorithm` after every round:
+
+``finite_model``
+    Every coordinate of the global model ``w`` is finite.
+``finite_losses``
+    The latest evaluation's per-edge losses are finite (checked only on
+    rounds that evaluated).
+``simplex_weights``
+    A minimax algorithm's mixing weights are non-negative (within ``atol``)
+    and sum to 1 — Phase 2's projection must keep them on the simplex.
+``comm_balance``
+    The communication ledger is monotone: cycle counts, message counts, and
+    float totals never decrease between checks.
+``membership_balance``
+    With dynamic membership enabled, the active-client population equals the
+    initial population plus joins minus leaves (counted from the metrics
+    registry's ``membership_joined_total`` / ``membership_left_total``).
+
+Checks are *pure reads* of already-computed state — no RNG, no arithmetic on
+the model — so a monitored run is bit-identical to an unmonitored one.  The
+monitor is **off by default**: attach one to a tracer
+(``Tracer(..., invariants=True)``) and the run loop picks it up through the
+same ``obs=`` hook as every other observability feature.  Violations are
+recorded on :attr:`InvariantMonitor.violations`, emitted as ``invariant``
+trace events (surfaced by ``trace-report``), and counted in
+``invariant_violations_total``; by default the run *continues* — the monitor
+is a tripwire, not a breaker — unless ``strict=True`` upgrades violations to
+:class:`InvariantViolationError`.
+
+Custom checks register with :meth:`InvariantMonitor.register`; a check is any
+``fn(algo, round_index) -> str | None`` returning a violation message or
+``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["InvariantMonitor", "InvariantViolationError", "Violation",
+           "DEFAULT_CHECKS"]
+
+
+class InvariantViolationError(RuntimeError):
+    """A runtime invariant failed under ``strict=True``."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check.
+
+    Attributes
+    ----------
+    check:
+        Name of the failed check (e.g. ``"simplex_weights"``).
+    round_index:
+        Cloud round after which the violation was observed.
+    message:
+        Human-readable diagnostic with the offending values.
+    """
+
+    check: str
+    round_index: int
+    message: str
+
+
+def _check_finite_model(algo, round_index: int) -> str | None:
+    w = algo.w
+    if np.all(np.isfinite(w)):
+        return None
+    bad = int(np.size(w) - np.count_nonzero(np.isfinite(w)))
+    return (f"model w has {bad} non-finite coordinate(s) "
+            f"(||w||_inf over finite part: "
+            f"{np.max(np.abs(w[np.isfinite(w)])) if bad < np.size(w) else 'n/a'})")
+
+
+def _check_finite_losses(algo, round_index: int) -> str | None:
+    history = getattr(algo, "_history", None)
+    if history is None or not len(history):
+        return None
+    point = history.final()
+    if point.round_index != round_index:
+        return None  # this round did not evaluate; nothing new to check
+    losses = np.asarray(point.record.per_edge_loss, dtype=np.float64)
+    if np.all(np.isfinite(losses)):
+        return None
+    bad = np.flatnonzero(~np.isfinite(losses))
+    return (f"evaluation at round {round_index} produced non-finite "
+            f"loss(es) for edge group(s) {bad.tolist()}")
+
+
+def _check_simplex_weights(atol: float) -> Callable:
+    def check(algo, round_index: int) -> str | None:
+        weights = algo.current_weights()
+        if weights is None:
+            return None
+        weights = np.asarray(weights, dtype=np.float64)
+        if not np.all(np.isfinite(weights)):
+            return "mixing weights contain non-finite entries"
+        low = float(weights.min(initial=0.0))
+        total = float(weights.sum())
+        if low < -atol:
+            return (f"mixing weight below simplex: min={low:.3e} "
+                    f"(tolerance {atol:g})")
+        if abs(total - 1.0) > max(atol, 1e-6 * weights.size):
+            return f"mixing weights sum to {total!r}, expected 1"
+        return None
+
+    return check
+
+
+class _CommBalance:
+    """Monotonicity watch over the communication ledger (stateful)."""
+
+    def __init__(self) -> None:
+        self._prev = None
+
+    def __call__(self, algo, round_index: int) -> str | None:
+        snap = algo.tracker.snapshot()
+        prev, self._prev = self._prev, snap
+        if prev is None:
+            return None
+        for kind, now_map, then_map in (("cycles", snap.cycles, prev.cycles),
+                                        ("messages", snap.messages,
+                                         prev.messages),
+                                        ("floats", snap.floats, prev.floats)):
+            for key, then_value in then_map.items():
+                now_value = now_map.get(key, 0)
+                if now_value < then_value:
+                    return (f"comm ledger went backwards: {kind}[{key}] "
+                            f"{then_value} -> {now_value}")
+        return None
+
+
+class _MembershipBalance:
+    """joined − left must explain the active-set delta (stateful baseline)."""
+
+    def __init__(self) -> None:
+        self._baseline: int | None = None
+
+    @staticmethod
+    def _counters(algo) -> tuple[int, int] | None:
+        metrics = getattr(algo.obs, "metrics", None)
+        if metrics is None:
+            return None
+        return (int(metrics.counter("membership_joined_total").value),
+                int(metrics.counter("membership_left_total").value))
+
+    def __call__(self, algo, round_index: int) -> str | None:
+        membership = algo.membership
+        if not getattr(membership, "enabled", False):
+            return None
+        counters = self._counters(algo)
+        if counters is None:
+            return None
+        joined, left = counters
+        active = len(membership.active)
+        if self._baseline is None:
+            # First observation: infer the initial population from the books.
+            self._baseline = active - (joined - left)
+            return None
+        expected = self._baseline + joined - left
+        if active != expected:
+            return (f"membership imbalance: {active} active clients but "
+                    f"baseline {self._baseline} + {joined} joined - "
+                    f"{left} left = {expected}")
+        return None
+
+
+#: Names of the built-in checks, in execution order.
+DEFAULT_CHECKS = ("finite_model", "finite_losses", "simplex_weights",
+                  "comm_balance", "membership_balance")
+
+
+class InvariantMonitor:
+    """Pluggable per-round invariant checker (see the module docstring).
+
+    Parameters
+    ----------
+    checks:
+        Names from :data:`DEFAULT_CHECKS` to enable; ``None`` enables all.
+    atol:
+        Numerical tolerance for the simplex check.
+    strict:
+        Raise :class:`InvariantViolationError` on the first violation instead
+        of recording and continuing.
+    """
+
+    def __init__(self, checks=None, *, atol: float = 1e-8,
+                 strict: bool = False) -> None:
+        self.atol = float(atol)
+        self.strict = bool(strict)
+        self.violations: list[Violation] = []
+        self.rounds_checked = 0
+        available: dict[str, Callable] = {
+            "finite_model": _check_finite_model,
+            "finite_losses": _check_finite_losses,
+            "simplex_weights": _check_simplex_weights(self.atol),
+            "comm_balance": _CommBalance(),
+            "membership_balance": _MembershipBalance(),
+        }
+        if checks is None:
+            selected = list(DEFAULT_CHECKS)
+        else:
+            selected = list(checks)
+            unknown = [c for c in selected if c not in available]
+            if unknown:
+                raise ValueError(
+                    f"unknown invariant check(s) {unknown}; "
+                    f"choose from {list(DEFAULT_CHECKS)}")
+        self._checks: list[tuple[str, Callable]] = [
+            (name, available[name]) for name in selected]
+
+    def register(self, name: str, fn: Callable) -> None:
+        """Add a custom check ``fn(algo, round_index) -> str | None``."""
+        if any(existing == name for existing, _ in self._checks):
+            raise ValueError(f"invariant check {name!r} already registered")
+        self._checks.append((str(name), fn))
+
+    @property
+    def ok(self) -> bool:
+        """True while no check has ever failed."""
+        return not self.violations
+
+    def check_round(self, algo, round_index: int, *, obs=None) -> list[Violation]:
+        """Run every check against ``algo`` after round ``round_index``.
+
+        Returns the violations found *this* round (also appended to
+        :attr:`violations`).  Emits one ``invariant`` trace event and an
+        ``invariant_violations_total`` increment per violation, and one
+        ``invariant_checks_total`` increment per call, through ``obs``.
+        """
+        self.rounds_checked += 1
+        found: list[Violation] = []
+        for name, fn in self._checks:
+            message = fn(algo, round_index)
+            if message is None:
+                continue
+            violation = Violation(check=name, round_index=int(round_index),
+                                  message=str(message))
+            found.append(violation)
+            self.violations.append(violation)
+            if obs is not None and obs.enabled:
+                obs.event("invariant", check=name, round=int(round_index),
+                          message=violation.message)
+                obs.count("invariant_violations_total")
+        if obs is not None and obs.enabled:
+            obs.count("invariant_checks_total")
+        if found and self.strict:
+            first = found[0]
+            raise InvariantViolationError(
+                f"invariant {first.check!r} violated after round "
+                f"{first.round_index}: {first.message}")
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InvariantMonitor(checks={[n for n, _ in self._checks]}, "
+                f"violations={len(self.violations)})")

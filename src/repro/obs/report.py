@@ -21,7 +21,15 @@ trace written by :class:`~repro.obs.tracer.Tracer` and reports
 * the membership ledger replayed from ``membership`` events written by
   :class:`~repro.membership.MembershipManager` — client arrivals and
   departures, edge crash/recover episodes, re-homings and partition heals,
-  with a joined/left balance check against the population delta, and
+  with a joined/left balance check against the population delta,
+* the invariant ledger replayed from ``invariant`` events written by an
+  attached :class:`~repro.invariants.InvariantMonitor` — which runtime
+  invariants were violated, when, and why,
+* the resilience ledger replayed from the crash-recovery machinery's events —
+  supervised-executor retries and pool respawns (``exec_retry`` /
+  ``worker_respawn``), checkpoint generation fallbacks
+  (``checkpoint_fallback``), detected shard corruption
+  (``shard_corrupt_detected``), and injected ``chaos`` kill-points — and
 * the final metrics snapshot (counters / gauges / histograms).
 """
 
@@ -97,6 +105,14 @@ class TraceReport:
     membership_initial: int = -1
     #: Population after the last membership transition (-1 when absent).
     membership_final: int = -1
+    #: Violations per invariant check name (``invariant`` events).
+    invariant_totals: Mapping[str, int] = field(default_factory=dict)
+    #: Replayed violation records ``(round, check, message)``, in file order.
+    invariant_records: tuple = ()
+    #: Recovery machinery actions per event kind (``exec_retry``,
+    #: ``worker_respawn``, ``checkpoint_fallback``, ``shard_corrupt_detected``,
+    #: ``chaos``).
+    resilience_totals: Mapping[str, int] = field(default_factory=dict)
     #: Recorded per-round timing trees (``sim_tree`` attrs of ``cloud_round``
     #: spans) — input of :mod:`repro.obs.critical_path`.
     sim_trees: tuple = ()
@@ -149,6 +165,16 @@ class TraceReport:
         if self.membership_initial < 0 or self.membership_final < 0:
             return 0
         return self.membership_final - self.membership_initial
+
+    @property
+    def invariant_violations(self) -> int:
+        """Total invariant violations replayed from ``invariant`` events."""
+        return sum(self.invariant_totals.values())
+
+    @property
+    def recovery_actions(self) -> int:
+        """Total crash-recovery actions (retries, respawns, fallbacks)."""
+        return sum(n for k, n in self.resilience_totals.items() if k != "chaos")
 
     @property
     def faults_injected(self) -> int:
@@ -273,6 +299,11 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
     membership_by_round: dict[int, dict[str, int]] = {}
     membership_initial = -1
     membership_final = -1
+    invariant_totals: dict[str, int] = {}
+    invariant_records: list[tuple] = []
+    resilience_totals: dict[str, int] = {}
+    resilience_kinds = ("exec_retry", "worker_respawn", "checkpoint_fallback",
+                        "shard_corrupt_detected", "chaos")
     sim_trees: list = []
     heartbeats: list[dict] = []
     for ev in events:
@@ -316,6 +347,15 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
                 if action == "population" or membership_initial < 0:
                     membership_initial = int(active)
                 membership_final = int(active)
+        elif kind == "log" and ev.get("kind") == "invariant":
+            fields = ev.get("fields", {})
+            check = str(fields.get("check", "?"))
+            invariant_totals[check] = invariant_totals.get(check, 0) + 1
+            invariant_records.append((int(fields.get("round", -1)), check,
+                                      str(fields.get("message", ""))))
+        elif kind == "log" and ev.get("kind") in resilience_kinds:
+            key = str(ev.get("kind"))
+            resilience_totals[key] = resilience_totals.get(key, 0) + 1
         elif kind == "log" and ev.get("kind") == "defense":
             fields = ev.get("fields", {})
             action = str(fields.get("action", "?"))
@@ -396,6 +436,9 @@ def analyze_trace(source: str | Path | Iterable[dict]) -> TraceReport:
         membership_by_round=membership_by_round,
         membership_initial=membership_initial,
         membership_final=membership_final,
+        invariant_totals=invariant_totals,
+        invariant_records=tuple(invariant_records),
+        resilience_totals=resilience_totals,
         sim_trees=tuple(sim_trees),
         heartbeats=tuple(heartbeats),
     )
@@ -573,6 +616,26 @@ def format_trace_report(report: TraceReport, *, timeline: int = 5) -> str:
                 for rnd in tail:
                     lines.append(_membership_round_line(
                         rnd, report.membership_by_round[rnd]))
+    if report.invariant_totals:
+        lines.append("")
+        lines.append(f"invariants: {report.invariant_violations} violation(s) "
+                     f"across {len(report.invariant_totals)} check(s)")
+        for check in sorted(report.invariant_totals):
+            lines.append(f"  {check:<22s} {report.invariant_totals[check]:6d}")
+        for rnd, check, message in report.invariant_records[:2 * timeline]:
+            lines.append(f"  round {rnd:>5d}  {check}: {message}")
+        elided = len(report.invariant_records) - 2 * timeline
+        if timeline > 0 and elided > 0:
+            lines.append(f"  … {elided} violation records elided …")
+    if report.resilience_totals:
+        lines.append("")
+        chaos_n = report.resilience_totals.get("chaos", 0)
+        lines.append(f"resilience: {report.recovery_actions} recovery "
+                     f"action(s)"
+                     + (f", {chaos_n} injected kill-point(s)" if chaos_n
+                        else ""))
+        for kind in sorted(report.resilience_totals):
+            lines.append(f"  {kind:<22s} {report.resilience_totals[kind]:6d}")
     counters = report.metrics.get("counters", {}) if report.metrics else {}
     gauges = report.metrics.get("gauges", {}) if report.metrics else {}
     if counters or gauges:

@@ -101,6 +101,8 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
+    #: No invariant monitor on the null tracer (see :mod:`repro.invariants`).
+    invariants = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         """Return the shared no-op span."""
@@ -171,6 +173,13 @@ class Tracer:
         exposed as :attr:`mem_tracker`; the run loop then publishes a
         ``mem_peak_bytes`` gauge once per round.  Off by default because
         tracemalloc instruments every allocation (measurable slowdown).
+    invariants:
+        Optional :class:`~repro.invariants.InvariantMonitor` (or ``True`` for
+        one with the default checks).  The run loop consults this attribute
+        once per round and, when set, verifies runtime invariants (finite
+        losses, simplex weights, ledger balance) against the live algorithm
+        state — pure reads, bit-identical on or off.  Violations land as
+        ``invariant`` trace events and in the monitor's ``violations`` list.
     """
 
     enabled = True
@@ -178,12 +187,16 @@ class Tracer:
     #: Peak-memory probe; None unless constructed with ``track_memory=True``.
     mem_tracker = None
 
+    #: Invariant monitor; None unless constructed with ``invariants=``.
+    invariants = None
+
     def __init__(self, writer: TraceWriter | str | None = None, *,
                  metrics: MetricsRegistry | None = None,
                  meta: dict | None = None,
                  write_max_depth: int | None = None,
                  heartbeat_every: int = 1,
-                 track_memory: bool = False) -> None:
+                 track_memory: bool = False,
+                 invariants=None) -> None:
         if writer is not None and not isinstance(writer, TraceWriter):
             writer = TraceWriter(writer)
         if heartbeat_every < 1:
@@ -202,6 +215,12 @@ class Tracer:
             from repro.obs.metrics import PeakMemoryTracker
 
             self.mem_tracker = PeakMemoryTracker()
+        if invariants is not None and invariants is not False:
+            # Lazy import: repro.invariants is a leaf consumer of obs.
+            from repro.invariants import InvariantMonitor
+
+            self.invariants = (InvariantMonitor() if invariants is True
+                               else invariants)
         if self.writer is not None:
             self.writer.write({"ev": "trace_start", "t": 0.0,
                                "meta": dict(meta or {})})

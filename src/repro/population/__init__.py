@@ -18,7 +18,8 @@ memory claim.
 from repro.population.base import (EagerPopulation, Population, as_population,
                                    resolve_population)
 from repro.population.spec import PopulationSpec
-from repro.population.store import ClientStateStore
+from repro.population.store import (ClientStateStore, ShardIntegrityError,
+                                    shard_file_path)
 from repro.population.virtual import (VirtualClientRoster, VirtualDatasetView,
                                       VirtualEdgeServer, VirtualPopulation)
 
@@ -31,6 +32,8 @@ __all__ = [
     "VirtualClientRoster",
     "VirtualDatasetView",
     "ClientStateStore",
+    "ShardIntegrityError",
+    "shard_file_path",
     "as_population",
     "resolve_population",
 ]

@@ -16,15 +16,55 @@ at most ~100k entries, each a few hundred bytes (a generator token + cursor).
 The store round-trips bit-identically through ``state_dict()`` /
 ``load_state_dict()`` — entries are kept checkpoint-serializable (plain dicts,
 ints, numpy arrays, and :func:`~repro.utils.rng.generator_token` envelopes).
+
+Durable shard files
+-------------------
+For large populations the store can persist *sidecar* shard files instead of
+inlining every entry into the main checkpoint: :meth:`ClientStateStore.save_shards`
+writes one checksummed JSON file per non-empty shard (fsync-before-rename,
+previous generation rotated to ``.prev``) and returns a manifest of per-shard
+CRC-32 values that the checkpoint embeds.  :meth:`ClientStateStore.load_shards`
+re-reads the files against that manifest: a torn, truncated, or bit-flipped
+shard never loads silently — it either aborts the restore (``on_corrupt:
+"raise"``, letting the caller fall back to the previous checkpoint generation)
+or is quarantined and dropped (``"rederive"``), which is sound because virtual
+clients are pure functions of ``(spec.seed, cid)`` and re-derive from scratch.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import zlib
+from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-__all__ = ["ClientStateStore"]
+from repro.chaos.hooks import fire as chaos_fire
+from repro.utils.serialization import canonical_bytes, from_jsonable, to_jsonable
+
+__all__ = ["ClientStateStore", "ShardIntegrityError", "shard_file_path"]
 
 DEFAULT_SHARDS = 64
+
+
+class ShardIntegrityError(RuntimeError):
+    """A persisted shard file is missing or fails checksum verification."""
+
+
+def shard_file_path(directory: str | Path, index: int) -> Path:
+    """The canonical file for shard ``index`` inside ``directory``."""
+    return Path(directory) / f"shard-{int(index):05d}.json"
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class ClientStateStore:
@@ -73,7 +113,14 @@ class ClientStateStore:
                 shard.pop(cid, None)
 
     def __contains__(self, client_id: object) -> bool:
-        return int(client_id) in self._shard(int(client_id))  # type: ignore[arg-type]
+        # Membership tests arrive from generic containers ("is this thing a
+        # stored client?"), so a key that cannot denote a client id is simply
+        # absent — not a crash.
+        try:
+            cid = int(client_id)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        return cid in self._shards[cid % self.num_shards]
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
@@ -88,7 +135,7 @@ class ClientStateStore:
         return [len(shard) for shard in self._shards]
 
     # ------------------------------------------------------------------
-    # Checkpointing
+    # Checkpointing (inline)
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Exact snapshot; keys are stringified for the JSON checkpoint format."""
@@ -103,12 +150,173 @@ class ClientStateStore:
     def load_state_dict(self, state: Mapping) -> None:
         """Restore a :meth:`state_dict` snapshot (replaces all current content).
 
-        The shard count may differ from the snapshot's — entries are re-homed by
-        the current ``client_id % num_shards`` law, so resharding a checkpoint
-        is safe and bit-identical at the client level.
+        The shard count may differ from the snapshot's — entries are re-homed
+        by the current ``client_id % num_shards`` law, so resharding a
+        checkpoint is safe and bit-identical at the client level.  The input
+        is validated before anything is replaced: malformed shards, non-integer
+        or negative client keys, and non-mapping entries raise ``ValueError``
+        naming the offending key, leaving the current content untouched.
         """
-        self._shards = [{} for _ in range(self.num_shards)]
-        for shard in dict(state.get("shards", {})).values():
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"store state must be a mapping, got {type(state).__name__}")
+        shards_in = state.get("shards", {})
+        if not isinstance(shards_in, Mapping):
+            raise ValueError(
+                f"store state 'shards' must be a mapping of shard snapshots, "
+                f"got {type(shards_in).__name__}")
+        rebuilt: list[dict[int, dict[str, Any]]] = [
+            {} for _ in range(self.num_shards)]
+        for shard_key, shard in shards_in.items():
+            if not isinstance(shard, Mapping):
+                raise ValueError(
+                    f"shard {shard_key!r} must be a mapping of client entries, "
+                    f"got {type(shard).__name__}")
             for cid_str, entry in shard.items():
-                cid = int(cid_str)
-                self._shard(cid)[cid] = dict(entry)
+                try:
+                    cid = int(cid_str)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"shard {shard_key!r} holds non-integer client key "
+                        f"{cid_str!r}") from None
+                if cid < 0:
+                    raise ValueError(
+                        f"shard {shard_key!r} holds negative client id {cid}")
+                if not isinstance(entry, Mapping):
+                    raise ValueError(
+                        f"state for client {cid} must be a namespace mapping, "
+                        f"got {type(entry).__name__}")
+                rebuilt[cid % self.num_shards][cid] = dict(entry)
+        self._shards = rebuilt
+
+    # ------------------------------------------------------------------
+    # Durable sidecar shard files
+    # ------------------------------------------------------------------
+    def save_shards(self, directory: str | Path) -> dict:
+        """Write every non-empty shard to a checksummed file in ``directory``.
+
+        Each file carries ``{"crc32": ..., "entries": {...}}`` with the CRC
+        computed over the canonical entry bytes; writes are temp-file +
+        fsync + atomic rename, the directory entry is fsynced, and the prior
+        generation of each file is rotated to ``<name>.prev``.  Returns the
+        manifest (``num_shards`` plus per-shard CRCs) the owning checkpoint
+        must embed — loading matches files against it, so a stale or damaged
+        file can never masquerade as the checkpointed generation.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest: dict = {"num_shards": self.num_shards, "shards": {}}
+        for index, shard in enumerate(self._shards):
+            if not shard:
+                continue
+            entries = to_jsonable(
+                {str(cid): entry for cid, entry in sorted(shard.items())})
+            crc = zlib.crc32(canonical_bytes(entries))
+            path = shard_file_path(directory, index)
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"crc32": crc, "entries": entries},
+                                    sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            if path.exists():
+                path.replace(path.with_name(path.name + ".prev"))
+            tmp.replace(path)
+            manifest["shards"][str(index)] = crc
+            corrupt = chaos_fire("shard_corrupt")
+            if corrupt is not None:
+                # Simulated bit rot: flip one derived bit of the durably
+                # written file.  The next load's CRC check must catch it.
+                blob = bytearray(path.read_bytes())
+                offset = min(len(blob) - 1,
+                             int(corrupt["offset_frac"] * len(blob)))
+                blob[offset] ^= 1 << corrupt["bit"]
+                path.write_bytes(bytes(blob))
+        _fsync_dir(directory)
+        return manifest
+
+    def load_shards(self, directory: str | Path, manifest: Mapping, *,
+                    on_corrupt: str = "raise", obs=None) -> list[int]:
+        """Restore shard files from ``directory`` against ``manifest``.
+
+        For each shard the manifest names, the current file and its ``.prev``
+        sibling are candidates; the first whose recomputed CRC matches the
+        manifest is loaded (rotation states where the manifest's generation
+        still lives under either name are all covered).  When neither
+        matches:
+
+        ``on_corrupt="raise"``
+            Abort with :class:`ShardIntegrityError` before touching current
+            content — the caller's cue to fall back to the previous
+            *checkpoint* generation, whose manifest matches the ``.prev``
+            files (the bit-identical recovery path).
+        ``on_corrupt="rederive"``
+            Quarantine the damaged file (renamed to ``<name>.quarantine``)
+            and drop the shard's entries: affected virtual clients re-derive
+            from ``(spec.seed, cid)`` on next materialization.  Exact for
+            never-advanced clients; detection is always loud (an event plus
+            the returned shard list), never a silent load.
+
+        Returns the list of corrupted shard indices (empty on a clean load).
+        """
+        if on_corrupt not in ("raise", "rederive"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'rederive', got {on_corrupt!r}")
+        directory = Path(directory)
+        shards_manifest = dict(manifest.get("shards", {}))
+        resolved: dict[int, Mapping] = {}
+        corrupted: list[int] = []
+        for key in sorted(shards_manifest, key=int):
+            index = int(key)
+            expected = int(shards_manifest[key])
+            path = shard_file_path(directory, index)
+            entries = None
+            for candidate in (path, path.with_name(path.name + ".prev")):
+                entries = self._read_shard_file(candidate, expected)
+                if entries is not None:
+                    break
+            if entries is None:
+                corrupted.append(index)
+                if on_corrupt == "raise":
+                    raise ShardIntegrityError(
+                        f"shard {index} in {directory} failed checksum "
+                        f"verification against the checkpoint manifest "
+                        f"(crc32 {expected}); the file is missing, torn, or "
+                        f"bit-flipped")
+                if path.exists():
+                    path.replace(path.with_name(path.name + ".quarantine"))
+                if obs is not None:
+                    obs.event("shard_corrupt_detected", shard=index,
+                              path=str(path), crc32=expected,
+                              action="quarantined")
+                    obs.count("store_shards_quarantined_total")
+            else:
+                resolved[index] = entries
+        # Validate + apply through the same law as the inline path; entries
+        # re-home under the current num_shards.
+        self.load_state_dict({
+            "num_shards": int(manifest.get("num_shards", self.num_shards)),
+            "shards": {str(i): from_jsonable(dict(e))
+                       for i, e in resolved.items()},
+        })
+        return corrupted
+
+    @staticmethod
+    def _read_shard_file(path: Path, expected_crc: int) -> Mapping | None:
+        """Parse + verify one candidate file; None on any mismatch/damage."""
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError, UnicodeDecodeError):
+            # ValueError covers JSONDecodeError; a bit flip can also break
+            # the UTF-8 encoding itself, which surfaces before the parser.
+            return None
+        if not isinstance(document, dict) or "entries" not in document:
+            return None
+        entries = document["entries"]
+        if int(document.get("crc32", -1)) != expected_crc:
+            return None
+        if zlib.crc32(canonical_bytes(entries)) != expected_crc:
+            return None
+        return entries

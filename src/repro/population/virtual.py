@@ -365,20 +365,40 @@ class VirtualPopulation(Population):
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """Checkpoint payload: spec fingerprint, state store, cohort counters."""
+    def state_dict(self, *, shard_dir=None) -> dict:
+        """Checkpoint payload: spec fingerprint, state store, cohort counters.
+
+        With ``shard_dir`` the store is persisted as checksummed sidecar shard
+        files there (see :meth:`ClientStateStore.save_shards`) and the payload
+        carries only the integrity *manifest* instead of the inlined entries —
+        the layout for populations too large to embed in one JSON document.
+        """
         self.flush()
-        return {
+        state = {
             "spec": self.spec.to_dict(),
-            "store": self.store.state_dict(),
             "counters": {
                 "clients_materialized_total": int(self.clients_materialized_total),
                 "max_live_clients": int(self.max_live_clients),
             },
         }
+        if shard_dir is not None:
+            state["store_manifest"] = self.store.save_shards(shard_dir)
+        else:
+            state["store"] = self.store.state_dict()
+        return state
 
-    def load_state_dict(self, state: Mapping) -> None:
-        """Restore from :meth:`state_dict`; rejects a mismatched spec."""
+    def load_state_dict(self, state: Mapping, *, shard_dir=None,
+                        shard_recovery: str = "fallback", obs=None) -> None:
+        """Restore from :meth:`state_dict`; rejects a mismatched spec.
+
+        A payload written with sidecar shards (``store_manifest``) requires
+        ``shard_dir``.  ``shard_recovery`` maps onto the store's corruption
+        policy: ``"fallback"`` (the default) raises
+        :class:`~repro.population.store.ShardIntegrityError` on a damaged
+        shard so the caller can fall back to the previous checkpoint
+        generation bit-identically; ``"rederive"`` quarantines the shard and
+        lets its clients re-derive from ``(spec.seed, cid)``.
+        """
         saved_spec = state.get("spec")
         if saved_spec is not None:
             saved = {k: v for k, v in dict(saved_spec).items()}
@@ -387,7 +407,17 @@ class VirtualPopulation(Population):
                     "checkpoint was written by a different PopulationSpec; "
                     f"saved {saved} vs current {self.spec.to_dict()}")
         self._live.clear()
-        self.store.load_state_dict(state.get("store", {}))
+        manifest = state.get("store_manifest")
+        if manifest is not None:
+            if shard_dir is None:
+                raise ValueError(
+                    "checkpoint stores client state in sidecar shard files; "
+                    "pass shard_dir= to load it")
+            on_corrupt = "rederive" if shard_recovery == "rederive" else "raise"
+            self.store.load_shards(shard_dir, manifest,
+                                   on_corrupt=on_corrupt, obs=obs)
+        else:
+            self.store.load_state_dict(state.get("store", {}))
         counters = dict(state.get("counters", {}))
         self.clients_materialized_total = int(
             counters.get("clients_materialized_total", 0))

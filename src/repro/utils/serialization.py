@@ -22,7 +22,8 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["to_jsonable", "from_jsonable", "save_json", "load_json"]
+__all__ = ["to_jsonable", "from_jsonable", "save_json", "load_json",
+           "canonical_bytes"]
 
 _ARRAY_KEY = "__ndarray__"
 _BITGEN_KEY = "__bitgen__"
@@ -73,6 +74,21 @@ def from_jsonable(obj: Any) -> Any:
     if isinstance(obj, list):
         return [from_jsonable(v) for v in obj]
     return obj
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """One canonical byte encoding of ``obj`` — the checksum input.
+
+    Keys sorted, no whitespace, UTF-8: two structurally equal payloads always
+    produce the same bytes, independent of dict insertion order or the pretty
+    ``indent`` a file was written with.  ``obj`` may contain arrays/generators
+    (run through :func:`to_jsonable`) or already be plain JSON structures —
+    :func:`to_jsonable` is idempotent on its own output, so a checksum
+    computed at save time over the live payload matches one recomputed at
+    load time over the parsed file.
+    """
+    return json.dumps(to_jsonable(obj), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
 
 
 def save_json(path: str | Path, obj: Any, *, indent: int = 2) -> Path:

@@ -23,6 +23,7 @@ from repro.experiments.presets import fig3_preset
 from repro.experiments.runner import run_experiment
 from repro.faults import (
     CHECKPOINT_FORMAT,
+    CHECKSUM_KEY,
     CheckpointError,
     FaultInjector,
     FaultPlan,
@@ -377,8 +378,10 @@ class TestCheckpointFiles:
         save_checkpoint_file(path, {"algorithm": "demo", "round": 0})
         raw = json.loads(path.read_text())
         raw["format"] = 999
+        # Drop the envelope so the mutation reads as a future format, not rot.
+        raw.pop(CHECKSUM_KEY, None)
         path.write_text(json.dumps(raw))
-        with pytest.raises(CheckpointError, match="format"):
+        with pytest.raises(CheckpointError, match="reads format"):
             load_checkpoint_file(path)
 
 
@@ -609,6 +612,9 @@ class TestStaleCheckpointResume:
         payload = json.loads(path.read_text())
         assert "suspicion" in payload["faults"]
         del payload["faults"]["suspicion"]
+        # A checkpoint that old also predates the integrity envelope; keeping
+        # the (now stale) checksum would be a bit-rot simulation instead.
+        payload.pop(CHECKSUM_KEY, None)
         path.write_text(json.dumps(payload))
 
         resumed = make_hmm(blob_fed, blob_factory, faults=plan)

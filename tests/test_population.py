@@ -27,9 +27,11 @@ from repro.population import (
     ClientStateStore,
     EagerPopulation,
     PopulationSpec,
+    ShardIntegrityError,
     VirtualPopulation,
     as_population,
     resolve_population,
+    shard_file_path,
 )
 
 SPEC = PopulationSpec.parse("clients=60,edges=6,samples=8,test=12,seed=3")
@@ -125,6 +127,103 @@ class TestClientStateStore:
         for cid in store.client_ids():
             assert other.get(cid) == store.get(cid)
         assert sum(other.shard_sizes()) == len(store)
+
+    def test_contains_is_false_for_non_castable_ids(self):
+        store = ClientStateStore(num_shards=4)
+        store.put(3, {"cursor": 1})
+        assert "abc" not in store
+        assert None not in store
+        assert (1, 2) not in store
+        assert "3" in store  # int-castable strings still resolve
+
+    def test_load_state_dict_rejects_malformed_input(self):
+        store = ClientStateStore(num_shards=4)
+        store.put(7, {"cursor": 2})
+        cases = [
+            "not a mapping",
+            {"shards": "not a mapping"},
+            {"shards": {"0": ["not", "a", "mapping"]}},
+            {"shards": {"0": {"abc": {"cursor": 0}}}},
+            {"shards": {"0": {"-5": {"cursor": 0}}}},
+            {"shards": {"0": {"1": "not a mapping"}}},
+        ]
+        for bad in cases:
+            with pytest.raises(ValueError):
+                store.load_state_dict(bad)
+            # Validation failures never clobber the current content.
+            assert store.get(7) == {"cursor": 2}
+
+
+# ---------------------------------------------------------------------------
+# Durable shard files: checksums, rotation, corruption recovery
+# ---------------------------------------------------------------------------
+class TestShardFiles:
+    def _store(self, n=10):
+        store = ClientStateStore(num_shards=4)
+        for cid in range(n):
+            store.put(cid, {"cursor": cid, "tag": f"c{cid}"})
+        return store
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = self._store()
+        manifest = store.save_shards(tmp_path)
+        fresh = ClientStateStore(num_shards=4)
+        corrupted = fresh.load_shards(tmp_path, manifest)
+        assert corrupted == []
+        assert list(fresh.client_ids()) == list(store.client_ids())
+        for cid in store.client_ids():
+            assert fresh.get(cid) == store.get(cid)
+
+    def test_rotation_keeps_previous_generation(self, tmp_path):
+        store = self._store()
+        first = store.save_shards(tmp_path)
+        store.put(0, {"cursor": 999})
+        store.save_shards(tmp_path)
+        assert list(tmp_path.glob("*.prev"))
+        # The older manifest still resolves — its generation lives under
+        # the .prev names after the rotation.
+        fresh = ClientStateStore(num_shards=4)
+        assert fresh.load_shards(tmp_path, first) == []
+        assert fresh.get(0) == {"cursor": 0, "tag": "c0"}
+
+    def test_corruption_raises_by_default(self, tmp_path):
+        store = self._store()
+        manifest = store.save_shards(tmp_path)
+        victim = shard_file_path(tmp_path, 1)
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        victim.write_bytes(bytes(blob))
+        fresh = ClientStateStore(num_shards=4)
+        with pytest.raises(ShardIntegrityError):
+            fresh.load_shards(tmp_path, manifest)
+
+    def test_corruption_quarantined_under_rederive(self, tmp_path):
+        store = self._store()
+        manifest = store.save_shards(tmp_path)
+        victim = shard_file_path(tmp_path, 1)
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        victim.write_bytes(bytes(blob))
+        fresh = ClientStateStore(num_shards=4)
+        corrupted = fresh.load_shards(tmp_path, manifest,
+                                      on_corrupt="rederive")
+        assert corrupted == [1]
+        assert victim.with_name(victim.name + ".quarantine").exists()
+        # Clients homed on the damaged shard are dropped (rederived later);
+        # every other client loads intact — never a silent bad load.
+        for cid in store.client_ids():
+            if cid % 4 == 1:
+                assert fresh.get(cid) is None
+            else:
+                assert fresh.get(cid) == store.get(cid)
+
+    def test_missing_file_counts_as_corruption(self, tmp_path):
+        store = self._store()
+        manifest = store.save_shards(tmp_path)
+        shard_file_path(tmp_path, 2).unlink()
+        fresh = ClientStateStore(num_shards=4)
+        with pytest.raises(ShardIntegrityError):
+            fresh.load_shards(tmp_path, manifest)
 
 
 # ---------------------------------------------------------------------------
