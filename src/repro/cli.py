@@ -243,6 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "shards, quarantined files) here instead of "
                               "a deleted temp dir")
 
+    p_substrate = sub.add_parser(
+        "substrate",
+        help="execution-substrate gate: logistic AND MLP dispatches must be "
+             "bit-identical to serial on every backend with every MLP task "
+             "batched, and fused evaluation must match the two-pass bytes")
+    p_substrate.add_argument("--scale", default="tiny",
+                             choices=["tiny", "small", "paper"],
+                             help="dataset scale (default tiny)")
+    p_substrate.add_argument("--seed", type=int, default=0,
+                             help="seed of the dataset, init and samplers")
+    p_substrate.add_argument("--steps", type=int, default=4,
+                             help="local SGD steps per dispatched client")
+
     sub.add_parser("info", help="version and system inventory")
     return parser
 
@@ -824,6 +837,104 @@ def _cmd_chaos(args) -> int:
     return 0 if campaign_ok(outcomes) else 1
 
 
+def _cmd_substrate(args) -> int:
+    """Acceptance gate of the execution substrate; exit 1 on failure.
+
+    Gate 1 (bit-identity): one multi-step local-training dispatch — logistic
+    AND MLP engines, a duplicated client (with-replacement sampling shape),
+    mid-run ``checkpoint_after`` snapshots — must come back byte-identical to
+    serial from every available backend.  The vectorized backend must take
+    the batched kernel for *every* task of both models: a silent per-task
+    serial fallback fails the gate even though the bits would match.
+
+    Gate 2 (fused evaluation): the fused ``accuracy_and_loss`` sweep of
+    :func:`~repro.metrics.evaluation.evaluate_per_edge` must equal the
+    pre-fusion two-pass evaluation (``accuracy`` then ``loss``)
+    byte-for-byte on every edge test set.
+    """
+    import numpy as np
+
+    from repro.data.registry import make_federated_dataset
+    from repro.exec import (ClientWork, available_backends, make_backend,
+                            run_local_steps)
+    from repro.metrics.evaluation import evaluate_per_edge
+    from repro.nn.models import make_model_factory
+    from repro.obs import Tracer
+    from repro.sim.builder import build_flat_clients
+    from repro.utils.rng import RngFactory
+
+    fed = make_federated_dataset("emnist_digits", scale=args.scale,
+                                 seed=args.seed)
+    print(f"dataset : {fed}")
+    ckpt = max(1, args.steps // 2)
+    ok = True
+
+    print(f"\ngate 1: dispatch bit-identity ({args.steps} steps, "
+          f"checkpoint_after={ckpt}, duplicate client)")
+    factories = {
+        "logistic": make_model_factory("logistic", fed.input_dim,
+                                       fed.num_classes, l2=1e-3),
+        "mlp": make_model_factory("mlp", fed.input_dim, fed.num_classes,
+                                  hidden=(16,), l2=1e-3),
+    }
+    for model, factory in factories.items():
+        engine = factory()
+        engine.initialize(args.seed)
+        w0 = engine.get_params()
+
+        def dispatch(name):
+            clients = build_flat_clients(
+                fed, batch_size=8, rng_factory=RngFactory(args.seed + 77))
+            work = ([ClientWork(c, args.steps, checkpoint_after=ckpt)
+                     for c in clients]
+                    + [ClientWork(clients[0], args.steps,
+                                  checkpoint_after=ckpt)])
+            tracer = Tracer(None)
+            with make_backend(name, workers=2) as b:
+                results = run_local_steps(b, engine, w0, work, lr=0.05,
+                                          obs=tracer)
+            counters = tracer.snapshot()["counters"]
+            tracer.close()
+            ends = np.stack([r.w_end for r in results])
+            ckpts = np.stack([r.w_checkpoint for r in results])
+            return ends, ckpts, counters, len(work)
+
+        ref_ends, ref_ckpts, _, n_tasks = dispatch("serial")
+        for name in available_backends():
+            if name == "serial":
+                continue
+            ends, ckpts, counters, _ = dispatch(name)
+            identical = (np.array_equal(ref_ends, ends)
+                         and np.array_equal(ref_ckpts, ckpts))
+            note = ""
+            if name == "vectorized":
+                batched = int(counters.get("exec_vectorized_tasks_total", 0))
+                note = f"  batched {batched}/{n_tasks}"
+                identical = identical and batched == n_tasks
+            status = "ok" if identical else "FAIL"
+            print(f"  {model:<9s} {name:<11s} {status}{note}")
+            ok = ok and identical
+
+    print("\ngate 2: fused evaluation == two-pass bytes")
+    for model, factory in factories.items():
+        engine = factory()
+        engine.initialize(args.seed + 1)
+        w = engine.get_params()
+        acc_old = np.empty(fed.num_edges)
+        loss_old = np.empty(fed.num_edges)
+        for j, edge in enumerate(fed.edges):
+            acc_old[j] = engine.accuracy(edge.test.X, edge.test.y)
+            loss_old[j] = engine.loss(edge.test.X, edge.test.y)
+        acc_new, loss_new = evaluate_per_edge(engine, w, fed)
+        identical = (acc_old.tobytes() == acc_new.tobytes()
+                     and loss_old.tobytes() == loss_new.tobytes())
+        print(f"  {model:<9s} {'ok' if identical else 'FAIL'}")
+        ok = ok and identical
+
+    print(f"\nsubstrate gate: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -875,4 +986,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_population(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "substrate":
+        return _cmd_substrate(args)
     return _cmd_info()

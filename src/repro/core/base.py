@@ -127,7 +127,9 @@ class FederatedAlgorithm(ABC):
         ``"process"``, ``"vectorized"`` — the algorithm owns the instance;
         call :meth:`close` to release worker pools), or ``None`` (the
         ``REPRO_BACKEND`` environment variable, default serial).  Every
-        backend produces bit-identical results (see :mod:`repro.exec`).
+        backend produces bit-identical results (see :mod:`repro.exec`);
+        ``"vectorized"`` batches both paper models (logistic and MLP) into
+        stacked cross-client kernels.
     defense:
         Optional Byzantine defense: a :class:`~repro.defense.DefensePolicy`,
         a :class:`~repro.defense.RobustAggregator` (or its name, e.g.

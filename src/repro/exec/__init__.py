@@ -11,7 +11,8 @@ randomness is fixed; this package makes *where* they run a strategy object
 ``process``     persistent worker-process pool; weights broadcast once per
                 dispatch via shared memory, tasks ship sampler-state tokens
 ``vectorized``  same-shape clients stacked into one batched matmul kernel
-                (logistic regression; serial fallback otherwise)
+                (Linear/ReLU/Tanh stacks with softmax cross-entropy — both
+                paper models; serial fallback otherwise)
 ========== =================================================================
 
 Every backend is bit-identical to ``serial`` for a fixed seed — see the

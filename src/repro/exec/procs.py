@@ -8,7 +8,10 @@ keeps the per-round wire cost minimal:
   client's shard (dataset + batch size) are pickled into the workers when the
   pool is built, so they never travel again.
 * **Per dispatch:** the round's start weights are written once into a
-  :mod:`multiprocessing.shared_memory` block all workers read, and each task
+  :mod:`multiprocessing.shared_memory` block all workers read — and the block
+  is *content-cached* across dispatches, so consecutive dispatches from the
+  same snapshot (Phase 1 sends every edge's first block the same cloud
+  weights) skip the write entirely — and each task
   ships only a small descriptor — client id, step counts, and the client's
   minibatch-sampler state token (:func:`~repro.exec.dispatch.sampler_state_token`).
   Workers rebuild the sampler, draw the batches exactly as the main process
@@ -163,6 +166,8 @@ class ProcessBackend(ExecutionBackend):
         self._engine: NeuralNetwork | None = None
         self._registry: dict[int, tuple[Any, int]] = {}
         self._stale = True
+        self._shm: shared_memory.SharedMemory | None = None
+        self._shm_content: bytes | None = None
 
     # --------------------------------------------------------------- plumbing
     def prepare(self, engine: NeuralNetwork, clients: Sequence[Any]) -> None:
@@ -287,18 +292,44 @@ class ProcessBackend(ExecutionBackend):
     def _run_pooled(self, w_start: np.ndarray, units: list[tuple],
                     obs) -> list[tuple]:
         w_start = np.ascontiguousarray(w_start, dtype=np.float64)
-        shm = shared_memory.SharedMemory(create=True, size=w_start.nbytes)
-        try:
-            np.ndarray(w_start.shape, dtype=np.float64,
-                       buffer=shm.buf)[:] = w_start
-            unit_results = self._supervised_map(shm.name, w_start.size,
-                                                units, obs)
-        finally:
-            shm.close()
-            shm.unlink()
+        shm = self._broadcast(w_start, obs)
+        return self._supervised_map(shm.name, w_start.size, units, obs)
+
+    def _broadcast(self, w_start: np.ndarray, obs) -> shared_memory.SharedMemory:
+        """Write ``w_start`` into the broadcast segment, content-cached.
+
+        The segment persists across dispatches (dispatches are synchronous,
+        so it is never rewritten while workers read it).  When the incoming
+        snapshot is byte-identical to what the segment already holds — e.g.
+        Phase 1 dispatches every edge's first block from the same cloud
+        weights — the write is skipped entirely: ``exec_broadcast_bytes``
+        counts only real materializations and ``exec_broadcast_cached_total``
+        counts the dispatches served from cache.  :meth:`close` unlinks it.
+        """
+        content = w_start.tobytes()
+        if (self._shm is not None and self._shm_content == content):
+            if obs.enabled:
+                obs.count("exec_broadcast_cached_total")
+            return self._shm
+        if self._shm is not None and self._shm.size != w_start.nbytes:
+            self._release_shm()
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(create=True,
+                                                   size=w_start.nbytes)
+        np.ndarray(w_start.shape, dtype=np.float64,
+                   buffer=self._shm.buf)[:] = w_start
+        self._shm_content = content
         if obs.enabled:
             obs.count("exec_broadcast_bytes", w_start.nbytes)
-        return unit_results
+        return self._shm
+
+    def _release_shm(self) -> None:
+        if self._shm is None:
+            return
+        self._shm.close()
+        self._shm.unlink()
+        self._shm = None
+        self._shm_content = None
 
     def _supervised_map(self, shm_name: str, dim: int, units: list[tuple],
                         obs) -> list[tuple]:
@@ -441,6 +472,7 @@ class ProcessBackend(ExecutionBackend):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._release_shm()
         self._stale = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -57,6 +57,15 @@ class ParamSpec:
 class Layer:
     """Base class: stateless shape-in/shape-out transform with optional parameters."""
 
+    #: Vocabulary tag of the cross-client batched kernel
+    #: (:class:`repro.exec.vectorized.VectorizedBackend`).  ``None`` (the
+    #: default) marks the layer ineligible — engines containing it take the
+    #: serial fallback.  Subclasses whose forward/backward can be replayed
+    #: with one leading client axis declare their kind ("linear", "relu",
+    #: "tanh", "identity"); a third-party layer must opt in explicitly, so an
+    #: unknown backward can never be silently vectorized wrong.
+    vector_kind: str | None = None
+
     def param_specs(self) -> Sequence[ParamSpec]:
         """Parameter tensors this layer needs (empty for activations)."""
         return ()
@@ -90,6 +99,8 @@ class Linear(Layer):
     bias:
         Whether to learn an additive bias (the paper's models always do).
     """
+
+    vector_kind = "linear"
 
     def __init__(self, in_features: int, out_features: int, *,
                  weight_init: str | Initializer = "kaiming", bias: bool = True) -> None:
@@ -161,6 +172,8 @@ class Linear(Layer):
 class ReLU(Layer):
     """Rectified linear activation; the non-convex experiments' nonlinearity."""
 
+    vector_kind = "relu"
+
     def __init__(self) -> None:
         self._mask: np.ndarray | None = None
 
@@ -180,6 +193,8 @@ class ReLU(Layer):
 class Tanh(Layer):
     """Hyperbolic-tangent activation (used by gradient-check tests and examples)."""
 
+    vector_kind = "tanh"
+
     def __init__(self) -> None:
         self._out: np.ndarray | None = None
 
@@ -198,6 +213,8 @@ class Tanh(Layer):
 
 class Identity(Layer):
     """No-op layer; handy as a placeholder in model factories."""
+
+    vector_kind = "identity"
 
     def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
         """Return ``x`` unchanged."""

@@ -166,6 +166,26 @@ class NeuralNetwork:
         """Argmax class prediction for each row of ``X``."""
         return np.argmax(self.forward(X, train=False), axis=1)
 
+    def accuracy_and_loss(self, X: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """Fused evaluation sweep: (accuracy, mean loss) from ONE forward pass.
+
+        ``accuracy(X, y)`` followed by ``loss(X, y)`` runs the layer pipeline
+        twice on the same test matrix; evaluation rounds sweep every edge's
+        test set, so the second pass is pure waste.  The forward pass is
+        deterministic, so both statistics computed from the single shared
+        logits matrix are bit-identical to the two-pass results — a contract
+        the metrics tests assert byte-for-byte.
+        """
+        y = np.asarray(y)
+        if y.shape[0] == 0:
+            raise ValueError("cannot compute accuracy on an empty batch")
+        logits = self.forward(X, train=False)
+        acc = float(np.mean(np.argmax(logits, axis=1) == y))
+        value = self.loss_fn.forward(logits, y)
+        if self.l2:
+            value += 0.5 * self.l2 * float(self._params @ self._params)
+        return acc, value
+
     def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
         """Fraction of rows classified correctly."""
         y = np.asarray(y)

@@ -196,14 +196,17 @@ class TestDispatchEquivalence:
         states = [c.sampler.batches_drawn for c in clients]
         return results, states
 
+    @pytest.mark.parametrize("model", ("logistic_factory", "mlp_factory"))
     @pytest.mark.parametrize("name", BACKENDS[1:])
     def test_matches_serial_with_checkpoints_and_duplicates(
-            self, fed, logistic_factory, name):
-        """Mixed steps, mid-run checkpoints, and duplicate clients all match."""
+            self, fed, name, model, request):
+        """Mixed steps, mid-run checkpoints, and duplicate clients all match —
+        for the convex logistic engine AND the non-convex MLP."""
+        factory = request.getfixturevalue(model)
         # Client 2 appears twice (with-replacement sampling, as in DRFA/AFL).
         spec = [(0, 3, None), (1, 3, 2), (2, 2, None), (2, 3, 1), (4, 1, None)]
-        ref, ref_states = self._reference(fed, logistic_factory, spec)
-        engine, clients, w0 = self._setup(fed, logistic_factory)
+        ref, ref_states = self._reference(fed, factory, spec)
+        engine, clients, w0 = self._setup(fed, factory)
         with make_backend(name, workers=2) as b:
             work = [ClientWork(clients[i], s, c) for i, s, c in spec]
             got = run_local_steps(b, engine, w0, work, lr=0.05)
@@ -216,16 +219,159 @@ class TestDispatchEquivalence:
                 np.testing.assert_array_equal(r.w_checkpoint, g.w_checkpoint)
         assert [c.sampler.batches_drawn for c in clients] == ref_states
 
-    def test_vectorized_falls_back_for_mlp(self, fed, mlp_factory):
-        """Non-logistic engines use the serial kernel inside VectorizedBackend."""
+    @pytest.mark.parametrize("model", ("logistic_factory", "mlp_factory"))
+    def test_vectorized_batches_every_eligible_task(self, fed, model,
+                                                    request):
+        """Both paper models take the batched kernel — no silent fallback.
+
+        The tracer's ``exec_vectorized_tasks_total`` counter must equal the
+        task count: a task quietly demoted to the serial fallback would pass
+        the bit-identity checks at serial speed, which is exactly the
+        regression the batched MLP kernel exists to prevent.
+        """
+        from repro.obs import Tracer
+
+        factory = request.getfixturevalue(model)
         spec = [(0, 2, None), (1, 2, None), (3, 2, 1)]
-        ref, _ = self._reference(fed, mlp_factory, spec)
-        engine, clients, w0 = self._setup(fed, mlp_factory)
+        ref, _ = self._reference(fed, factory, spec)
+        engine, clients, w0 = self._setup(fed, factory)
+        tracer = Tracer(None)
         with VectorizedBackend() as b:
             work = [ClientWork(clients[i], s, c) for i, s, c in spec]
-            got = run_local_steps(b, engine, w0, work, lr=0.05)
+            got = run_local_steps(b, engine, w0, work, lr=0.05, obs=tracer)
+        counters = tracer.snapshot()["counters"]
+        tracer.close()
+        assert counters["exec_vectorized_tasks_total"] == len(spec)
         for r, g in zip(ref, got):
             np.testing.assert_array_equal(r.w_end, g.w_end)
+
+    def test_vectorized_falls_back_for_undeclared_layer(self, fed):
+        """A layer subclass without its own ``vector_kind`` is ineligible.
+
+        Eligibility is declared per exact class, never inherited: a subclass
+        may override forward/backward, so the batched kernel must not assume
+        its bits.  The fallback still matches serial exactly.
+        """
+        from repro.nn.layers import Linear, ReLU
+        from repro.nn.network import NeuralNetwork
+        from repro.obs import Tracer
+
+        class CustomReLU(ReLU):  # no vector_kind re-declaration
+            pass
+
+        def factory():
+            return NeuralNetwork(
+                [Linear(fed.input_dim, 12), CustomReLU(),
+                 Linear(12, fed.num_classes, weight_init="xavier")],
+                input_dim=fed.input_dim, rng=0)
+
+        spec = [(0, 2, None), (1, 2, 1)]
+        ref, _ = self._reference(fed, factory, spec)
+        engine, clients, w0 = self._setup(fed, factory)
+        tracer = Tracer(None)
+        with VectorizedBackend() as b:
+            work = [ClientWork(clients[i], s, c) for i, s, c in spec]
+            got = run_local_steps(b, engine, w0, work, lr=0.05, obs=tracer)
+        counters = tracer.snapshot()["counters"]
+        tracer.close()
+        assert counters["exec_vectorized_tasks_total"] == 0
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(r.w_end, g.w_end)
+
+    def test_ragged_batches_take_their_own_group(self, fed, mlp_factory):
+        """Regression: grouping keyed on only the first batch's shapes.
+
+        Tasks whose *later* batches differ in size used to be stacked into
+        one group and crash ``np.stack`` mid-kernel.  Now the group key
+        carries every step's shapes, and a batch list inconsistent with the
+        declared step count is demoted to the serial fallback.
+        """
+        from repro.exec.base import LocalStepsTask
+        from repro.ops.projections import identity_projection
+
+        engine = mlp_factory()
+        rng = np.random.default_rng(7)
+        dim = fed.input_dim
+        w0 = np.zeros(engine.params_view().size)
+
+        def make_task(index, sizes, steps=None):
+            batches = [(rng.normal(size=(s, dim)),
+                        rng.integers(0, fed.num_classes, size=s))
+                       for s in sizes]
+            return LocalStepsTask(
+                index=index, client_id=index, steps=steps or len(sizes),
+                lr=0.05, checkpoint_after=None,
+                projection=identity_projection, batches=batches,
+                sampler_state=None)
+
+        tasks = [make_task(0, [4, 4, 4]),
+                 make_task(1, [4, 4, 3]),   # ragged final batch
+                 make_task(2, [4, 4, 3]),   # same ragged shape: groups with 1
+                 make_task(3, [4, 4, 4]),
+                 make_task(4, [4, 4], steps=3)]  # fewer batches than steps
+        with VectorizedBackend() as b:
+            got = b.run_tasks(engine, w0, tasks)
+        for task, g in zip(tasks, got):
+            w_end, _ = run_local_steps_kernel(
+                engine, w0, task.batches, lr=task.lr,
+                projection=task.projection, checkpoint_after=None)
+            np.testing.assert_array_equal(w_end, g.w_end)
+
+    @pytest.mark.parametrize("model", ("logistic_factory", "mlp_factory"))
+    def test_random_group_compositions_match_serial(self, fed, model,
+                                                    request):
+        """Property-style: arbitrary dispatch compositions never change bits.
+
+        Randomized rosters (subset, order, duplicates), step counts, and
+        checkpoint positions — whatever groups the vectorized backend forms,
+        every client's result must equal the serial reference.
+        """
+        factory = request.getfixturevalue(model)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(2, 9))
+            spec = []
+            for _ in range(n):
+                steps = int(rng.integers(1, 5))
+                ckpt = (None if rng.random() < 0.5
+                        else int(rng.integers(1, steps + 1)))
+                spec.append((int(rng.integers(0, 10)), steps, ckpt))
+            ref, _ = self._reference(fed, factory, spec)
+            engine, clients, w0 = self._setup(fed, factory)
+            with VectorizedBackend() as b:
+                work = [ClientWork(clients[i], s, c) for i, s, c in spec]
+                got = run_local_steps(b, engine, w0, work, lr=0.05)
+            for r, g in zip(ref, got):
+                np.testing.assert_array_equal(r.w_end, g.w_end, err_msg=(
+                    f"seed={seed} spec={spec}"))
+                if r.w_checkpoint is not None:
+                    np.testing.assert_array_equal(r.w_checkpoint,
+                                                  g.w_checkpoint)
+
+    def test_batched_step_ties_to_gradcheck(self, fed, mlp_factory):
+        """One batched step == the engine's analytic-gradient step, and the
+        analytic gradient itself passes finite-difference gradient check —
+        chaining the stacked kernel all the way to first principles."""
+        from repro.exec.base import LocalStepsTask
+        from repro.nn.gradcheck import gradient_check
+        from repro.ops.projections import identity_projection
+
+        engine = mlp_factory()
+        engine.initialize(3)
+        w0 = engine.get_params()
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(6, fed.input_dim))
+        y = rng.integers(0, fed.num_classes, size=6)
+        task = LocalStepsTask(index=0, client_id=0, steps=1, lr=0.1,
+                              checkpoint_after=None,
+                              projection=identity_projection,
+                              batches=[(X, y)], sampler_state=None)
+        with VectorizedBackend() as b:
+            got = b.run_tasks(engine, w0, [task])[0]
+        engine.set_params(w0)
+        _, grad = engine.loss_and_gradient(X, y)
+        np.testing.assert_array_equal(got.w_end, w0 - 0.1 * grad)
+        assert gradient_check(engine, X, y, tol=1e-4) < 1e-4
 
 
 # ------------------------------------------------- full-algorithm equivalence
@@ -240,11 +386,42 @@ class TestAlgorithmEquivalence:
     def fedavg_reference(self, fed, logistic_factory):
         return run_fedavg(fed, logistic_factory, "serial")
 
+    @pytest.fixture(scope="class")
+    def hm_mlp_reference(self, fed, mlp_factory):
+        return run_hierminimax(fed, mlp_factory, "serial")
+
     @pytest.mark.parametrize("name", BACKENDS[1:])
     def test_hierminimax_bitwise(self, fed, logistic_factory, hm_reference,
                                  name):
         got = run_hierminimax(fed, logistic_factory, name)
         assert_results_identical(hm_reference, got)
+
+    @pytest.mark.parametrize("name", BACKENDS[1:])
+    def test_hierminimax_mlp_bitwise(self, fed, mlp_factory,
+                                     hm_mlp_reference, name):
+        """Whole MLP training runs are bit-identical too — the batched MLP
+        kernel inherits the full determinism contract, not just the
+        dispatch-level checks."""
+        got = run_hierminimax(fed, mlp_factory, name)
+        assert_results_identical(hm_mlp_reference, got)
+
+    def test_mlp_checkpoint_resume_on_vectorized(self, fed, mlp_factory,
+                                                 hm_mlp_reference, tmp_path):
+        """A serial MLP run checkpointed mid-flight and resumed on the
+        vectorized backend lands exactly on the uninterrupted serial run."""
+        ckpt = tmp_path / "hm-mlp-vec.ckpt.json"
+        run_hierminimax(fed, mlp_factory, "serial", rounds=2,
+                        checkpoint_path=ckpt, checkpoint_every=2)
+        resumed = HierMinimax(fed, mlp_factory, tau1=2, tau2=2, m_edges=5,
+                              eta_w=0.05, eta_p=2e-3, batch_size=8, seed=3,
+                              backend=make_backend("vectorized"))
+        assert resumed.load_checkpoint(ckpt) == 2
+        result = resumed.run(rounds=2, eval_every=2)
+        resumed.close()
+        np.testing.assert_array_equal(hm_mlp_reference.final_params,
+                                      result.final_params)
+        np.testing.assert_array_equal(hm_mlp_reference.final_weights,
+                                      result.final_weights)
 
     @pytest.mark.parametrize("name", BACKENDS[1:])
     def test_fedavg_bitwise(self, fed, logistic_factory, fedavg_reference,

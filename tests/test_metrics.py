@@ -144,6 +144,40 @@ class TestEvaluation:
                               worst10_degraded=False)
         assert rec.extra["worst10_degraded"] is False
 
+    def test_as_dict_rejects_shadowing_extra_keys(self, blob_fed):
+        """Regression: ``**extra`` merged last silently shadowed the real
+        statistic — an ``extra["worst_accuracy"]`` replaced the computed
+        minimum in every serialized record downstream.  Now it raises."""
+        net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes,
+                                  rng=0)
+        rec = evaluate_record(net, net.get_params(), blob_fed,
+                              worst_accuracy=1.0)  # a lie, into extra
+        with pytest.raises(ValueError, match="worst_accuracy"):
+            rec.as_dict()
+        # Honest extras still pass through untouched.
+        ok = evaluate_record(net, net.get_params(), blob_fed, tag="t")
+        assert ok.as_dict()["tag"] == "t"
+
+    def test_fused_eval_matches_two_pass_bytes(self, tiny_image_fed):
+        """The fused accuracy_and_loss sweep is byte-identical to the old
+        two-forward-pass evaluation (satellite 3 of ISSUE 10)."""
+        from repro.nn.models import mlp
+
+        fed = tiny_image_fed
+        for net in (logistic_regression(fed.input_dim, fed.num_classes,
+                                        rng=0, l2=1e-3),
+                    mlp(fed.input_dim, (9,), fed.num_classes, rng=1,
+                        l2=1e-3)):
+            w = net.get_params()
+            acc_old = np.empty(fed.num_edges)
+            loss_old = np.empty(fed.num_edges)
+            for j, edge in enumerate(fed.edges):
+                acc_old[j] = net.accuracy(edge.test.X, edge.test.y)
+                loss_old[j] = net.loss(edge.test.X, edge.test.y)
+            acc_new, loss_new = evaluate_per_edge(net, w, fed)
+            assert acc_old.tobytes() == acc_new.tobytes()
+            assert loss_old.tobytes() == loss_new.tobytes()
+
     def test_perfect_model_scores_one(self, blob_fed):
         """A converged model on separable blobs has accuracy 1 on every edge."""
         net = logistic_regression(blob_fed.input_dim, blob_fed.num_classes, rng=0)

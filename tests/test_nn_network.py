@@ -137,6 +137,25 @@ class TestPasses:
         with pytest.raises(ValueError):
             net.accuracy(np.zeros((0, 2)), np.array([], dtype=int))
 
+    def test_accuracy_and_loss_fuses_bit_identically(self):
+        """One forward pass returns exactly what the two-pass path returns
+        — the fused-evaluation contract (deterministic forward, shared
+        logits) holds to the last bit, including the L2 term."""
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(9, 5))
+        y = rng.integers(0, 3, size=9)
+        for net in (logistic_regression(5, 3, rng=2, l2=0.05),
+                    mlp(5, (6,), 3, rng=2, l2=0.05),
+                    mlp(5, (6, 4), 3, rng=2)):
+            acc, loss = net.accuracy_and_loss(X, y)
+            assert acc == net.accuracy(X, y)
+            assert loss == net.loss(X, y)
+
+    def test_accuracy_and_loss_empty_raises(self):
+        net = logistic_regression(2, 2, rng=0)
+        with pytest.raises(ValueError):
+            net.accuracy_and_loss(np.zeros((0, 2)), np.array([], dtype=int))
+
     def test_custom_loss(self):
         net = NeuralNetwork([Linear(2, 2)], input_dim=2, rng=0,
                             loss=MeanSquaredError())
